@@ -1,0 +1,44 @@
+# Common development targets. Everything is stdlib-only Go; no external
+# dependencies are fetched.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/eval/ ./internal/storage/ ./internal/core/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseFlock -fuzztime=30s ./internal/datalog/
+
+# Regenerate the EXPERIMENTS.md reference tables (several minutes).
+experiments:
+	$(GO) run ./cmd/flockbench -scale 1.0
+
+examples:
+	for ex in quickstart medical webwords graphpaths weighted itemsets multidisease; do \
+		echo "=== $$ex ==="; $(GO) run ./examples/$$ex || exit 1; \
+	done
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,85 @@
+// Command flockbench runs the reproduction suite: one experiment per
+// figure/claim of "Query Flocks: A Generalization of Association-Rule
+// Mining" (SIGMOD 1998). See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded reference output.
+//
+// Usage:
+//
+//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-json]
+//
+// Without -exp, the whole suite (E1–E10) runs in order; -json emits the
+// tables as a JSON array.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"queryflocks/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flockbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flockbench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment to run (E1..E10); empty runs all")
+		scale  = fs.Float64("scale", 1.0, "workload scale factor (1.0 = EXPERIMENTS.md reference)")
+		seed   = fs.Int64("seed", 1998, "generator seed")
+		asJSON = fs.Bool("json", false, "emit results as a JSON array instead of tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	suite := experiments.Suite()
+	if *exp != "" {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			return err
+		}
+		suite = []experiments.Experiment{e}
+	}
+
+	if *asJSON {
+		var tables []*experiments.Table
+		for _, e := range suite {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			tables = append(tables, tab)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+
+	fmt.Fprintf(out, "query-flocks reproduction suite (scale %.2f, seed %d)\n\n", cfg.Scale, cfg.Seed)
+	failed := 0
+	for _, e := range suite {
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		if err != nil {
+			failed++
+			fmt.Fprintf(out, "%s FAILED: %v\n\n", e.ID, err)
+			continue
+		}
+		fmt.Fprintln(out, tab)
+		fmt.Fprintf(out, "(%s total %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentTinyScale(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E8", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"reproduction suite", "E8", "paper says 1, 5, 8"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E99"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E8", "-scale", "0.05", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var tables []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &tables); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(tables) != 1 || tables[0]["id"] != "E8" {
+		t.Errorf("JSON tables = %v", tables)
+	}
+}

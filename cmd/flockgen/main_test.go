@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/storage"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for kind, wantRels := range map[string][]string{
+		"baskets": {"baskets"},
+		"words":   {"baskets"},
+		"medical": {"diagnoses", "exhibits", "treatments", "causes"},
+		"web":     {"inTitle", "inAnchor", "link"},
+		"graph":   {"arc"},
+	} {
+		dir := t.TempDir()
+		if err := run([]string{"-kind", kind, "-n", "50", "-out", dir, "-seed", "4"}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for _, rel := range wantRels {
+			path := filepath.Join(dir, rel+".csv")
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s: missing %s", kind, path)
+			}
+			loaded, err := storage.ReadCSVFile(path)
+			if err != nil {
+				t.Errorf("%s: %s unreadable: %v", kind, rel, err)
+			} else if loaded.Len() == 0 {
+				t.Errorf("%s: %s is empty", kind, rel)
+			}
+		}
+	}
+}
+
+func TestGenerateWeights(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-kind", "baskets", "-n", "30", "-out", dir, "-weights"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "importance.csv")); err != nil {
+		t.Error("missing importance.csv")
+	}
+	// -weights on a kind without baskets errors.
+	if err := run([]string{"-kind", "graph", "-n", "30", "-out", t.TempDir(), "-weights"}); err == nil {
+		t.Error("graph -weights should error")
+	}
+}
+
+func TestGenerateFlockFiles(t *testing.T) {
+	for _, kind := range []string{"baskets", "medical", "web", "graph"} {
+		dir := t.TempDir()
+		if err := run([]string{"-kind", kind, "-n", "40", "-out", dir, "-flock"}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		src, err := os.ReadFile(filepath.Join(dir, kind+".flock"))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		flock, err := core.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: sample flock does not parse: %v", kind, err)
+		}
+		db, err := storage.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flock.CheckDatabase(db); err != nil {
+			t.Errorf("%s: sample flock does not match generated data: %v", kind, err)
+		}
+	}
+	// Weighted variant references importance.
+	dir := t.TempDir()
+	if err := run([]string{"-kind", "baskets", "-n", "40", "-out", dir, "-weights", "-flock"}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := os.ReadFile(filepath.Join(dir, "baskets.flock"))
+	if !strings.Contains(string(src), "SUM(answer.W)") {
+		t.Errorf("weighted sample flock should use SUM:\n%s", src)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-kind", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

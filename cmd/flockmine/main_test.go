@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+func basketsCSV(t *testing.T) string {
+	t.Helper()
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 300, Items: 30, MeanSize: 5, Skew: 0.8, Seed: 14,
+	})
+	path := filepath.Join(t.TempDir(), "baskets.csv")
+	if err := storage.WriteCSVFile(db.MustRelation("baskets"), path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMineEngines(t *testing.T) {
+	path := basketsCSV(t)
+	for _, engine := range []string{"flocks", "classic"} {
+		if err := run([]string{"-data", path, "-support", "10", "-engine", engine}); err != nil {
+			t.Errorf("%s: %v", engine, err)
+		}
+	}
+}
+
+func TestMineRulesAndCSVExport(t *testing.T) {
+	path := basketsCSV(t)
+	out := filepath.Join(t.TempDir(), "rules.csv")
+	err := run([]string{"-data", path, "-support", "10", "-rules", "-min-confidence", "0.3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := storage.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() == 0 {
+		t.Error("exported rules CSV is empty")
+	}
+	if rel.Arity() != 5 {
+		t.Errorf("rules CSV arity = %d", rel.Arity())
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	path := basketsCSV(t)
+	cases := [][]string{
+		{},
+		{"-data", "/no/such.csv"},
+		{"-data", path, "-engine", "bogus"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+	// Wrong arity CSV.
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(bad, []byte("A,B,C\n1,2,3\n"), 0o644)
+	if err := run([]string{"-data", bad}); err == nil {
+		t.Error("arity-3 CSV should error")
+	}
+}

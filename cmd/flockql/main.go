@@ -1,0 +1,252 @@
+// Command flockql evaluates a query flock over CSV relations.
+//
+// Usage:
+//
+//	flockql -data DIR [flags] FLOCK_FILE
+//
+// DIR holds one CSV file per relation (header row = column names; the
+// file's base name is the relation name). FLOCK_FILE holds a flock in the
+// paper's notation:
+//
+//	QUERY:
+//	answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+//	FILTER:
+//	COUNT(answer.B) >= 20
+//
+// Strategies:
+//
+//	direct     evaluate the flock by grouping (default)
+//	naive      generate-and-test reference semantics (slow; small data)
+//	static     cost-based static plan (§4.3 heuristic 1)
+//	exhaustive exponential search over filter subsets (§4.3, cost model)
+//	levelwise  level-wise a-priori plan (§4.3 heuristic 2)
+//	cascade    prefix cascade plan (Fig. 7); see -depth
+//	dynamic    dynamic filter selection (§4.4)
+//	plan       execute the FILTER-step plan in -plan (Fig. 5 notation)
+//
+// Other modes: -sql prints the SQL translation and exits; -explain prints
+// safe subqueries, the chosen plan, and (for dynamic) the decisions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/sqlgen"
+	"queryflocks/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flockql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flockql", flag.ContinueOnError)
+	var (
+		dataDir     = fs.String("data", ".", "directory of CSV relations")
+		strategy    = fs.String("strategy", "direct", "direct|naive|static|exhaustive|levelwise|cascade|dynamic|plan")
+		planFile    = fs.String("plan", "", "plan file (for -strategy plan)")
+		depth       = fs.Int("depth", 2, "cascade depth (for -strategy cascade)")
+		printSQL    = fs.Bool("sql", false, "print the SQL translation and exit")
+		explain     = fs.Bool("explain", false, "print subqueries, plans, and decisions")
+		quiet       = fs.Bool("quiet", false, "suppress the answer listing (timing only)")
+		interactive = fs.Bool("i", false, "interactive shell over the loaded relations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interactive {
+		db, err := storage.LoadDir(*dataDir)
+		if err != nil {
+			return err
+		}
+		return repl(os.Stdin, os.Stdout, db)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one flock file, got %d args", fs.NArg())
+	}
+
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	flock, err := core.Parse(string(src))
+	if err != nil {
+		return err
+	}
+
+	if *printSQL {
+		sql, err := sqlgen.FlockSQL(flock)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sql + ";")
+		return nil
+	}
+
+	db, err := storage.LoadDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	if err := flock.CheckDatabase(db); err != nil {
+		return err
+	}
+	if *explain {
+		explainFlock(flock)
+	}
+
+	start := time.Now()
+	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		printAnswer(answer)
+	}
+	fmt.Fprintf(os.Stderr, "%d answers in %v (%s strategy)\n", answer.Len(), elapsed.Round(time.Millisecond), *strategy)
+	return nil
+}
+
+func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool) (*storage.Relation, error) {
+	switch strategy {
+	case "direct":
+		return flock.Eval(db, nil)
+	case "naive":
+		return flock.EvalNaive(db)
+	case "static":
+		plan, err := planner.PlanStatic(flock, planner.NewEstimator(db), nil)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			fmt.Printf("chosen static plan:\n%s\n\n", plan)
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "exhaustive":
+		plan, err := planner.PlanExhaustive(flock, planner.NewEstimator(db), nil)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			fmt.Printf("exhaustive-search plan:\n%s\n\n", plan)
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "levelwise":
+		plan, err := planner.PlanLevelwise(flock, 0)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			fmt.Printf("level-wise plan:\n%s\n\n", plan)
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "cascade":
+		plan, err := planner.PlanCascade(flock, depth)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			fmt.Printf("cascade plan:\n%s\n\n", plan)
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "dynamic":
+		res, err := planner.EvalDynamic(db, flock, nil)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			for _, d := range res.Decisions {
+				fmt.Printf("decision: %s\n", d)
+			}
+			fmt.Println()
+		}
+		return res.Answer, nil
+	case "plan":
+		if planFile == "" {
+			return nil, fmt.Errorf("-strategy plan requires -plan FILE")
+		}
+		src, err := os.ReadFile(planFile)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := datalog.ParsePlan(string(src))
+		if err != nil {
+			return nil, err
+		}
+		plan, err := core.PlanFromSpec(flock, spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			return nil, err
+		}
+		if explain {
+			fmt.Printf("executed plan:\n%s\nstep sizes: %s\n\n", plan, res)
+		}
+		return res.Answer, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+}
+
+func explainFlock(flock *core.Flock) {
+	fmt.Printf("flock:\n%s\n\n", flock)
+	fmt.Println("safe subqueries (candidate pre-filters, §3):")
+	for ri, r := range flock.Query {
+		if len(flock.Query) > 1 {
+			fmt.Printf("rule %d:\n", ri+1)
+		}
+		for _, s := range core.EnumerateSubqueries(r) {
+			fmt.Printf("  params %-12v %s\n", s.Params, s.Rule)
+		}
+	}
+	fmt.Println()
+}
+
+func printAnswer(answer *storage.Relation) {
+	header := ""
+	for i, c := range answer.Columns() {
+		if i > 0 {
+			header += "\t"
+		}
+		header += c
+	}
+	fmt.Println(header)
+	for _, t := range answer.Sorted() {
+		line := ""
+		for i, v := range t {
+			if i > 0 {
+				line += "\t"
+			}
+			line += v.String()
+		}
+		fmt.Println(line)
+	}
+}

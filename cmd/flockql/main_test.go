@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// setupData writes a small basket dataset and a Fig. 2 flock file,
+// returning their paths.
+func setupData(t *testing.T) (dataDir, flockFile string) {
+	t.Helper()
+	dataDir = t.TempDir()
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 300, Items: 40, MeanSize: 4, Skew: 1.0, Seed: 6,
+	})
+	if err := storage.WriteCSVFile(db.MustRelation("baskets"),
+		filepath.Join(dataDir, "baskets.csv")); err != nil {
+		t.Fatal(err)
+	}
+	flockFile = filepath.Join(t.TempDir(), "fig2.flock")
+	src := `
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5`
+	if err := os.WriteFile(flockFile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dataDir, flockFile
+}
+
+func TestStrategiesRun(t *testing.T) {
+	dataDir, flockFile := setupData(t)
+	for _, strategy := range []string{"direct", "static", "exhaustive", "levelwise", "cascade", "dynamic"} {
+		args := []string{"-data", dataDir, "-strategy", strategy, "-quiet", flockFile}
+		if err := run(args); err != nil {
+			t.Errorf("%s: %v", strategy, err)
+		}
+	}
+	// Explain mode.
+	if err := run([]string{"-data", dataDir, "-strategy", "static", "-explain", "-quiet", flockFile}); err != nil {
+		t.Errorf("explain: %v", err)
+	}
+}
+
+func TestNaiveStrategySmall(t *testing.T) {
+	dataDir := t.TempDir()
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 30, Items: 8, MeanSize: 3, Skew: 0.5, Seed: 1,
+	})
+	if err := storage.WriteCSVFile(db.MustRelation("baskets"),
+		filepath.Join(dataDir, "baskets.csv")); err != nil {
+		t.Fatal(err)
+	}
+	flockFile := filepath.Join(t.TempDir(), "f.flock")
+	os.WriteFile(flockFile, []byte("QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\nFILTER:\nCOUNT(answer.B) >= 2"), 0o644)
+	if err := run([]string{"-data", dataDir, "-strategy", "naive", "-quiet", flockFile}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanStrategy(t *testing.T) {
+	dataDir, flockFile := setupData(t)
+	planFile := filepath.Join(t.TempDir(), "plan.plan")
+	plan := `
+ok1($1) := FILTER($1,
+    answer(B) :- baskets(B,$1),
+    COUNT(answer.B) >= 5
+);
+ok($1,$2) := FILTER(($1,$2),
+    answer(B) :- ok1($1) AND baskets(B,$1) AND baskets(B,$2) AND $1 < $2,
+    COUNT(answer.B) >= 5
+);`
+	if err := os.WriteFile(planFile, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dataDir, "-strategy", "plan", "-plan", planFile, "-quiet", flockFile}); err != nil {
+		t.Fatal(err)
+	}
+	// plan strategy without -plan errors.
+	if err := run([]string{"-data", dataDir, "-strategy", "plan", "-quiet", flockFile}); err == nil {
+		t.Error("plan strategy without -plan should error")
+	}
+}
+
+func TestSQLMode(t *testing.T) {
+	_, flockFile := setupData(t)
+	if err := run([]string{"-sql", flockFile}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dataDir, flockFile := setupData(t)
+	cases := [][]string{
+		{},                                   // missing flock file
+		{"-data", dataDir, "/no/such.flock"}, // unreadable flock
+		{"-data", "/no/such/dir/x", flockFile},
+		{"-data", dataDir, "-strategy", "bogus", flockFile},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+	// Flock referencing a missing relation.
+	badFlock := filepath.Join(t.TempDir(), "bad.flock")
+	os.WriteFile(badFlock, []byte("QUERY:\nanswer(X) :- nosuch(X,$1)\nFILTER:\nCOUNT(answer.X) >= 2"), 0o644)
+	if err := run([]string{"-data", dataDir, badFlock}); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("missing relation should error, got %v", err)
+	}
+}
+
+func TestViewsThroughCLI(t *testing.T) {
+	dataDir := t.TempDir()
+	db := workload.Medical(workload.DefaultMedical(200, 8))
+	for _, name := range db.Names() {
+		if err := storage.WriteCSVFile(db.MustRelation(name), filepath.Join(dataDir, name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flockFile := filepath.Join(t.TempDir(), "views.flock")
+	src := `
+VIEWS:
+allCaused(P,S) :- diagnoses(P,D) AND causes(D,S)
+QUERY:
+answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND NOT allCaused(P,$s)
+FILTER:
+COUNT(answer.P) >= 3`
+	os.WriteFile(flockFile, []byte(src), 0o644)
+	if err := run([]string{"-data", dataDir, "-quiet", flockFile}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dataDir, "-strategy", "dynamic", "-quiet", flockFile}); err != nil {
+		t.Fatal(err)
+	}
+}

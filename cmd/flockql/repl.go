@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/sqlgen"
+	"queryflocks/internal/storage"
+)
+
+// repl runs the interactive mode: flock definitions are accumulated until
+// a blank line after the FILTER: section, then evaluated with the current
+// strategy. Backslash commands control the session:
+//
+//	\rels              list loaded relations
+//	\strategy NAME     switch evaluation strategy
+//	\explain on|off    toggle plan/decision explanations
+//	\sql               print the SQL translation of the last flock
+//	\plan              print the chosen plan for the last flock
+//	\help              this summary
+//	\quit              exit
+func repl(in io.Reader, out io.Writer, db *storage.Database) error {
+	fmt.Fprintln(out, "queryflocks interactive shell — \\help for commands; finish a flock with a blank line")
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	strategy := "direct"
+	explain := false
+	var lastFlock *core.Flock
+	var buf strings.Builder
+	prompt := func() { fmt.Fprint(out, "flockql> ") }
+	prompt()
+
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "\\"):
+			if quit := replCommand(out, trimmed, db, &strategy, &explain, lastFlock); quit {
+				return nil
+			}
+		case trimmed == "" && strings.Contains(buf.String(), "FILTER:"):
+			src := buf.String()
+			buf.Reset()
+			flock, err := core.Parse(src)
+			if err != nil {
+				fmt.Fprintln(out, "parse error:", err)
+				break
+			}
+			lastFlock = flock
+			if err := replEval(out, db, flock, strategy, explain); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		case trimmed == "":
+			// blank line with no complete flock: keep accumulating
+		default:
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			continue // no fresh prompt mid-statement
+		}
+		prompt()
+	}
+	fmt.Fprintln(out)
+	return scanner.Err()
+}
+
+// replCommand executes one backslash command; reports whether to quit.
+func replCommand(out io.Writer, cmd string, db *storage.Database, strategy *string, explain *bool, last *core.Flock) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q", "\\exit":
+		fmt.Fprintln(out, "bye")
+		return true
+	case "\\help":
+		fmt.Fprintln(out, `commands:
+  \rels              list loaded relations
+  \strategy NAME     direct|naive|static|exhaustive|levelwise|dynamic (current: `+*strategy+`)
+  \explain on|off    toggle explanations
+  \sql               SQL translation of the last flock
+  \plan              chosen static plan for the last flock
+  \quit              exit
+end a flock definition (QUERY:/FILTER: sections) with a blank line to run it`)
+	case "\\rels":
+		names := append([]string(nil), db.Names()...)
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %s\n", db.MustRelation(n))
+		}
+	case "\\strategy":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: \\strategy NAME")
+			break
+		}
+		switch fields[1] {
+		case "direct", "naive", "static", "exhaustive", "levelwise", "dynamic":
+			*strategy = fields[1]
+			fmt.Fprintln(out, "strategy:", *strategy)
+		default:
+			fmt.Fprintln(out, "unknown strategy:", fields[1])
+		}
+	case "\\explain":
+		*explain = len(fields) == 2 && fields[1] == "on"
+		fmt.Fprintln(out, "explain:", *explain)
+	case "\\sql":
+		if last == nil {
+			fmt.Fprintln(out, "no flock yet")
+			break
+		}
+		sql, err := sqlgen.FlockSQL(last)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, sql+";")
+	case "\\plan":
+		if last == nil {
+			fmt.Fprintln(out, "no flock yet")
+			break
+		}
+		plan, err := planner.PlanStatic(last, planner.NewEstimator(db), nil)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			break
+		}
+		fmt.Fprintln(out, plan)
+	default:
+		fmt.Fprintln(out, "unknown command:", fields[0], "(try \\help)")
+	}
+	return false
+}
+
+// replEval runs one flock with the session strategy and prints the answer.
+func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy string, explain bool) error {
+	if err := flock.CheckDatabase(db); err != nil {
+		return err
+	}
+	start := time.Now()
+	var answer *storage.Relation
+	var err error
+	switch strategy {
+	case "direct":
+		answer, err = flock.Eval(db, nil)
+	case "naive":
+		answer, err = flock.EvalNaive(db)
+	case "static":
+		var plan *core.Plan
+		plan, err = planner.PlanStatic(flock, planner.NewEstimator(db), nil)
+		if err == nil {
+			if explain {
+				fmt.Fprintf(out, "%s\n", plan)
+			}
+			var res *core.PlanResult
+			res, err = plan.Execute(db, nil)
+			if err == nil {
+				answer = res.Answer
+			}
+		}
+	case "exhaustive":
+		var plan *core.Plan
+		plan, err = planner.PlanExhaustive(flock, planner.NewEstimator(db), nil)
+		if err == nil {
+			if explain {
+				fmt.Fprintf(out, "%s\n", plan)
+			}
+			var res *core.PlanResult
+			res, err = plan.Execute(db, nil)
+			if err == nil {
+				answer = res.Answer
+			}
+		}
+	case "levelwise":
+		var plan *core.Plan
+		plan, err = planner.PlanLevelwise(flock, 0)
+		if err == nil {
+			var res *core.PlanResult
+			res, err = plan.Execute(db, nil)
+			if err == nil {
+				answer = res.Answer
+			}
+		}
+	case "dynamic":
+		var res *planner.DynamicResult
+		res, err = planner.EvalDynamic(db, flock, nil)
+		if err == nil {
+			if explain {
+				for _, d := range res.Decisions {
+					fmt.Fprintf(out, "decision: %s\n", d)
+				}
+			}
+			answer = res.Answer
+		}
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	if err != nil {
+		return err
+	}
+
+	header := strings.Join(answer.Columns(), "\t")
+	fmt.Fprintln(out, header)
+	const maxRows = 25
+	for i, t := range answer.Sorted() {
+		if i == maxRows {
+			fmt.Fprintf(out, "... (%d more)\n", answer.Len()-maxRows)
+			break
+		}
+		cells := make([]string, len(t))
+		for j, v := range t {
+			cells[j] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(out, "%d answers in %v (%s)\n", answer.Len(), time.Since(start).Round(time.Millisecond), strategy)
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+func replDB(t *testing.T) *storage.Database {
+	t.Helper()
+	return workload.Baskets(workload.BasketConfig{
+		Baskets: 200, Items: 20, MeanSize: 4, Skew: 0.8, Seed: 4,
+	})
+}
+
+func runREPL(t *testing.T, db *storage.Database, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := repl(strings.NewReader(script), &out, db); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLEvaluatesFlock(t *testing.T) {
+	script := `
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	for _, want := range []string{"$1\t$2", "answers in", "bye"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLCommands(t *testing.T) {
+	script := `
+\help
+\rels
+\strategy dynamic
+\strategy bogus
+\explain on
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\sql
+\plan
+\nosuch
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	cases := []string{
+		"commands:",
+		"baskets(BID, Item)",
+		"strategy: dynamic",
+		"unknown strategy: bogus",
+		"explain: true",
+		"decision:",       // dynamic explanations
+		"GROUP BY p1, p2", // \sql
+		"FILTER",          // \plan rendering
+		"unknown command: \\nosuch",
+	}
+	for _, want := range cases {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestREPLSQLBeforeFlock(t *testing.T) {
+	got := runREPL(t, replDB(t), "\\sql\n\\plan\n\\quit\n")
+	if strings.Count(got, "no flock yet") != 2 {
+		t.Errorf("expected two 'no flock yet':\n%s", got)
+	}
+}
+
+func TestREPLParseError(t *testing.T) {
+	script := `
+QUERY:
+answer(B) :- baskets(B,
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	if !strings.Contains(got, "parse error:") {
+		t.Errorf("expected parse error:\n%s", got)
+	}
+}
+
+func TestREPLStrategies(t *testing.T) {
+	for _, s := range []string{"direct", "static", "exhaustive", "levelwise", "dynamic", "naive"} {
+		script := "\\strategy " + s + `
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+		got := runREPL(t, replDB(t), script)
+		if !strings.Contains(got, "answers in") {
+			t.Errorf("%s: no answer line:\n%s", s, got)
+		}
+	}
+}
+
+func TestREPLEOFWithoutQuit(t *testing.T) {
+	got := runREPL(t, replDB(t), "\\rels\n")
+	if !strings.Contains(got, "baskets") {
+		t.Errorf("output:\n%s", got)
+	}
+}

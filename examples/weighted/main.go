@@ -1,0 +1,86 @@
+// Weighted market baskets (Fig. 10, §5): the monotone-filter extension.
+// Baskets carry an importance weight; a pair qualifies when the summed
+// importance of its co-occurrence baskets reaches the threshold. The
+// example shows that the SUM filter admits the same a-priori plan space as
+// COUNT, and contrasts the weighted and unweighted answers.
+//
+// Run with: go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/paper"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/workload"
+)
+
+func main() {
+	const (
+		countSupport = 20
+		maxWeight    = 10
+		sumSupport   = 110 // ~20 baskets at the mean weight of 5.5
+	)
+
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 5_000, Items: 2_000, MeanSize: 6, Skew: 1.0, Seed: 21,
+	})
+	if err := workload.AttachWeights(db, maxWeight, 22); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baskets: %d tuples; importance: %d tuples\n\n",
+		db.MustRelation("baskets").Len(), db.MustRelation("importance").Len())
+
+	weighted := paper.WeightedBasket(sumSupport)
+	fmt.Printf("flock (Fig. 10):\n%s\n\n", weighted)
+	if !weighted.Filter.Monotone() {
+		log.Fatal("SUM >= must be monotone")
+	}
+
+	// The same item pre-filter plan as in the COUNT case — §5's claim that
+	// the techniques "apply directly to any monotone filter condition".
+	plan, err := planner.PlanWithParamSets(weighted, [][]datalog.Param{{"1"}, {"2"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planTime := time.Since(start)
+
+	direct, err := weighted.Eval(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !direct.Equal(res.Answer) {
+		log.Fatal("plan and direct disagree!")
+	}
+	fmt.Printf("weighted pairs (SUM importance >= %d): %d, plan time %v\n",
+		sumSupport, res.Answer.Len(), planTime.Round(time.Millisecond))
+
+	// Contrast with the unweighted flock at the matching support.
+	unweighted, err := paper.MarketBasket(countSupport).Eval(db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unweighted pairs (COUNT >= %d):         %d\n\n", countSupport, unweighted.Len())
+
+	// Pairs the weighting promotes or demotes.
+	promoted, demoted := 0, 0
+	for _, t := range res.Answer.Tuples() {
+		if !unweighted.Contains(t) {
+			promoted++
+		}
+	}
+	for _, t := range unweighted.Tuples() {
+		if !res.Answer.Contains(t) {
+			demoted++
+		}
+	}
+	fmt.Printf("weighting promoted %d pairs (heavy baskets) and demoted %d (light baskets)\n", promoted, demoted)
+}

@@ -1,0 +1,3 @@
+module queryflocks
+
+go 1.22

@@ -1,0 +1,336 @@
+// Package apriori implements the classic level-wise frequent-itemset
+// algorithm of [AS94] ("Fast algorithms for mining association rules") and
+// a no-pruning pair counter. These are the specialized comparators the
+// query-flock framework generalizes: experiment E2 cross-validates the
+// flock engine's answers against this implementation, and E1 uses the
+// naive counter as the "unoptimized SQL" cost baseline.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"queryflocks/internal/storage"
+)
+
+// Itemset is a sorted list of dense item IDs.
+type Itemset []int
+
+// Counted pairs an itemset with its support count.
+type Counted struct {
+	Items Itemset
+	Count int
+}
+
+// Dataset is the transaction-list representation of a baskets relation,
+// with a dictionary mapping dense item IDs back to stored values.
+type Dataset struct {
+	// Txs holds one sorted, duplicate-free item-ID list per basket.
+	Txs [][]int
+	// Dict maps item IDs back to the original item values.
+	Dict []storage.Value
+}
+
+// FromBaskets converts a baskets(BID, Item)-shaped relation (any column
+// names, arity 2) into transactions.
+func FromBaskets(rel *storage.Relation) (*Dataset, error) {
+	if rel.Arity() != 2 {
+		return nil, fmt.Errorf("apriori: relation %s has arity %d, want 2 (BID, Item)", rel.Name(), rel.Arity())
+	}
+	ids := make(map[storage.Value]int)
+	var dict []storage.Value
+	byBasket := make(map[storage.Value][]int)
+	var order []storage.Value
+	for _, t := range rel.Tuples() {
+		bid, item := t[0], t[1]
+		id, ok := ids[item]
+		if !ok {
+			id = len(dict)
+			ids[item] = id
+			dict = append(dict, item)
+		}
+		if _, seen := byBasket[bid]; !seen {
+			order = append(order, bid)
+		}
+		byBasket[bid] = append(byBasket[bid], id)
+	}
+	txs := make([][]int, 0, len(order))
+	for _, bid := range order {
+		items := byBasket[bid]
+		sort.Ints(items)
+		// The relation is a set, so (bid, item) pairs are unique already.
+		txs = append(txs, items)
+	}
+	return &Dataset{Txs: txs, Dict: dict}, nil
+}
+
+// Value maps an item ID back to its stored value.
+func (d *Dataset) Value(id int) storage.Value { return d.Dict[id] }
+
+// Frequent runs the level-wise a-priori algorithm: level k is computed by
+// joining and pruning level k-1's survivors ("compute candidate sets of k
+// items by restricting to those itemsets such that each subset of k-1
+// items previously has met the support test", §4.3), then counting
+// candidates in one pass over the transactions. It returns one slice per
+// level (index k-1 holds the frequent k-itemsets), stopping after maxK
+// levels (0 = no limit) or when a level comes up empty. Each level is
+// sorted lexicographically.
+func Frequent(d *Dataset, minSupport, maxK int) [][]Counted {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// Level 1 by direct counting.
+	counts := make(map[int]int)
+	for _, tx := range d.Txs {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	var l1 []Counted
+	frequent1 := make(map[int]bool)
+	for it, c := range counts {
+		if c >= minSupport {
+			l1 = append(l1, Counted{Items: Itemset{it}, Count: c})
+			frequent1[it] = true
+		}
+	}
+	sortLevel(l1)
+	levels := [][]Counted{l1}
+
+	prev := l1
+	for k := 2; (maxK == 0 || k <= maxK) && len(prev) > 0; k++ {
+		// Level 2 skips candidate materialization: C2 = L1 x L1, so pairs
+		// of frequent items are counted directly ([AS94] §2.1.1 makes the
+		// same observation).
+		if k == 2 {
+			level := countFrequentPairs(d, frequent1, minSupport)
+			levels = append(levels, level)
+			prev = level
+			if len(level) == 0 {
+				break
+			}
+			continue
+		}
+		candidates := generateCandidates(prev, k)
+		if len(candidates.sets) == 0 {
+			break
+		}
+		// Count candidates: for every transaction (restricted to items
+		// frequent at level 1), enumerate its k-subsets that are
+		// candidates.
+		cnt := make([]int, len(candidates.sets))
+		for _, tx := range d.Txs {
+			filtered := tx[:0:0]
+			for _, it := range tx {
+				if frequent1[it] {
+					filtered = append(filtered, it)
+				}
+			}
+			if len(filtered) < k {
+				continue
+			}
+			forEachSubset(filtered, k, func(sub []int) {
+				if idx, ok := candidates.lookup(sub); ok {
+					cnt[idx]++
+				}
+			})
+		}
+		var level []Counted
+		for i, set := range candidates.sets {
+			if cnt[i] >= minSupport {
+				level = append(level, Counted{Items: set, Count: cnt[i]})
+			}
+		}
+		sortLevel(level)
+		levels = append(levels, level)
+		prev = level
+		if len(level) == 0 {
+			break
+		}
+	}
+	return levels
+}
+
+// FrequentPairs returns just the frequent 2-itemsets — the Fig. 1 / Fig. 2
+// question — using the a-priori optimization.
+func FrequentPairs(d *Dataset, minSupport int) []Counted {
+	levels := Frequent(d, minSupport, 2)
+	if len(levels) < 2 {
+		return nil
+	}
+	return levels[1]
+}
+
+// countFrequentPairs counts pairs of level-1-frequent items per
+// transaction.
+func countFrequentPairs(d *Dataset, frequent1 map[int]bool, minSupport int) []Counted {
+	counts := make(map[[2]int]int)
+	var filtered []int
+	for _, tx := range d.Txs {
+		filtered = filtered[:0]
+		for _, it := range tx {
+			if frequent1[it] {
+				filtered = append(filtered, it)
+			}
+		}
+		for i := 0; i < len(filtered); i++ {
+			for j := i + 1; j < len(filtered); j++ {
+				counts[[2]int{filtered[i], filtered[j]}]++
+			}
+		}
+	}
+	var out []Counted
+	for pair, c := range counts {
+		if c >= minSupport {
+			out = append(out, Counted{Items: Itemset{pair[0], pair[1]}, Count: c})
+		}
+	}
+	sortLevel(out)
+	return out
+}
+
+// NaivePairs counts every item pair occurring in any transaction, with no
+// a-priori pruning — the cost shape of the direct SQL self-join of Fig. 1.
+func NaivePairs(d *Dataset, minSupport int) []Counted {
+	counts := make(map[[2]int]int)
+	for _, tx := range d.Txs {
+		for i := 0; i < len(tx); i++ {
+			for j := i + 1; j < len(tx); j++ {
+				counts[[2]int{tx[i], tx[j]}]++
+			}
+		}
+	}
+	var out []Counted
+	for pair, c := range counts {
+		if c >= minSupport {
+			out = append(out, Counted{Items: Itemset{pair[0], pair[1]}, Count: c})
+		}
+	}
+	sortLevel(out)
+	return out
+}
+
+// PairsRelation converts counted pairs into a relation with the shape of a
+// market-basket flock answer: columns $1, $2 with $1's item value ordering
+// before $2's.
+func PairsRelation(d *Dataset, pairs []Counted) *storage.Relation {
+	rel := storage.NewRelation("flock", "$1", "$2")
+	for _, c := range pairs {
+		a, b := d.Value(c.Items[0]), d.Value(c.Items[1])
+		if a.Compare(b) > 0 {
+			a, b = b, a
+		}
+		rel.Insert(storage.Tuple{a, b})
+	}
+	return rel
+}
+
+// candidateSet indexes candidate itemsets for O(1) lookup during counting.
+type candidateSet struct {
+	sets []Itemset
+	idx  map[string]int
+}
+
+func (c *candidateSet) lookup(items []int) (int, bool) {
+	i, ok := c.idx[itemsetKey(items)]
+	return i, ok
+}
+
+// generateCandidates joins level k-1 survivors sharing their first k-2
+// items, then prunes candidates with an infrequent (k-1)-subset.
+func generateCandidates(prev []Counted, k int) *candidateSet {
+	prevSet := make(map[string]bool, len(prev))
+	for _, c := range prev {
+		prevSet[itemsetKey(c.Items)] = true
+	}
+	out := &candidateSet{idx: make(map[string]int)}
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i].Items, prev[j].Items
+			if !samePrefix(a, b, k-2) {
+				continue
+			}
+			// a and b are sorted and share the first k-2 items; a[k-2] <
+			// b[k-2] by level ordering.
+			cand := make(Itemset, k)
+			copy(cand, a)
+			cand[k-1] = b[k-2]
+			if cand[k-2] > cand[k-1] {
+				cand[k-2], cand[k-1] = cand[k-1], cand[k-2]
+			}
+			if !allSubsetsFrequent(cand, prevSet) {
+				continue
+			}
+			key := itemsetKey(cand)
+			if _, dup := out.idx[key]; !dup {
+				out.idx[key] = len(out.sets)
+				out.sets = append(out.sets, cand)
+			}
+		}
+	}
+	return out
+}
+
+// allSubsetsFrequent is the a-priori prune: every (k-1)-subset of cand
+// must be in the previous level.
+func allSubsetsFrequent(cand Itemset, prevSet map[string]bool) bool {
+	buf := make(Itemset, 0, len(cand)-1)
+	for skip := range cand {
+		buf = buf[:0]
+		for i, it := range cand {
+			if i != skip {
+				buf = append(buf, it)
+			}
+		}
+		if !prevSet[itemsetKey(buf)] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubset calls fn on every sorted k-subset of the sorted slice tx.
+func forEachSubset(tx []int, k int, fn func([]int)) {
+	sub := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(sub)
+			return
+		}
+		for i := start; i <= len(tx)-(k-depth); i++ {
+			sub[depth] = tx[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func itemsetKey(items []int) string {
+	buf := make([]byte, 0, 4*len(items))
+	for _, it := range items {
+		buf = append(buf, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(buf)
+}
+
+func sortLevel(level []Counted) {
+	sort.Slice(level, func(i, j int) bool {
+		a, b := level[i].Items, level[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,194 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryflocks/internal/paper"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// tinyDataset builds the classic beer/diapers example.
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	add := func(bid int64, items ...string) {
+		for _, it := range items {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	add(1, "beer", "diapers", "relish")
+	add(2, "beer", "diapers")
+	add(3, "beer", "chips")
+	add(4, "diapers")
+	d, err := FromBaskets(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromBaskets(t *testing.T) {
+	d := tinyDataset(t)
+	if len(d.Txs) != 4 {
+		t.Fatalf("transactions = %d", len(d.Txs))
+	}
+	if len(d.Dict) != 4 {
+		t.Fatalf("dictionary = %d items", len(d.Dict))
+	}
+	for _, tx := range d.Txs {
+		for i := 1; i < len(tx); i++ {
+			if tx[i-1] >= tx[i] {
+				t.Fatal("transaction not sorted/deduped")
+			}
+		}
+	}
+	bad := storage.NewRelation("bad", "A", "B", "C")
+	if _, err := FromBaskets(bad); err == nil {
+		t.Error("arity 3 should error")
+	}
+}
+
+func TestFrequentTiny(t *testing.T) {
+	d := tinyDataset(t)
+	levels := Frequent(d, 2, 0)
+	if len(levels) < 2 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	// L1: beer(3), diapers(3). L2: {beer,diapers}(2). L3: none.
+	if len(levels[0]) != 2 {
+		t.Errorf("L1 = %v", levels[0])
+	}
+	if len(levels[1]) != 1 || levels[1][0].Count != 2 {
+		t.Fatalf("L2 = %v", levels[1])
+	}
+	pair := levels[1][0].Items
+	a, b := d.Value(pair[0]).AsString(), d.Value(pair[1]).AsString()
+	if !(a == "beer" && b == "diapers" || a == "diapers" && b == "beer") {
+		t.Errorf("L2 pair = %s, %s", a, b)
+	}
+}
+
+func TestFrequentTriples(t *testing.T) {
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	// 3 baskets with {a,b,c}, 1 with {a,b}, 1 with {c,d}.
+	for bid, items := range map[int64][]string{
+		1: {"a", "b", "c"}, 2: {"a", "b", "c"}, 3: {"a", "b", "c"},
+		4: {"a", "b"}, 5: {"c", "d"},
+	} {
+		for _, it := range items {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	d, _ := FromBaskets(rel)
+	levels := Frequent(d, 3, 0)
+	if len(levels) < 3 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	if len(levels[2]) != 1 || levels[2][0].Count != 3 {
+		t.Fatalf("L3 = %v", levels[2])
+	}
+	// maxK truncation.
+	capped := Frequent(d, 3, 2)
+	if len(capped) != 2 {
+		t.Errorf("maxK=2 produced %d levels", len(capped))
+	}
+}
+
+func TestNaivePairsEqualsFrequentPairs(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{Baskets: 300, Items: 40, MeanSize: 5, Skew: 1.0, Seed: 9})
+	rel := db.MustRelation("baskets")
+	d, err := FromBaskets(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sup := range []int{2, 5, 10} {
+		ap := FrequentPairs(d, sup)
+		naive := NaivePairs(d, sup)
+		if len(ap) != len(naive) {
+			t.Fatalf("support %d: apriori %d pairs, naive %d", sup, len(ap), len(naive))
+		}
+		for i := range ap {
+			if itemsetKey(ap[i].Items) != itemsetKey(naive[i].Items) || ap[i].Count != naive[i].Count {
+				t.Fatalf("support %d: pair %d differs: %v vs %v", sup, i, ap[i], naive[i])
+			}
+		}
+	}
+}
+
+// TestAprioriPropertyDownwardClosure checks the defining invariant: every
+// subset of a frequent itemset is frequent with at least the same count.
+func TestAprioriPropertyDownwardClosure(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{Baskets: 200, Items: 15, MeanSize: 6, Skew: 0.8, Seed: 11})
+	d, err := FromBaskets(db.MustRelation("baskets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := Frequent(d, 3, 0)
+	index := make(map[string]int)
+	for _, level := range levels {
+		for _, c := range level {
+			index[itemsetKey(c.Items)] = c.Count
+		}
+	}
+	for k := 1; k < len(levels); k++ {
+		for _, c := range levels[k] {
+			for skip := range c.Items {
+				sub := make(Itemset, 0, len(c.Items)-1)
+				for i, it := range c.Items {
+					if i != skip {
+						sub = append(sub, it)
+					}
+				}
+				subCount, ok := index[itemsetKey(sub)]
+				if !ok {
+					t.Fatalf("subset %v of frequent %v missing", sub, c.Items)
+				}
+				if subCount < c.Count {
+					t.Fatalf("subset %v count %d < superset count %d", sub, subCount, c.Count)
+				}
+			}
+		}
+	}
+}
+
+// TestFlockMatchesApriori is experiment E2's correctness half: the Fig. 2
+// flock and the classic algorithm must find exactly the same pairs.
+func TestFlockMatchesApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		db := workload.Baskets(workload.BasketConfig{
+			Baskets:  50 + rng.Intn(200),
+			Items:    8 + rng.Intn(20),
+			MeanSize: 2 + rng.Intn(4),
+			Skew:     rng.Float64(),
+			Seed:     rng.Int63(),
+		})
+		support := 2 + rng.Intn(4)
+		d, err := FromBaskets(db.MustRelation("baskets"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PairsRelation(d, FrequentPairs(d, support))
+
+		f := paper.MarketBasket(support)
+		got, err := f.Eval(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d support %d: flock %d pairs, apriori %d pairs\nflock:\n%s\napriori:\n%s",
+				trial, support, got.Len(), want.Len(), got.Dump(), want.Dump())
+		}
+	}
+}
+
+func TestMinSupportFloor(t *testing.T) {
+	d := tinyDataset(t)
+	// minSupport < 1 clamps to 1: every occurring itemset is frequent.
+	levels := Frequent(d, 0, 1)
+	if len(levels[0]) != len(d.Dict) {
+		t.Errorf("support 0: L1 = %d, want all %d items", len(levels[0]), len(d.Dict))
+	}
+}

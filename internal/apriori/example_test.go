@@ -1,0 +1,66 @@
+package apriori_test
+
+import (
+	"fmt"
+
+	"queryflocks/internal/apriori"
+	"queryflocks/internal/storage"
+)
+
+func exampleDataset() *apriori.Dataset {
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	add := func(bid int64, items ...string) {
+		for _, it := range items {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	add(1, "beer", "diapers")
+	add(2, "beer", "diapers")
+	add(3, "beer", "diapers")
+	add(4, "beer")
+	add(5, "diapers")
+	add(6, "milk")
+	d, err := apriori.FromBaskets(rel)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// The classic level-wise algorithm on the beer/diapers data.
+func ExampleFrequent() {
+	d := exampleDataset()
+	levels := apriori.Frequent(d, 3, 0)
+	for k, level := range levels {
+		if len(level) == 0 {
+			break
+		}
+		fmt.Printf("L%d:", k+1)
+		for _, c := range level {
+			names := ""
+			for i, it := range c.Items {
+				if i > 0 {
+					names += "+"
+				}
+				names += d.Value(it).String()
+			}
+			fmt.Printf(" %s(%d)", names, c.Count)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// L1: beer(4) diapers(4)
+	// L2: beer+diapers(3)
+}
+
+// Association rules with the three §1.1 measures.
+func ExampleRules() {
+	d := exampleDataset()
+	rules := apriori.Rules(d, 3, &apriori.RuleOptions{SingleConsequent: true})
+	for _, r := range rules {
+		fmt.Println(r.Render(d))
+	}
+	// Output:
+	// {beer} -> {diapers} (support 3, confidence 0.75, interest 1.12)
+	// {diapers} -> {beer} (support 3, confidence 0.75, interest 1.12)
+}

@@ -1,0 +1,164 @@
+package apriori
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"queryflocks/internal/storage"
+)
+
+// This file derives association rules from frequent itemsets, with the
+// three measures §1.1 reviews: support (the itemset count), confidence
+// (P(consequent | antecedent)), and interest (how far the confidence sits
+// from the consequent's base rate — lift).
+
+// Rule is an association rule antecedent → consequent.
+type Rule struct {
+	// Antecedent and Consequent partition a frequent itemset.
+	Antecedent, Consequent Itemset
+	// Support is the joint count: baskets containing both sides.
+	Support int
+	// Confidence is Support / count(Antecedent): "the probability of one
+	// item given that the others are in the basket".
+	Confidence float64
+	// Interest is Confidence divided by the consequent's base rate
+	// (lift): values far from 1 mean the rule is "significantly higher or
+	// lower than the expected probability if items were purchased at
+	// random".
+	Interest float64
+}
+
+// Render formats the rule with item values resolved through the dataset.
+func (r Rule) Render(d *Dataset) string {
+	part := func(items Itemset) string {
+		vals := make([]string, len(items))
+		for i, it := range items {
+			vals[i] = d.Value(it).String()
+		}
+		return "{" + strings.Join(vals, ", ") + "}"
+	}
+	return fmt.Sprintf("%s -> %s (support %d, confidence %.2f, interest %.2f)",
+		part(r.Antecedent), part(r.Consequent), r.Support, r.Confidence, r.Interest)
+}
+
+// RuleOptions configures rule derivation.
+type RuleOptions struct {
+	// MinConfidence filters rules below this confidence (default 0: keep
+	// all).
+	MinConfidence float64
+	// MaxK bounds the itemset sizes mined (0 = all).
+	MaxK int
+	// SingleConsequent restricts output to rules with a one-item
+	// consequent, the classic beer → diapers shape. Default false: every
+	// nonempty proper subset split is produced.
+	SingleConsequent bool
+}
+
+// Rules mines frequent itemsets at minSupport and derives every
+// association rule meeting the options, sorted by descending confidence
+// (ties: descending support, then antecedent order).
+func Rules(d *Dataset, minSupport int, opts *RuleOptions) []Rule {
+	var o RuleOptions
+	if opts != nil {
+		o = *opts
+	}
+	levels := Frequent(d, minSupport, o.MaxK)
+	counts := make(map[string]int)
+	for _, level := range levels {
+		for _, c := range level {
+			counts[itemsetKey(c.Items)] = c.Count
+		}
+	}
+	n := len(d.Txs)
+	var out []Rule
+	for k := 1; k < len(levels); k++ { // sets of size >= 2
+		for _, c := range levels[k] {
+			out = append(out, rulesFromSet(c, counts, n, o)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		return lessItemsets(a.Antecedent, b.Antecedent)
+	})
+	return out
+}
+
+// rulesFromSet splits one frequent itemset into antecedent/consequent
+// pairs.
+func rulesFromSet(c Counted, counts map[string]int, n int, o RuleOptions) []Rule {
+	items := c.Items
+	var out []Rule
+	for mask := 1; mask < (1<<len(items))-1; mask++ {
+		var ante, cons Itemset
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				ante = append(ante, it)
+			} else {
+				cons = append(cons, it)
+			}
+		}
+		if o.SingleConsequent && len(cons) != 1 {
+			continue
+		}
+		anteCount := counts[itemsetKey(ante)]
+		consCount := counts[itemsetKey(cons)]
+		if anteCount == 0 || consCount == 0 {
+			// Both subsets of a frequent set are frequent (a-priori
+			// property), so this indicates an internal inconsistency.
+			continue
+		}
+		conf := float64(c.Count) / float64(anteCount)
+		if conf < o.MinConfidence {
+			continue
+		}
+		baseRate := float64(consCount) / float64(n)
+		interest := 0.0
+		if baseRate > 0 {
+			interest = conf / baseRate
+		}
+		out = append(out, Rule{
+			Antecedent: ante, Consequent: cons,
+			Support: c.Count, Confidence: conf, Interest: interest,
+		})
+	}
+	return out
+}
+
+func lessItemsets(a, b Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// RulesRelation renders rules as a relation (Antecedent, Consequent,
+// Support, Confidence, Interest) for CSV export or display, with itemsets
+// rendered as space-joined item values.
+func RulesRelation(d *Dataset, rules []Rule) *storage.Relation {
+	rel := storage.NewRelation("rules", "Antecedent", "Consequent", "Support", "Confidence", "Interest")
+	join := func(items Itemset) storage.Value {
+		vals := make([]string, len(items))
+		for i, it := range items {
+			vals[i] = d.Value(it).String()
+		}
+		return storage.Str(strings.Join(vals, " "))
+	}
+	for _, r := range rules {
+		rel.Insert(storage.Tuple{
+			join(r.Antecedent), join(r.Consequent),
+			storage.Int(int64(r.Support)),
+			storage.Float(r.Confidence),
+			storage.Float(r.Interest),
+		})
+	}
+	return rel
+}

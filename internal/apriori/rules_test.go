@@ -1,0 +1,167 @@
+package apriori
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// beerDiapers builds the §1.1 classic: diapers-buyers usually buy beer,
+// while beer is bought broadly.
+func beerDiapers(t *testing.T) *Dataset {
+	t.Helper()
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	bid := int64(0)
+	add := func(n int, items ...string) {
+		for i := 0; i < n; i++ {
+			bid++
+			for _, it := range items {
+				rel.InsertValues(storage.Int(bid), storage.Str(it))
+			}
+		}
+	}
+	add(8, "beer", "diapers") // joint buyers
+	add(2, "diapers")         // diapers alone
+	add(10, "beer")           // beer alone
+	add(20, "milk")           // unrelated bulk
+	d, err := FromBaskets(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRulesBeerDiapers(t *testing.T) {
+	d := beerDiapers(t)
+	rules := Rules(d, 5, &RuleOptions{SingleConsequent: true})
+	var d2b, b2d *Rule
+	for i := range rules {
+		r := &rules[i]
+		if len(r.Antecedent) != 1 {
+			continue
+		}
+		a := d.Value(r.Antecedent[0]).String()
+		c := d.Value(r.Consequent[0]).String()
+		switch {
+		case a == "diapers" && c == "beer":
+			d2b = r
+		case a == "beer" && c == "diapers":
+			b2d = r
+		}
+	}
+	if d2b == nil || b2d == nil {
+		t.Fatalf("missing classic rules; got %d rules", len(rules))
+	}
+	// diapers -> beer: 8/10 = 0.8; beer -> diapers: 8/18 ≈ 0.44.
+	if math.Abs(d2b.Confidence-0.8) > 1e-9 {
+		t.Errorf("diapers->beer confidence = %g", d2b.Confidence)
+	}
+	if math.Abs(b2d.Confidence-8.0/18.0) > 1e-9 {
+		t.Errorf("beer->diapers confidence = %g", b2d.Confidence)
+	}
+	// Interest (lift) is symmetric: conf/baseRate = jointN/(anteN*consN/N).
+	wantLift := (8.0 / 40.0) / ((18.0 / 40.0) * (10.0 / 40.0))
+	if math.Abs(d2b.Interest-wantLift) > 1e-9 || math.Abs(b2d.Interest-wantLift) > 1e-9 {
+		t.Errorf("lift = %g / %g, want %g", d2b.Interest, b2d.Interest, wantLift)
+	}
+	if wantLift < 1.5 {
+		t.Fatalf("test data should make the association interesting; lift %g", wantLift)
+	}
+	// Support of both rules is the joint count.
+	if d2b.Support != 8 || b2d.Support != 8 {
+		t.Errorf("supports = %d, %d", d2b.Support, b2d.Support)
+	}
+	// Rendering mentions everything.
+	s := d2b.Render(d)
+	for _, want := range []string{"diapers", "beer", "support 8", "confidence 0.80"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered rule %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRulesMinConfidence(t *testing.T) {
+	d := beerDiapers(t)
+	all := Rules(d, 5, &RuleOptions{SingleConsequent: true})
+	strict := Rules(d, 5, &RuleOptions{SingleConsequent: true, MinConfidence: 0.75})
+	if len(strict) >= len(all) {
+		t.Errorf("min confidence did not filter: %d vs %d", len(strict), len(all))
+	}
+	for _, r := range strict {
+		if r.Confidence < 0.75 {
+			t.Errorf("rule below cutoff: %s", r.Render(d))
+		}
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	d := beerDiapers(t)
+	rules := Rules(d, 5, nil)
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].Confidence < rules[i].Confidence {
+			t.Fatal("rules not sorted by confidence")
+		}
+	}
+}
+
+// TestRulesProperties checks the measure invariants on random data:
+// confidence in (0,1], joint support <= antecedent support, and the split
+// count: a frequent k-set yields 2^k - 2 rules (all splits).
+func TestRulesProperties(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 400, Items: 12, MeanSize: 5, Skew: 0.6, Seed: 19,
+	})
+	d, err := FromBaskets(db.MustRelation("baskets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const support = 10
+	rules := Rules(d, support, nil)
+	if len(rules) == 0 {
+		t.Fatal("expected some rules")
+	}
+	levels := Frequent(d, support, 0)
+	counts := make(map[string]int)
+	nSets := 0
+	for k, level := range levels {
+		for _, c := range level {
+			counts[itemsetKey(c.Items)] = c.Count
+			if k >= 1 {
+				nSets += (1 << len(c.Items)) - 2
+			}
+		}
+	}
+	if len(rules) != nSets {
+		t.Errorf("rule count %d, want %d (all splits of all frequent sets)", len(rules), nSets)
+	}
+	for _, r := range rules {
+		if r.Confidence <= 0 || r.Confidence > 1+1e-12 {
+			t.Fatalf("confidence out of range: %s", r.Render(d))
+		}
+		if r.Support < support {
+			t.Fatalf("support below floor: %s", r.Render(d))
+		}
+		anteCount := counts[itemsetKey(r.Antecedent)]
+		if r.Support > anteCount {
+			t.Fatalf("joint support exceeds antecedent support: %s", r.Render(d))
+		}
+		if r.Interest < 0 {
+			t.Fatalf("negative interest: %s", r.Render(d))
+		}
+	}
+}
+
+func TestRulesRelation(t *testing.T) {
+	d := beerDiapers(t)
+	rules := Rules(d, 5, &RuleOptions{SingleConsequent: true})
+	rel := RulesRelation(d, rules)
+	if rel.Len() != len(rules) {
+		t.Errorf("relation rows = %d, want %d", rel.Len(), len(rules))
+	}
+	if rel.Arity() != 5 {
+		t.Errorf("arity = %d", rel.Arity())
+	}
+}

@@ -1,0 +1,106 @@
+package apriori
+
+import "sort"
+
+// SETM implements the set-oriented mining algorithm of [HS95] ("Set-
+// oriented mining of association rules", Houtsma & Swami), the SQL-styled
+// comparator the paper's §1.3 discussion builds on. Where a-priori counts
+// candidates against transactions, SETM carries the (transaction, itemset)
+// pairs themselves between levels: level k+1 joins the level-k pairs with
+// the level-1 pairs on the transaction ID, extending each itemset with a
+// strictly larger item, then filters itemsets by support. The result is
+// identical to Frequent's levels; the cost profile differs (SETM
+// materializes every qualifying occurrence, which is exactly what a
+// relational engine executing it as SQL would do).
+func SETM(d *Dataset, minSupport, maxK int) [][]Counted {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// R1: per-transaction single items, filtered by support.
+	type occurrence struct {
+		tx   int
+		last int // largest (and most recently added) item
+	}
+	counts := make(map[int]int)
+	for _, tx := range d.Txs {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	frequent1 := make(map[int]bool)
+	var l1 []Counted
+	for it, c := range counts {
+		if c >= minSupport {
+			frequent1[it] = true
+			l1 = append(l1, Counted{Items: Itemset{it}, Count: c})
+		}
+	}
+	sortLevel(l1)
+	levels := [][]Counted{l1}
+
+	// Occurrences are grouped by itemset key so level filtering and the
+	// per-level output share one map.
+	type group struct {
+		items Itemset
+		occ   []occurrence
+	}
+	cur := make(map[string]*group)
+	for txID, tx := range d.Txs {
+		for _, it := range tx {
+			if !frequent1[it] {
+				continue
+			}
+			key := itemsetKey([]int{it})
+			g, ok := cur[key]
+			if !ok {
+				g = &group{items: Itemset{it}}
+				cur[key] = g
+			}
+			g.occ = append(g.occ, occurrence{tx: txID, last: it})
+		}
+	}
+
+	for k := 2; maxK == 0 || k <= maxK; k++ {
+		next := make(map[string]*group)
+		buf := make(Itemset, k)
+		for _, g := range cur {
+			for _, o := range g.occ {
+				// Join with the transaction's frequent items larger than
+				// the occurrence's last item.
+				tx := d.Txs[o.tx]
+				i := sort.SearchInts(tx, o.last+1)
+				for ; i < len(tx); i++ {
+					it := tx[i]
+					if !frequent1[it] {
+						continue
+					}
+					copy(buf, g.items)
+					buf[k-1] = it
+					key := itemsetKey(buf)
+					ng, ok := next[key]
+					if !ok {
+						items := make(Itemset, k)
+						copy(items, buf)
+						ng = &group{items: items}
+						next[key] = ng
+					}
+					ng.occ = append(ng.occ, occurrence{tx: o.tx, last: it})
+				}
+			}
+		}
+		var level []Counted
+		cur = make(map[string]*group)
+		for key, g := range next {
+			if len(g.occ) >= minSupport {
+				level = append(level, Counted{Items: g.items, Count: len(g.occ)})
+				cur[key] = g
+			}
+		}
+		if len(level) == 0 {
+			break
+		}
+		sortLevel(level)
+		levels = append(levels, level)
+	}
+	return levels
+}

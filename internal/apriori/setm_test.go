@@ -1,0 +1,96 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryflocks/internal/workload"
+)
+
+func TestSETMMatchesAprioriRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		db := workload.Baskets(workload.BasketConfig{
+			Baskets:  100 + rng.Intn(400),
+			Items:    8 + rng.Intn(20),
+			MeanSize: 3 + rng.Intn(4),
+			Skew:     rng.Float64(),
+			Seed:     rng.Int63(),
+		})
+		d, err := FromBaskets(db.MustRelation("baskets"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		support := 3 + rng.Intn(6)
+		want := Frequent(d, support, 0)
+		got := SETM(d, support, 0)
+
+		// Frequent may end with a trailing empty level; trim both.
+		trim := func(levels [][]Counted) [][]Counted {
+			for len(levels) > 0 && len(levels[len(levels)-1]) == 0 {
+				levels = levels[:len(levels)-1]
+			}
+			return levels
+		}
+		want, got = trim(want), trim(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d support %d: SETM %d levels, apriori %d", trial, support, len(got), len(want))
+		}
+		for k := range want {
+			if len(got[k]) != len(want[k]) {
+				t.Fatalf("trial %d level %d: SETM %d sets, apriori %d", trial, k+1, len(got[k]), len(want[k]))
+			}
+			for i := range want[k] {
+				if itemsetKey(got[k][i].Items) != itemsetKey(want[k][i].Items) ||
+					got[k][i].Count != want[k][i].Count {
+					t.Fatalf("trial %d level %d entry %d: %v vs %v", trial, k+1, i, got[k][i], want[k][i])
+				}
+			}
+		}
+	}
+}
+
+func TestSETMMaxK(t *testing.T) {
+	d := tinyDataset(t)
+	levels := SETM(d, 2, 1)
+	if len(levels) != 1 {
+		t.Errorf("maxK=1: %d levels", len(levels))
+	}
+	all := SETM(d, 2, 0)
+	if len(all) < 2 {
+		t.Fatalf("unbounded: %d levels", len(all))
+	}
+	if all[1][0].Count != 2 {
+		t.Errorf("beer+diapers count = %d", all[1][0].Count)
+	}
+}
+
+func BenchmarkSETM(b *testing.B) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 3_000, Items: 300, MeanSize: 8, Skew: 1.1, Seed: 10,
+	})
+	d, err := FromBaskets(db.MustRelation("baskets"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SETM(d, 30, 0)
+	}
+}
+
+func BenchmarkAprioriSameWorkload(b *testing.B) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 3_000, Items: 300, MeanSize: 8, Skew: 1.1, Seed: 10,
+	})
+	d, err := FromBaskets(db.MustRelation("baskets"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Frequent(d, 30, 0)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/storage"
+)
+
+// This file implements the direct evaluator: materialize the "extended
+// answer" — the distinct (parameters..., head...) tuples of the
+// parametrized query — then group by the parameter prefix and apply the
+// filter to each group. This computes the flock's meaning in one pass and
+// is the workhorse that FILTER steps and full plans are built from.
+
+// EvalOptions configures flock evaluation.
+type EvalOptions struct {
+	// Order is the join-order strategy for the underlying engine.
+	Order eval.OrderStrategy
+	// Trace, when non-nil, records engine steps and group statistics.
+	Trace *eval.Trace
+	// Parallel evaluates union branches concurrently.
+	Parallel bool
+}
+
+func (o *EvalOptions) evalOpts() *eval.Options {
+	if o == nil {
+		return nil
+	}
+	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel}
+}
+
+// Eval computes the flock's answer over db using the direct group-by
+// strategy. The result has one column per parameter (see ParamColumns) and
+// one tuple per accepted assignment. Views, if any, are materialized
+// first.
+func (f *Flock) Eval(db *storage.Database, opts *EvalOptions) (*storage.Relation, error) {
+	mat, err := f.MaterializeViews(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return evalFiltered(mat, f.Params, f.Query, f.Filter, "flock", opts)
+}
+
+// evalFiltered evaluates one FILTER computation (§4.1): the set of
+// param-tuples whose query result passes the filter. It is shared by the
+// direct evaluator (whole flock) and the plan executor (each step).
+func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Union,
+	filter Filter, name string, opts *EvalOptions) (*storage.Relation, error) {
+
+	if filter.PassesEmpty() {
+		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
+	}
+	ext, err := eval.EvalUnion(db, query, func(r *datalog.Rule) []datalog.Term {
+		return extendedOut(params, r)
+	}, opts.evalOpts())
+	if err != nil {
+		return nil, err
+	}
+	res := GroupAndFilter(ext, len(params), filter, name)
+	if opts != nil && opts.Trace != nil {
+		opts.Trace.Add(fmt.Sprintf("filter %s [%s]", name, filter), res.Len())
+	}
+	return res, nil
+}
+
+// GroupAndFilter groups an extended-answer relation by its first nParams
+// columns, applies the filter to each group's head tuples, and returns the
+// passing parameter tuples. Monotone filters short-circuit per group.
+func GroupAndFilter(ext *storage.Relation, nParams int, filter Filter, name string) *storage.Relation {
+	paramPos := make([]int, nParams)
+	for i := range paramPos {
+		paramPos[i] = i
+	}
+	headPos := make([]int, ext.Arity()-nParams)
+	for i := range headPos {
+		headPos[i] = nParams + i
+	}
+	out := storage.NewRelation(name, ext.Columns()[:nParams]...)
+
+	type group struct {
+		params storage.Tuple
+		acc    GroupAcc
+		done   bool
+	}
+	groups := make(map[string]*group)
+	for _, t := range ext.Tuples() {
+		key := t.KeyOn(paramPos)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{params: t.Project(paramPos), acc: filter.NewGroup()}
+			groups[key] = g
+		}
+		if g.done {
+			continue
+		}
+		g.acc.Add(t.Project(headPos))
+		if g.acc.Done() {
+			g.done = true
+		}
+	}
+	for _, g := range groups {
+		if g.acc.Passes() {
+			out.Insert(g.params)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// tinyBaskets builds the beer/diapers database used by the examples.
+func tinyBaskets() *storage.Database {
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	for bid, items := range map[int64][]string{
+		1: {"beer", "diapers", "relish"},
+		2: {"beer", "diapers"},
+		3: {"beer"},
+	} {
+		for _, it := range items {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	db := storage.NewDatabase()
+	db.Add(rel)
+	return db
+}
+
+// The Fig. 2 market-basket flock, evaluated directly.
+func ExampleFlock_Eval() {
+	flock := core.MustParse(`
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 2`)
+
+	answer, err := flock.Eval(tinyBaskets(), nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range answer.Sorted() {
+		fmt.Printf("%v appears with %v\n", t[0], t[1])
+	}
+	// Output:
+	// beer appears with diapers
+}
+
+// Enumerating the candidate pre-filter subqueries of §3 for the medical
+// flock of Fig. 3 (Example 3.2's eight safe subqueries).
+func ExampleEnumerateSubqueries() {
+	flock := core.MustParse(`
+QUERY:
+answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= 20`)
+
+	subs := core.EnumerateSubqueries(flock.Query[0])
+	fmt.Println(len(subs), "safe subqueries; the smallest:")
+	for _, s := range subs[:2] {
+		fmt.Println(" ", s)
+	}
+	// Output:
+	// 8 safe subqueries; the smallest:
+	//   answer(P) :- exhibits(P,$s)
+	//   answer(P) :- treatments(P,$m)
+}
+
+// Building and executing a Fig. 5-style plan by hand: one pre-filter step
+// for $1, then the mandatory final step.
+func ExampleNewPlan() {
+	flock := core.MustParse(`
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 2`)
+
+	sub, _ := core.MinimalSubqueryForParams(flock.Query[0], []datalog.Param{"1"})
+	step := core.FilterStep{
+		Name:   "ok1",
+		Params: []datalog.Param{"1"},
+		Query:  datalog.Union{sub.Rule},
+	}
+	plan, err := core.NewPlan(flock, []core.FilterStep{step, core.FinalStep(flock, "ok", step)})
+	if err != nil {
+		panic(err)
+	}
+	res, err := plan.Execute(tinyBaskets(), nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Steps {
+		fmt.Printf("%s: %d survivors\n", s.Name, s.Rows)
+	}
+	// Output:
+	// ok1: 2 survivors
+	// ok: 1 survivors
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// Flock is a query flock (§2): a parametrized query — a union of extended
+// conjunctive queries over parameters $p1..$pk — plus a filter condition.
+// The flock's answer is the set of parameter assignments (tuples over the
+// parameters, in Params order) for which the instantiated query's result
+// satisfies the filter.
+type Flock struct {
+	// Params lists the flock's parameters in sorted order; answer relations
+	// use one column per parameter, named "$<param>".
+	Params []datalog.Param
+	// Query is the parametrized query; all rules share head predicate and
+	// arity.
+	Query datalog.Union
+	// Filter is the resolved filter condition.
+	Filter Filter
+	// Views are optional intermediate predicates (§2.2's extension),
+	// materialized before the query runs. See views.go.
+	Views []*datalog.Rule
+}
+
+// New validates and builds a flock from a query and a parsed filter.
+// Requirements beyond rule safety (§3.2–§3.3):
+//
+//   - parameters may not appear in rule heads (a flock is "a query about
+//     its parameters"; the head describes the per-assignment result);
+//   - every rule must be safe;
+//   - every parameter must appear in a positive relational subgoal of
+//     every rule — otherwise some rule leaves the parameter unconstrained
+//     and the flock's answer is infinite;
+//   - the filter target must resolve against the head.
+func New(query datalog.Union, spec datalog.FilterSpec) (*Flock, error) {
+	return NewWithViews(nil, query, spec)
+}
+
+// NewWithViews is New with intermediate predicates (§2.2's extension):
+// parameter-free, non-recursive rules defining derived relations the query
+// may reference. Views are validated here and materialized at evaluation
+// time.
+func NewWithViews(views []*datalog.Rule, query datalog.Union, spec datalog.FilterSpec) (*Flock, error) {
+	if err := query.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateViews(views); err != nil {
+		return nil, err
+	}
+	params := query.Params()
+	if len(params) == 0 {
+		return nil, fmt.Errorf("core: flock query has no parameters")
+	}
+	for _, r := range query {
+		if hp := r.HeadParams(); len(hp) > 0 {
+			return nil, fmt.Errorf("core: parameter %s appears in the head of %s", hp[0], r.Head)
+		}
+		if vs := datalog.CheckSafety(r); len(vs) > 0 {
+			return nil, fmt.Errorf("core: rule %s is unsafe: %v", r, vs[0])
+		}
+		positive := make(map[datalog.Param]bool)
+		for _, a := range r.PositiveAtoms() {
+			for _, t := range a.Args {
+				if p, ok := t.(datalog.Param); ok {
+					positive[p] = true
+				}
+			}
+		}
+		for _, p := range params {
+			if !positive[p] {
+				return nil, fmt.Errorf("core: parameter %s does not appear in a positive subgoal of rule %s", p, r)
+			}
+		}
+	}
+	filter, err := NewFilter(spec, query[0].Head)
+	if err != nil {
+		return nil, err
+	}
+	return &Flock{Params: params, Query: query, Filter: filter, Views: views}, nil
+}
+
+// Parse builds a flock from the paper's QUERY:/FILTER: notation (Fig. 2).
+func Parse(src string) (*Flock, error) {
+	fs, err := datalog.ParseFlock(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithViews(fs.Views, fs.Query, fs.Filter)
+}
+
+// MustParse is Parse panicking on error, for tests and examples with
+// literal sources.
+func MustParse(src string) *Flock {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// String renders the flock in the paper's notation.
+func (f *Flock) String() string {
+	var b strings.Builder
+	if len(f.Views) > 0 {
+		b.WriteString("VIEWS:\n")
+		for _, v := range f.Views {
+			fmt.Fprintf(&b, "%s\n", v)
+		}
+	}
+	b.WriteString("QUERY:\n")
+	for _, r := range f.Query {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	b.WriteString("FILTER:\n")
+	b.WriteString(f.Filter.String())
+	return b.String()
+}
+
+// ParamColumns returns the answer-relation column names, one per parameter.
+func (f *Flock) ParamColumns() []string {
+	out := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = "$" + string(p)
+	}
+	return out
+}
+
+// paramTerms returns the parameters as projection terms.
+func paramTerms(params []datalog.Param) []datalog.Term {
+	out := make([]datalog.Term, len(params))
+	for i, p := range params {
+		out[i] = p
+	}
+	return out
+}
+
+// extendedOut returns the projection (params..., head args...) for a rule —
+// the "extended answer" whose grouping by parameters yields each
+// assignment's query result.
+func extendedOut(params []datalog.Param, r *datalog.Rule) []datalog.Term {
+	out := paramTerms(params)
+	return append(out, r.Head.Args...)
+}
+
+// BaseRelations returns the names of the stored relations the flock
+// queries, sorted and deduplicated.
+func (f *Flock) BaseRelations() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, r := range f.Query {
+		for _, p := range r.Predicates() {
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// CheckDatabase verifies that every relation the flock references exists
+// in db with a compatible arity, returning the first problem found.
+// Predicates defined by the flock's views are checked structurally (their
+// bodies must resolve) rather than against db, since they materialize at
+// evaluation time.
+func (f *Flock) CheckDatabase(db *storage.Database) error {
+	views := f.viewPredicates()
+	viewArity := make(map[string]int, len(f.Views))
+	for _, v := range f.Views {
+		viewArity[v.Head.Pred] = len(v.Head.Args)
+	}
+	check := func(r *datalog.Rule) error {
+		for _, sg := range r.Body {
+			a, ok := sg.(*datalog.Atom)
+			if !ok {
+				continue
+			}
+			if views[a.Pred] {
+				if viewArity[a.Pred] != len(a.Args) {
+					return fmt.Errorf("core: atom %s has %d arguments but view %s has %d",
+						a, len(a.Args), a.Pred, viewArity[a.Pred])
+				}
+				continue
+			}
+			rel, err := db.Relation(a.Pred)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			if rel.Arity() != len(a.Args) {
+				return fmt.Errorf("core: atom %s has %d arguments but relation %s has %d columns",
+					a, len(a.Args), a.Pred, rel.Arity())
+			}
+		}
+		return nil
+	}
+	for _, v := range f.Views {
+		if err := check(v); err != nil {
+			return err
+		}
+	}
+	for _, r := range f.Query {
+		if err := check(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"queryflocks/internal/datalog"
+)
+
+// This file implements query plans as sequences of FILTER steps (§4.1) and
+// the legality rule of §4.2 that characterizes when such a plan is
+// equivalent to its query flock.
+
+// FilterStep is one step of a query plan:
+//
+//	R(P) := FILTER(P, Q, C)
+//
+// creating relation Name over the parameter set Params, holding the
+// parameter assignments for which query Q's result satisfies the flock's
+// filter condition. (By legality rule 1 every step uses the flock's own
+// filter, so the condition is not stored per step.)
+type FilterStep struct {
+	// Name is the relation the step defines, e.g. "okS".
+	Name string
+	// Params is the step's parameter list, in declared order.
+	Params []datalog.Param
+	// Query is the step's query: per-rule subqueries of the flock's query,
+	// possibly extended with subgoals referencing earlier steps.
+	Query datalog.Union
+}
+
+// String renders the step in the paper's notation (Fig. 5). The filter
+// condition is supplied by the owning plan.
+func (s FilterStep) render(filter Filter) string {
+	var b strings.Builder
+	params := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		params[i] = p.String()
+	}
+	plist := strings.Join(params, ",")
+	if len(s.Params) > 1 {
+		plist = "(" + plist + ")"
+	}
+	fmt.Fprintf(&b, "%s(%s) := FILTER(%s,\n", s.Name, strings.Join(params, ","), plist)
+	for _, r := range s.Query {
+		fmt.Fprintf(&b, "    %s,\n", r)
+	}
+	fmt.Fprintf(&b, "    %s\n);", filter)
+	return b.String()
+}
+
+// Plan is a legal sequence of FILTER steps computing a flock's answer;
+// the final step's relation is the answer (§4.2).
+type Plan struct {
+	Flock *Flock
+	Steps []FilterStep
+}
+
+// NewPlan builds and validates a plan for the flock.
+func NewPlan(f *Flock, steps []FilterStep) (*Plan, error) {
+	p := &Plan{Flock: f, Steps: steps}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TrivialPlan returns the single-step plan that evaluates the flock
+// directly — the baseline every optimized plan is compared against.
+func TrivialPlan(f *Flock) *Plan {
+	return &Plan{Flock: f, Steps: []FilterStep{{Name: "ok", Params: f.Params, Query: f.Query}}}
+}
+
+// String renders the whole plan in the paper's notation.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.render(p.Flock.Filter)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Validate checks the §4.2 legality rule ("Rule for Generating Query Plans
+// for Conjunctive Query Flocks with Support-Type Filter Conditions"):
+//
+//  1. every step uses the flock's filter condition (structural here: steps
+//     carry no filter of their own, and the filter must be monotone
+//     support-type for the subquery bound to be sound);
+//  2. every step defines a uniquely named relation (also distinct from the
+//     flock's base relations);
+//  3. every step derives from the flock's query by adding subgoals that
+//     literally copy the left sides of previous steps and then deleting
+//     subgoals while preserving safety — checked per union member,
+//     positionally (rule i of a step derives from rule i of the flock);
+//  4. the final step deletes no original subgoal and its parameters are
+//     exactly the flock's.
+func (p *Plan) Validate() error {
+	if p.Flock == nil {
+		return fmt.Errorf("core: plan has no flock")
+	}
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("core: plan has no steps")
+	}
+	if !p.Flock.Filter.Monotone() {
+		return fmt.Errorf("core: plan requires a monotone support-type filter; %s is not", p.Flock.Filter)
+	}
+	base := make(map[string]bool)
+	for _, b := range p.Flock.BaseRelations() {
+		base[b] = true
+	}
+	prior := make(map[string][]datalog.Param) // step name -> params
+	for si, step := range p.Steps {
+		if step.Name == "" {
+			return fmt.Errorf("core: step %d has no name", si)
+		}
+		if base[step.Name] {
+			return fmt.Errorf("core: step %q collides with a base relation", step.Name)
+		}
+		if _, dup := prior[step.Name]; dup {
+			return fmt.Errorf("core: step %q defined twice", step.Name)
+		}
+		if err := p.validateStep(si, step, prior); err != nil {
+			return err
+		}
+		prior[step.Name] = step.Params
+	}
+	// Rule 4: the final step retains every original subgoal and restricts
+	// exactly the flock's parameters.
+	last := p.Steps[len(p.Steps)-1]
+	if paramKey(last.Params) != paramKey(p.Flock.Params) {
+		return fmt.Errorf("core: final step %q has parameters %v, want the flock's %v",
+			last.Name, last.Params, p.Flock.Params)
+	}
+	for ri, r := range last.Query {
+		orig := p.Flock.Query[ri]
+		rest := stripStepRefs(r, prior)
+		if len(rest.Body) != len(orig.Body) {
+			return fmt.Errorf("core: final step %q deletes subgoals of rule %d (%d kept of %d)",
+				last.Name, ri, len(rest.Body), len(orig.Body))
+		}
+	}
+	return nil
+}
+
+// validateStep checks rules 2–3 for one step.
+func (p *Plan) validateStep(si int, step FilterStep, prior map[string][]datalog.Param) error {
+	if len(step.Query) != len(p.Flock.Query) {
+		return fmt.Errorf("core: step %q has %d rules, flock has %d", step.Name, len(step.Query), len(p.Flock.Query))
+	}
+	// The step's parameter set must match the parameters its query uses.
+	if got, want := paramKey(step.Query.Params()), paramKey(step.Params); got != want {
+		return fmt.Errorf("core: step %q declares parameters %v but its query uses %s",
+			step.Name, step.Params, got)
+	}
+	for ri, r := range step.Query {
+		orig := p.Flock.Query[ri]
+		if r.Head.Pred != orig.Head.Pred || len(r.Head.Args) != len(orig.Head.Args) {
+			return fmt.Errorf("core: step %q rule %d changes the head: %s", step.Name, ri, r.Head)
+		}
+		// Added subgoals must copy prior steps' left sides — either
+		// literally (§4.2 rule 3b) or under a parameter renaming that
+		// exploits symmetry (§3.1's "exploitation of their equivalence",
+		// e.g. the single item filter applied to both $1 and $2 of the
+		// market-basket flock). A renamed reference is legal only when the
+		// referenced step's defining subquery, renamed the same way, is
+		// still a subquery of this flock rule.
+		for _, sg := range r.Body {
+			a, ok := sg.(*datalog.Atom)
+			if !ok {
+				continue
+			}
+			params, isStep := prior[a.Pred]
+			if !isStep {
+				continue
+			}
+			if a.Negated {
+				return fmt.Errorf("core: step %q rule %d negates step relation %s", step.Name, ri, a.Pred)
+			}
+			if len(a.Args) != len(params) {
+				return fmt.Errorf("core: step %q rule %d: %s has %d args, step %q has %d parameters",
+					step.Name, ri, a, len(a.Args), a.Pred, len(params))
+			}
+			if err := p.validateStepRef(a, ri, prior); err != nil {
+				return fmt.Errorf("core: step %q rule %d: %w", step.Name, ri, err)
+			}
+		}
+		// After removing step references, what remains must be a subset of
+		// the original rule's subgoals.
+		rest := stripStepRefs(r, prior)
+		if !datalog.IsSubgoalSubset(rest, orig) {
+			return fmt.Errorf("core: step %q rule %d is not derived from the flock rule by deleting subgoals:\n  step: %s\n  flock: %s",
+				step.Name, ri, r, orig)
+		}
+		// Deletions must preserve safety (§4.2 rule 3c). Step references
+		// count as positive subgoals, so check the rule as written.
+		if vs := datalog.CheckSafety(r); len(vs) > 0 {
+			return fmt.Errorf("core: step %q rule %d is unsafe: %v", step.Name, ri, vs[0])
+		}
+	}
+	return nil
+}
+
+// stripStepRefs returns r without atoms referencing plan-step relations.
+func stripStepRefs(r *datalog.Rule, steps map[string][]datalog.Param) *datalog.Rule {
+	stripped, _ := partitionStepRefs(r, steps)
+	return stripped
+}
+
+// partitionStepRefs splits r into its base-subgoal part and its step-
+// reference atoms.
+func partitionStepRefs(r *datalog.Rule, steps map[string][]datalog.Param) (*datalog.Rule, []*datalog.Atom) {
+	var drop []int
+	var refs []*datalog.Atom
+	for i, sg := range r.Body {
+		if a, ok := sg.(*datalog.Atom); ok {
+			if _, isStep := steps[a.Pred]; isStep {
+				drop = append(drop, i)
+				refs = append(refs, a)
+			}
+		}
+	}
+	return r.DeleteSubgoals(drop...), refs
+}
+
+// validateStepRef checks one reference atom a (whose predicate is a prior
+// step) appearing in some rule of a later step. A literal reference
+// (arguments equal to the step's parameters) is always legal. A renamed
+// reference — the §3.1 symmetry exploitation, e.g. referencing the single
+// item-filter step as both ok($1) and ok($2) — is legal when renaming the
+// referenced step's query the same way still yields a bound on the flock:
+// each renamed rule must remain a subgoal subset of the corresponding
+// flock rule, recursively through that step's own references. The
+// renaming must be injective so the renamed query's survivor set equals
+// the step's stored relation.
+func (p *Plan) validateStepRef(a *datalog.Atom, ri int, prior map[string][]datalog.Param) error {
+	params := prior[a.Pred]
+	sigma := make(map[datalog.Param]datalog.Param, len(params))
+	literal := true
+	for i, t := range a.Args {
+		pv, isParam := t.(datalog.Param)
+		if !isParam {
+			return fmt.Errorf("%s: argument %d must be a parameter", a, i)
+		}
+		sigma[params[i]] = pv
+		if pv != params[i] {
+			literal = false
+		}
+	}
+	if literal {
+		return nil
+	}
+	if len(sigmaRange(sigma)) != len(sigma) {
+		return fmt.Errorf("%s: renaming of %s(%v) must be injective", a, a.Pred, params)
+	}
+	return p.checkRenamedBound(a.Pred, sigma, prior, make(map[string]bool))
+}
+
+func sigmaRange(sigma map[datalog.Param]datalog.Param) map[datalog.Param]bool {
+	out := make(map[datalog.Param]bool, len(sigma))
+	for _, q := range sigma {
+		out[q] = true
+	}
+	return out
+}
+
+// checkRenamedBound verifies that the named step's query, renamed by
+// sigma, bounds the flock (rule-by-rule, positionally).
+func (p *Plan) checkRenamedBound(name string, sigma map[datalog.Param]datalog.Param, prior map[string][]datalog.Param, visiting map[string]bool) error {
+	if visiting[name] {
+		return fmt.Errorf("cyclic reference through step %q", name)
+	}
+	visiting[name] = true
+	defer delete(visiting, name)
+
+	var step *FilterStep
+	for i := range p.Steps {
+		if p.Steps[i].Name == name {
+			step = &p.Steps[i]
+			break
+		}
+	}
+	if step == nil {
+		return fmt.Errorf("unknown step %q", name)
+	}
+	for ri, r := range step.Query {
+		renamed := r.RenameParams(sigma)
+		stripped, refs := partitionStepRefs(renamed, prior)
+		if !datalog.IsSubgoalSubset(stripped, p.Flock.Query[ri]) {
+			return fmt.Errorf("renamed reference to %q is not a subquery of flock rule %d: %s",
+				name, ri, stripped)
+		}
+		for _, b := range refs {
+			innerParams, ok := prior[b.Pred]
+			if !ok {
+				return fmt.Errorf("unknown inner step %q", b.Pred)
+			}
+			inner := make(map[datalog.Param]datalog.Param, len(innerParams))
+			for i, t := range b.Args {
+				pv, isParam := t.(datalog.Param)
+				if !isParam {
+					return fmt.Errorf("%s: inner argument %d must be a parameter", b, i)
+				}
+				inner[innerParams[i]] = pv
+			}
+			if len(sigmaRange(inner)) != len(inner) {
+				return fmt.Errorf("%s: renaming must be injective", b)
+			}
+			if err := p.checkRenamedBound(b.Pred, inner, prior, visiting); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PlanFromSpec converts a parsed plan (Fig. 5 notation) into a validated
+// Plan for the flock. Per legality rule 1, every step's written filter
+// must equal the flock's.
+func PlanFromSpec(f *Flock, spec *datalog.PlanSpec) (*Plan, error) {
+	steps := make([]FilterStep, len(spec.Steps))
+	for i, s := range spec.Steps {
+		if s.Filter != f.Filter.Spec() {
+			return nil, fmt.Errorf("core: step %q filter %s differs from the flock's %s (legality rule 1)",
+				s.Name, s.Filter, f.Filter)
+		}
+		steps[i] = FilterStep{Name: s.Name, Params: s.Params, Query: s.Query}
+	}
+	return NewPlan(f, steps)
+}
+
+// WithStepRefs returns a copy of the union with atoms referencing the
+// given steps appended to every rule — the "add in zero or more subgoals
+// that are copies of the left side ... of some previous filter step"
+// operation (§4.2 rule 3b).
+func WithStepRefs(u datalog.Union, steps ...FilterStep) datalog.Union {
+	out := make(datalog.Union, len(u))
+	for i, r := range u {
+		c := r.Clone()
+		refs := make([]datalog.Subgoal, 0, len(steps))
+		for _, s := range steps {
+			args := make([]datalog.Term, len(s.Params))
+			for j, p := range s.Params {
+				args[j] = p
+			}
+			refs = append(refs, datalog.NewAtom(s.Name, args...))
+		}
+		c.Body = append(refs, c.Body...)
+		out[i] = c
+	}
+	return out
+}
+
+// FinalStep builds the plan's last step: the flock's full query extended
+// with references to the given prior steps.
+func FinalStep(f *Flock, name string, refs ...FilterStep) FilterStep {
+	return FilterStep{Name: name, Params: f.Params, Query: WithStepRefs(f.Query, refs...)}
+}
+
+// StepRef is a reference to a prior step under an explicit argument list,
+// enabling the §3.1 symmetry exploitation: the same step relation can
+// filter several parameters (e.g. the single item filter applied as both
+// ok($1) and ok($2) in the market-basket plan).
+type StepRef struct {
+	// Step is the referenced prior step.
+	Step FilterStep
+	// Args are the parameters to reference it with; nil means the step's
+	// own parameters (a literal reference).
+	Args []datalog.Param
+}
+
+// Atom renders the reference as a subgoal.
+func (r StepRef) Atom() *datalog.Atom {
+	args := r.Args
+	if args == nil {
+		args = r.Step.Params
+	}
+	terms := make([]datalog.Term, len(args))
+	for i, p := range args {
+		terms[i] = p
+	}
+	return datalog.NewAtom(r.Step.Name, terms...)
+}
+
+// WithRefAtoms returns a copy of the union with the given step references
+// prepended to every rule. Like WithStepRefs but allowing renamed
+// references.
+func WithRefAtoms(u datalog.Union, refs ...StepRef) datalog.Union {
+	out := make(datalog.Union, len(u))
+	for i, r := range u {
+		c := r.Clone()
+		atoms := make([]datalog.Subgoal, len(refs))
+		for j, ref := range refs {
+			atoms[j] = ref.Atom()
+		}
+		c.Body = append(atoms, c.Body...)
+		out[i] = c
+	}
+	return out
+}
+
+// FinalStepRefs is FinalStep with explicit (possibly renamed) references.
+func FinalStepRefs(f *Flock, name string, refs ...StepRef) FilterStep {
+	return FilterStep{Name: name, Params: f.Params, Query: WithRefAtoms(f.Query, refs...)}
+}

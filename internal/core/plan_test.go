@@ -1,0 +1,334 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// fig5Plan builds the paper's Fig. 5 plan for the medical flock:
+// pre-filter symptoms (okS) and medicines (okM), then run the full query
+// with both step relations joined in.
+func fig5Plan(t *testing.T, f *Flock) *Plan {
+	t.Helper()
+	okS, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"s"})
+	if !ok {
+		t.Fatal("no okS subquery")
+	}
+	okM, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"m"})
+	if !ok {
+		t.Fatal("no okM subquery")
+	}
+	stepS := FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{okS.Rule}}
+	stepM := FilterStep{Name: "okM", Params: []datalog.Param{"m"}, Query: datalog.Union{okM.Rule}}
+	final := FinalStep(f, "ok", stepS, stepM)
+	plan, err := NewPlan(f, []FilterStep{stepS, stepM, final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestFig5PlanValidatesAndRenders(t *testing.T) {
+	f := MustParse(fig3Src)
+	plan := fig5Plan(t, f)
+	out := plan.String()
+	for _, want := range []string{
+		"okS($s) := FILTER($s,",
+		"okM($m) := FILTER($m,",
+		"ok($m,$s) := FILTER(($m,$s),",
+		"COUNT(answer.P) >= 2",
+		"okS($s)",
+		"okM($m)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5PlanExecutesEqualToDirect(t *testing.T) {
+	f := MustParse(fig3Src)
+	plan := fig5Plan(t, f)
+	db := medicalDB()
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(direct) {
+		t.Fatalf("plan answer differs:\nplan:\n%s\ndirect:\n%s", res.Answer.Dump(), direct.Dump())
+	}
+	if len(res.Steps) != 3 {
+		t.Fatalf("step stats = %v", res.Steps)
+	}
+	// okS keeps fever and rash (3 patients each); drops cough (1 patient).
+	if res.Steps[0].Rows != 2 {
+		t.Errorf("okS rows = %d, want 2", res.Steps[0].Rows)
+	}
+	// okM keeps drugA (3 patients); drops drugB (1).
+	if res.Steps[1].Rows != 1 {
+		t.Errorf("okM rows = %d, want 1", res.Steps[1].Rows)
+	}
+	if !strings.Contains(res.String(), "answer: 1 rows") {
+		t.Errorf("result summary: %s", res)
+	}
+}
+
+func TestTrivialPlanEqualsDirect(t *testing.T) {
+	for _, src := range []string{fig2Src, fig3Src} {
+		f := MustParse(src)
+		db := basketsDB()
+		if src == fig3Src {
+			db = medicalDB()
+		}
+		plan := TrivialPlan(f)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("trivial plan invalid: %v", err)
+		}
+		res, err := plan.Execute(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := f.Eval(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Answer.Equal(direct) {
+			t.Errorf("trivial plan differs from direct")
+		}
+	}
+}
+
+func TestPlanFromSpecFig5(t *testing.T) {
+	f := MustParse(fig3Src)
+	src := `
+	okS($s) := FILTER($s,
+	    answer(P) :- exhibits(P,$s),
+	    COUNT(answer.P) >= 2
+	);
+	okM($m) := FILTER($m,
+	    answer(P) :- treatments(P,$m),
+	    COUNT(answer.P) >= 2
+	);
+	ok($s,$m) := FILTER(($s,$m),
+	    answer(P) :- okS($s) AND okM($m) AND exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s),
+	    COUNT(answer.P) >= 2
+	);`
+	spec, err := datalog.ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSpec(f, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute(medicalDB(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := f.Eval(medicalDB(), nil)
+	if !res.Answer.Equal(direct) {
+		t.Error("parsed plan result differs from direct")
+	}
+}
+
+func TestPlanFromSpecWrongFilter(t *testing.T) {
+	f := MustParse(fig3Src)
+	src := `
+	okS($s) := FILTER($s,
+	    answer(P) :- exhibits(P,$s),
+	    COUNT(answer.P) >= 99
+	);
+	ok($s,$m) := FILTER(($s,$m),
+	    answer(P) :- okS($s) AND exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s),
+	    COUNT(answer.P) >= 2
+	);`
+	spec, err := datalog.ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanFromSpec(f, spec); err == nil || !strings.Contains(err.Error(), "legality rule 1") {
+		t.Errorf("expected legality-rule-1 error, got %v", err)
+	}
+}
+
+func TestPlanValidationErrors(t *testing.T) {
+	f := MustParse(fig3Src)
+	okS, _ := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"s"})
+	stepS := FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{okS.Rule}}
+
+	mustFail := func(name string, steps []FilterStep, wantMsg string) {
+		t.Helper()
+		_, err := NewPlan(f, steps)
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			return
+		}
+		if wantMsg != "" && !strings.Contains(err.Error(), wantMsg) {
+			t.Errorf("%s: error %q missing %q", name, err, wantMsg)
+		}
+	}
+
+	mustFail("empty plan", nil, "no steps")
+
+	// Final step must not delete subgoals.
+	mustFail("non-final last step", []FilterStep{stepS}, "")
+
+	// Duplicate step names.
+	final := FinalStep(f, "okS", stepS)
+	mustFail("duplicate name", []FilterStep{stepS, final}, "defined twice")
+
+	// Step name colliding with a base relation.
+	badS := stepS
+	badS.Name = "exhibits"
+	mustFail("base collision", []FilterStep{badS, FinalStep(f, "ok", badS)}, "collides")
+
+	// Step whose query is not derived from the flock.
+	alien, _ := datalog.ParseRule("answer(P) :- somewhere(P,$s)")
+	mustFail("alien subgoal", []FilterStep{
+		{Name: "bad", Params: []datalog.Param{"s"}, Query: datalog.Union{alien}},
+		FinalStep(f, "ok"),
+	}, "not derived")
+
+	// Step params not matching its query.
+	wrongParams := FilterStep{Name: "okX", Params: []datalog.Param{"m"}, Query: datalog.Union{okS.Rule}}
+	mustFail("wrong params", []FilterStep{wrongParams, FinalStep(f, "ok")}, "declares parameters")
+
+	// Unsafe deletion inside a step: keeping NOT causes without its
+	// binding subgoals.
+	unsafe := f.Query[0].DeleteSubgoals(0, 1) // keep diagnoses + NOT causes? positions: 0 exhibits,1 treatments,2 diagnoses,3 NOT causes
+	_ = unsafe
+	unsafeRule, _ := datalog.ParseRule("answer(P) :- diagnoses(P,D) AND NOT causes(D,$s)")
+	mustFail("unsafe step", []FilterStep{
+		{Name: "bad", Params: []datalog.Param{"s"}, Query: datalog.Union{unsafeRule}},
+		FinalStep(f, "ok"),
+	}, "unsafe")
+
+	// Final step with wrong parameter set.
+	mustFail("final wrong params", []FilterStep{
+		stepS,
+		{Name: "ok", Params: []datalog.Param{"s"}, Query: datalog.Union{f.Query[0].Clone()}},
+	}, "")
+
+	// Referencing a later (not prior) step.
+	finalRefsLater := FinalStep(f, "ok", FilterStep{Name: "okLater", Params: []datalog.Param{"s"}})
+	mustFail("forward reference", []FilterStep{finalRefsLater}, "")
+
+	// Negating a step relation.
+	negRef := f.Query[0].Clone()
+	negAtom := datalog.NewAtom("okS", datalog.Param("s"))
+	negAtom.Negated = true
+	negRef.Body = append(negRef.Body, negAtom)
+	mustFail("negated step ref", []FilterStep{
+		stepS,
+		{Name: "ok", Params: f.Params, Query: datalog.Union{negRef}},
+	}, "negates")
+}
+
+func TestPlanRequiresMonotoneFilter(t *testing.T) {
+	// A MIN >= filter is anti-monotone; plans must be rejected.
+	src := `
+QUERY:
+answer(B,W) :- baskets(B,$1) AND importance(B,W)
+FILTER:
+MIN(answer.W) >= 3`
+	f := MustParse(src)
+	_, err := NewPlan(f, []FilterStep{{Name: "ok", Params: f.Params, Query: f.Query}})
+	if err == nil || !strings.Contains(err.Error(), "monotone") {
+		t.Errorf("expected monotonicity error, got %v", err)
+	}
+}
+
+// TestFig7CascadePlan builds the n+1-step cascade of Fig. 7 for the path
+// flock of Fig. 6 (n = 2) and checks it validates and executes to the
+// same answer as direct evaluation.
+func TestFig7CascadePlan(t *testing.T) {
+	src := `
+QUERY:
+answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2)
+FILTER:
+COUNT(answer.X) >= 2`
+	f := MustParse(src)
+
+	// Steps ok0, ok1, ok2: prefixes of increasing length, each referencing
+	// the previous step.
+	r := f.Query[0]
+	var steps []FilterStep
+	var prev *FilterStep
+	for k := 1; k <= len(r.Body); k++ {
+		var drop []int
+		for i := k; i < len(r.Body); i++ {
+			drop = append(drop, i)
+		}
+		sub := datalog.Union{r.DeleteSubgoals(drop...)}
+		if prev != nil {
+			sub = WithStepRefs(sub, *prev)
+		}
+		name := "ok" + string(rune('0'+k-1))
+		if k == len(r.Body) {
+			name = "ok"
+		}
+		step := FilterStep{Name: name, Params: f.Params, Query: sub}
+		steps = append(steps, step)
+		prev = &steps[len(steps)-1]
+	}
+	plan, err := NewPlan(f, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small graph: node 1 fans out to 2,3 which chain onward; node 9 has
+	// fanout but no length-3 paths.
+	db := storage.NewDatabase()
+	arc := storage.NewRelation("arc", "From", "To")
+	edges := [][2]int64{
+		{1, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}, {5, 7},
+		{9, 10}, {9, 11},
+	}
+	for _, e := range edges {
+		arc.InsertValues(storage.Int(e[0]), storage.Int(e[1]))
+	}
+	db.Add(arc)
+
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(direct) {
+		t.Fatalf("cascade differs:\nplan:\n%s\ndirect:\n%s", res.Answer.Dump(), direct.Dump())
+	}
+	// ok0 admits nodes with >= 2 successors: 1 and 9. ok1 requires the
+	// successors to have successors: only 1. (threshold 2)
+	if res.Steps[0].Rows != 2 {
+		t.Errorf("ok0 rows = %d, want 2", res.Steps[0].Rows)
+	}
+	if res.Steps[1].Rows != 1 {
+		t.Errorf("ok1 rows = %d, want 1", res.Steps[1].Rows)
+	}
+}
+
+func TestExecuteDoesNotMutateDatabase(t *testing.T) {
+	f := MustParse(fig3Src)
+	plan := fig5Plan(t, f)
+	db := medicalDB()
+	before := len(db.Names())
+	if _, err := plan.Execute(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Names()) != before {
+		t.Errorf("Execute registered relations in the caller's database: %v", db.Names())
+	}
+	if db.Has("okS") || db.Has("ok") {
+		t.Error("step relations leaked")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"queryflocks/internal/storage"
+)
+
+// StepStats records the outcome of one executed FILTER step.
+type StepStats struct {
+	// Name is the step's relation name.
+	Name string
+	// Rows is the number of parameter tuples the step admitted.
+	Rows int
+}
+
+// PlanResult is the outcome of executing a plan.
+type PlanResult struct {
+	// Answer is the flock's answer: the final step's relation.
+	Answer *storage.Relation
+	// Steps records each step's output size, in execution order.
+	Steps []StepStats
+}
+
+// String summarizes the execution.
+func (r *PlanResult) String() string {
+	var b strings.Builder
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "%s: %d rows\n", s.Name, s.Rows)
+	}
+	fmt.Fprintf(&b, "answer: %d rows", r.Answer.Len())
+	return b.String()
+}
+
+// Execute runs the plan's FILTER steps in order against db. Each step's
+// result is registered (under the step's name) in a scratch copy of the
+// database so later steps can reference it; the final step's result is the
+// flock's answer. The plan must be valid (NewPlan validates; hand-built
+// plans should call Validate first).
+func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, error) {
+	if err := p.Flock.CheckDatabase(db); err != nil {
+		return nil, err
+	}
+	mat, err := p.Flock.MaterializeViews(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	scratch := mat.Clone()
+	res := &PlanResult{}
+	for _, step := range p.Steps {
+		rel, err := evalFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing step %q: %w", step.Name, err)
+		}
+		scratch.Add(rel)
+		res.Steps = append(res.Steps, StepStats{Name: step.Name, Rows: rel.Len()})
+		res.Answer = rel
+	}
+	// A plan may declare the final step's parameters in any order (e.g.
+	// Fig. 5 writes ok($s,$m)); normalize the answer to the flock's
+	// canonical (sorted) parameter order.
+	res.Answer = reorderToFlockParams(res.Answer, p.Flock)
+	return res, nil
+}
+
+// reorderToFlockParams projects the final step's relation onto the flock's
+// canonical parameter column order.
+func reorderToFlockParams(rel *storage.Relation, f *Flock) *storage.Relation {
+	want := f.ParamColumns()
+	pos := make([]int, len(want))
+	same := true
+	for i, col := range want {
+		p := rel.ColumnIndex(col)
+		pos[i] = p
+		if p != i {
+			same = false
+		}
+	}
+	if same {
+		return rel
+	}
+	out := storage.NewRelation(rel.Name(), want...)
+	for _, t := range rel.Tuples() {
+		out.Insert(t.Project(pos))
+	}
+	return out
+}

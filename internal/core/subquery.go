@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"queryflocks/internal/datalog"
+)
+
+// This file enumerates the candidate subqueries of the generalized
+// a-priori technique (§3). Following the Optimization Principle for
+// Conjunctive Queries, candidates are the safe queries formed by deleting
+// one or more subgoals from a rule; each candidate containing a parameter
+// set S can prune values of S before the full query runs. For unions, a
+// bound needs one safe subquery per member rule (§3.4).
+
+// Subquery is one candidate pre-filter derived from a rule.
+type Subquery struct {
+	// Rule is the subquery: the original head with a subset of the body.
+	Rule *datalog.Rule
+	// Kept lists the retained body positions of the original rule.
+	Kept []int
+	// Params is the subquery's parameter set, sorted.
+	Params []datalog.Param
+}
+
+// String renders the subquery.
+func (s Subquery) String() string { return s.Rule.String() }
+
+// EnumerateSubqueries returns every safe subquery formed by deleting one
+// or more subgoals from r (nonempty proper subsets of the body), in
+// deterministic order (fewer subgoals first, then by kept positions).
+// Subqueries without parameters are included; callers filtering for
+// pruning use ones with parameters.
+func EnumerateSubqueries(r *datalog.Rule) []Subquery {
+	n := len(r.Body)
+	var out []Subquery
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var kept, dropped []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				kept = append(kept, i)
+			} else {
+				dropped = append(dropped, i)
+			}
+		}
+		sub := r.DeleteSubgoals(dropped...)
+		if !datalog.IsSafe(sub) {
+			continue
+		}
+		out = append(out, Subquery{Rule: sub, Kept: kept, Params: sub.Params()})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Kept, out[j].Kept
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// SubqueriesWithParams returns the safe subqueries whose parameter set is
+// exactly the given set (order-insensitive).
+func SubqueriesWithParams(r *datalog.Rule, params []datalog.Param) []Subquery {
+	want := paramKey(params)
+	var out []Subquery
+	for _, s := range EnumerateSubqueries(r) {
+		if paramKey(s.Params) == want {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MinimalSubqueryForParams returns the safe subquery with exactly the
+// given parameters that keeps the fewest subgoals (ties broken by kept
+// positions), or false if none exists. This is the per-rule choice of
+// Example 3.3, where the safety condition leaves "essentially only one
+// choice" per rule.
+func MinimalSubqueryForParams(r *datalog.Rule, params []datalog.Param) (Subquery, bool) {
+	subs := SubqueriesWithParams(r, params)
+	if len(subs) == 0 {
+		return Subquery{}, false
+	}
+	return subs[0], true // EnumerateSubqueries sorts fewest-subgoals first
+}
+
+// UnionSubquery builds the §3.4 upper bound for a union query restricted
+// to the given parameters: one minimal safe subquery per member rule. It
+// fails if some rule admits no safe subquery with exactly those
+// parameters.
+func UnionSubquery(u datalog.Union, params []datalog.Param) (datalog.Union, error) {
+	out := make(datalog.Union, 0, len(u))
+	for _, r := range u {
+		s, ok := MinimalSubqueryForParams(r, params)
+		if !ok {
+			return nil, fmt.Errorf("core: rule %s has no safe subquery with parameters %v", r, params)
+		}
+		out = append(out, s.Rule)
+	}
+	return out, nil
+}
+
+// ParamSets returns the distinct parameter sets (as sorted slices) over
+// which some safe subquery of r exists, smallest sets first. These are the
+// candidate "selected sets of parameters" of §4.3's first search heuristic.
+func ParamSets(r *datalog.Rule) [][]datalog.Param {
+	seen := make(map[string][]datalog.Param)
+	for _, s := range EnumerateSubqueries(r) {
+		if len(s.Params) == 0 {
+			continue
+		}
+		seen[paramKey(s.Params)] = s.Params
+	}
+	out := make([][]datalog.Param, 0, len(seen))
+	for _, ps := range seen {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return paramKey(out[i]) < paramKey(out[j])
+	})
+	return out
+}
+
+func paramKey(params []datalog.Param) string {
+	sorted := append([]datalog.Param(nil), params...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	key := ""
+	for _, p := range sorted {
+		key += "$" + string(p)
+	}
+	return key
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"queryflocks/internal/datalog"
+)
+
+// TestEnumerateSubqueriesExample32 mirrors the paper's Example 3.2: the
+// medical query has 14 nontrivial subgoal subsets of which 8 are safe.
+func TestEnumerateSubqueriesExample32(t *testing.T) {
+	f := MustParse(fig3Src)
+	subs := EnumerateSubqueries(f.Query[0])
+	if len(subs) != 8 {
+		for _, s := range subs {
+			t.Logf("  %s", s)
+		}
+		t.Fatalf("safe subqueries = %d, want 8", len(subs))
+	}
+	// The paper's four highlighted candidates, with their parameter sets.
+	wantParams := map[string]string{
+		"answer(P) :- exhibits(P,$s)":                                         "$s",
+		"answer(P) :- treatments(P,$m)":                                       "$m",
+		"answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)": "$s",
+		"answer(P) :- exhibits(P,$s) AND treatments(P,$m)":                    "$m$s",
+	}
+	for _, s := range subs {
+		if want, ok := wantParams[s.String()]; ok {
+			if paramKey(s.Params) != want {
+				t.Errorf("%s: params %v, want %s", s, s.Params, want)
+			}
+			delete(wantParams, s.String())
+		}
+	}
+	for missing := range wantParams {
+		t.Errorf("missing candidate subquery: %s", missing)
+	}
+}
+
+func TestEnumerateSubqueriesOrdering(t *testing.T) {
+	f := MustParse(fig2Src)
+	subs := EnumerateSubqueries(f.Query[0])
+	for i := 1; i < len(subs); i++ {
+		if len(subs[i-1].Kept) > len(subs[i].Kept) {
+			t.Fatal("subqueries not sorted by size")
+		}
+	}
+	// The market-basket rule: subsets containing the comparison need both
+	// params positive; enumerate and sanity check a few.
+	// Safe: {b1}, {b2}, {b1,b2}, {b1,b2,cmp}... but proper subsets only, so
+	// {b1,b2,cmp} (the full body) is excluded.
+	if len(subs) != 3 {
+		for _, s := range subs {
+			t.Logf("  %s", s)
+		}
+		t.Fatalf("fig2 safe proper subqueries = %d, want 3", len(subs))
+	}
+}
+
+func TestSubqueriesWithParams(t *testing.T) {
+	f := MustParse(fig3Src)
+	r := f.Query[0]
+	s := SubqueriesWithParams(r, []datalog.Param{"s"})
+	// $s-only subqueries: exhibits; exhibits+diagnoses;
+	// exhibits+diagnoses+NOT causes. (exhibits+treatments has $m too.)
+	if len(s) != 3 {
+		for _, x := range s {
+			t.Logf("  %s", x)
+		}
+		t.Fatalf("$s subqueries = %d, want 3", len(s))
+	}
+	min, ok := MinimalSubqueryForParams(r, []datalog.Param{"s"})
+	if !ok || min.String() != "answer(P) :- exhibits(P,$s)" {
+		t.Errorf("minimal $s subquery = %v", min)
+	}
+	min, ok = MinimalSubqueryForParams(r, []datalog.Param{"m"})
+	if !ok || min.String() != "answer(P) :- treatments(P,$m)" {
+		t.Errorf("minimal $m subquery = %v", min)
+	}
+	min, ok = MinimalSubqueryForParams(r, []datalog.Param{"s", "m"})
+	if !ok || min.String() != "answer(P) :- exhibits(P,$s) AND treatments(P,$m)" {
+		t.Errorf("minimal $s,$m subquery = %v", min)
+	}
+	if _, ok := MinimalSubqueryForParams(r, []datalog.Param{"zzz"}); ok {
+		t.Error("unknown param should have no subquery")
+	}
+}
+
+// TestUnionSubqueryExample33 reproduces Example 3.3: restricted to $1, the
+// Fig. 4 union has essentially one safe subquery per rule.
+func TestUnionSubqueryExample33(t *testing.T) {
+	f := MustParse(fig4Src)
+	u, err := UnionSubquery(f.Query, []datalog.Param{"1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"answer(D) :- inTitle(D,$1)",
+		"answer(A) :- inAnchor(A,$1)",
+		"answer(A) :- link(A,D1,D2) AND inTitle(D2,$1)",
+	}
+	if len(u) != 3 {
+		t.Fatalf("union subquery has %d rules", len(u))
+	}
+	for i, w := range want {
+		if u[i].String() != w {
+			t.Errorf("rule %d = %s, want %s", i, u[i], w)
+		}
+	}
+	// Same by symmetry for $2.
+	u2, err := UnionSubquery(f.Query, []datalog.Param{"2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2[0].String() != "answer(D) :- inTitle(D,$2)" {
+		t.Errorf("rule 0 for $2 = %s", u2[0])
+	}
+}
+
+func TestUnionSubqueryFailure(t *testing.T) {
+	f := MustParse(fig4Src)
+	if _, err := UnionSubquery(f.Query, []datalog.Param{"nope"}); err == nil {
+		t.Error("unknown param should fail")
+	}
+}
+
+func TestParamSets(t *testing.T) {
+	f := MustParse(fig3Src)
+	sets := ParamSets(f.Query[0])
+	// {$s}, {$m}, {$s,$m}: all three occur among safe subqueries.
+	if len(sets) != 3 {
+		t.Fatalf("param sets = %v", sets)
+	}
+	if len(sets[0]) != 1 || len(sets[1]) != 1 || len(sets[2]) != 2 {
+		t.Errorf("param sets ordering = %v", sets)
+	}
+}
+
+// TestSubqueryContainsOriginal ties §3.1 together end to end: every
+// enumerated safe subquery, restricted to pure-CQ flocks, contains the
+// original query (checked by the containment-mapping procedure).
+func TestSubqueryContainsOriginal(t *testing.T) {
+	pure, err := datalog.ParseRule("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND items($1,C) AND items($2,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range EnumerateSubqueries(pure) {
+		ok, err := datalog.Contains(s.Rule, pure)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !ok {
+			t.Errorf("subquery %s does not contain the original", s)
+		}
+	}
+}

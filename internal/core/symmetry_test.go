@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// These tests cover renamed step references — the §3.1 "exploitation of
+// their equivalence" by which one survivor relation filters several
+// symmetric parameters.
+
+// symmetricPlan builds the market-basket plan with a single item filter
+// referenced for both $1 and $2.
+func symmetricPlan(t *testing.T, f *Flock) *Plan {
+	t.Helper()
+	sub, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"1"})
+	if !ok {
+		t.Fatal("no $1 subquery")
+	}
+	step := FilterStep{Name: "okitem", Params: []datalog.Param{"1"}, Query: datalog.Union{sub.Rule}}
+	final := FinalStepRefs(f, "ok",
+		StepRef{Step: step, Args: []datalog.Param{"1"}},
+		StepRef{Step: step, Args: []datalog.Param{"2"}},
+	)
+	plan, err := NewPlan(f, []FilterStep{step, final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSymmetricReferenceValidatesAndRuns(t *testing.T) {
+	f := MustParse(fig2Src)
+	plan := symmetricPlan(t, f)
+	if !strings.Contains(plan.String(), "okitem($2)") {
+		t.Errorf("renamed reference missing:\n%s", plan)
+	}
+	db := basketsDB()
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(direct) {
+		t.Fatalf("symmetric plan differs:\nplan:\n%s\ndirect:\n%s", res.Answer.Dump(), direct.Dump())
+	}
+}
+
+func TestAsymmetricRenamedReferenceRejected(t *testing.T) {
+	// The medical flock is NOT symmetric in $s and $m: filtering $m with
+	// the symptom-support relation okS would be unsound and must be
+	// rejected.
+	f := MustParse(fig3Src)
+	okS, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"s"})
+	if !ok {
+		t.Fatal("no okS subquery")
+	}
+	step := FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{okS.Rule}}
+	final := FinalStepRefs(f, "ok",
+		StepRef{Step: step, Args: []datalog.Param{"s"}},
+		StepRef{Step: step, Args: []datalog.Param{"m"}}, // unsound!
+	)
+	_, err := NewPlan(f, []FilterStep{step, final})
+	if err == nil || !strings.Contains(err.Error(), "not a subquery") {
+		t.Fatalf("asymmetric renamed reference should be rejected, got %v", err)
+	}
+}
+
+func TestNonInjectiveRenamingRejected(t *testing.T) {
+	// A step over both parameters referenced with a repeated argument.
+	f := MustParse(fig2Src)
+	pair, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"1", "2"})
+	if !ok {
+		t.Fatal("no pair subquery")
+	}
+	step := FilterStep{Name: "okpair", Params: []datalog.Param{"1", "2"}, Query: datalog.Union{pair.Rule}}
+	final := FinalStepRefs(f, "ok",
+		StepRef{Step: step},
+		StepRef{Step: step, Args: []datalog.Param{"1", "1"}},
+	)
+	_, err := NewPlan(f, []FilterStep{step, final})
+	if err == nil || !strings.Contains(err.Error(), "injective") {
+		t.Fatalf("non-injective renaming should be rejected, got %v", err)
+	}
+}
+
+func TestRenamedReferenceThroughChain(t *testing.T) {
+	// A renamed reference to a step that itself references an earlier
+	// step: the soundness check must recurse. Both steps filter $1 of the
+	// symmetric basket flock, so referencing the second step as $2 is
+	// legal.
+	f := MustParse(fig2Src)
+	sub, _ := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"1"})
+	step0 := FilterStep{Name: "ok0", Params: []datalog.Param{"1"}, Query: datalog.Union{sub.Rule}}
+	step1 := FilterStep{
+		Name:   "ok1",
+		Params: []datalog.Param{"1"},
+		Query:  WithStepRefs(datalog.Union{sub.Rule.Clone()}, step0),
+	}
+	final := FinalStepRefs(f, "ok",
+		StepRef{Step: step1, Args: []datalog.Param{"1"}},
+		StepRef{Step: step1, Args: []datalog.Param{"2"}},
+	)
+	plan, err := NewPlan(f, []FilterStep{step0, step1, final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := basketsDB()
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := f.Eval(db, nil)
+	if !res.Answer.Equal(direct) {
+		t.Error("chained symmetric plan differs from direct")
+	}
+}
+
+func TestRenamedReferenceWeightedFlock(t *testing.T) {
+	// Fig. 10's weighted flock is also symmetric in $1/$2; the shared
+	// filter must remain legal with a SUM condition.
+	f := MustParse(fig10Src)
+	sub, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"1"})
+	if !ok {
+		t.Fatal("no $1 subquery for weighted flock")
+	}
+	step := FilterStep{Name: "okitem", Params: []datalog.Param{"1"}, Query: datalog.Union{sub.Rule}}
+	final := FinalStepRefs(f, "ok",
+		StepRef{Step: step, Args: []datalog.Param{"1"}},
+		StepRef{Step: step, Args: []datalog.Param{"2"}},
+	)
+	plan, err := NewPlan(f, []FilterStep{step, final})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db := basketsDB()
+	imp := storage.NewRelation("importance", "BID", "W")
+	for i := int64(1); i <= 4; i++ {
+		imp.InsertValues(storage.Int(i), storage.Int(6))
+	}
+	db.Add(imp)
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := f.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(direct) {
+		t.Error("weighted symmetric plan differs from direct")
+	}
+}

@@ -1,0 +1,349 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subgoal is one conjunct of a rule body: a (possibly negated) relational
+// atom or an arithmetic comparison.
+type Subgoal interface {
+	fmt.Stringer
+	isSubgoal()
+	// terms returns the subgoal's argument terms.
+	terms() []Term
+}
+
+// Atom is a relational subgoal pred(t1, ..., tk), optionally negated.
+// An Atom is also used (non-negated) as a rule head.
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+func (*Atom) isSubgoal() {}
+
+func (a *Atom) terms() []Term { return a.Args }
+
+// String renders the atom in paper notation, e.g. "NOT causes(D,$s)".
+func (a *Atom) String() string {
+	var b strings.Builder
+	if a.Negated {
+		b.WriteString("NOT ")
+	}
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns a deep copy of the atom (terms are immutable and shared).
+func (a *Atom) Clone() *Atom {
+	return &Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated}
+}
+
+// NewAtom builds a positive atom.
+func NewAtom(pred string, args ...Term) *Atom { return &Atom{Pred: pred, Args: args} }
+
+// Not builds a negated copy of the atom.
+func Not(a *Atom) *Atom {
+	c := a.Clone()
+	c.Negated = true
+	return c
+}
+
+// Comparison is an arithmetic subgoal "Left Op Right" (§2.3), e.g. $1 < $2.
+type Comparison struct {
+	Op    CmpOp
+	Left  Term
+	Right Term
+}
+
+func (*Comparison) isSubgoal() {}
+
+func (c *Comparison) terms() []Term { return []Term{c.Left, c.Right} }
+
+// String renders the comparison, e.g. "$1 < $2".
+func (c *Comparison) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Clone returns a copy of the comparison.
+func (c *Comparison) Clone() *Comparison { return &Comparison{Op: c.Op, Left: c.Left, Right: c.Right} }
+
+// Rule is one extended conjunctive query: a head atom and a body of
+// subgoals, implicitly conjoined. A flock's query is a union of Rules with
+// identical head predicate and arity (§3.4).
+type Rule struct {
+	Head *Atom
+	Body []Subgoal
+}
+
+// NewRule builds a rule.
+func NewRule(head *Atom, body ...Subgoal) *Rule { return &Rule{Head: head, Body: body} }
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	body := make([]Subgoal, len(r.Body))
+	for i, sg := range r.Body {
+		switch g := sg.(type) {
+		case *Atom:
+			body[i] = g.Clone()
+		case *Comparison:
+			body[i] = g.Clone()
+		}
+	}
+	return &Rule{Head: r.Head.Clone(), Body: body}
+}
+
+// String renders the rule in paper notation:
+//
+//	answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	b.WriteString(" :- ")
+	for i, sg := range r.Body {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(sg.String())
+	}
+	return b.String()
+}
+
+// PositiveAtoms returns the non-negated relational subgoals, in body order.
+func (r *Rule) PositiveAtoms() []*Atom {
+	var out []*Atom
+	for _, sg := range r.Body {
+		if a, ok := sg.(*Atom); ok && !a.Negated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// NegatedAtoms returns the negated relational subgoals, in body order.
+func (r *Rule) NegatedAtoms() []*Atom {
+	var out []*Atom
+	for _, sg := range r.Body {
+		if a, ok := sg.(*Atom); ok && a.Negated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Comparisons returns the arithmetic subgoals, in body order.
+func (r *Rule) Comparisons() []*Comparison {
+	var out []*Comparison
+	for _, sg := range r.Body {
+		if c, ok := sg.(*Comparison); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Vars returns the distinct variables of the rule (head and body), sorted.
+func (r *Rule) Vars() []Var {
+	seen := make(map[Var]struct{})
+	collect := func(ts []Term) {
+		for _, t := range ts {
+			if v, ok := t.(Var); ok {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	collect(r.Head.Args)
+	for _, sg := range r.Body {
+		collect(sg.terms())
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Params returns the distinct parameters of the rule's body, sorted.
+// (Parameters may not appear in heads; the flock layer enforces that.)
+func (r *Rule) Params() []Param {
+	seen := make(map[Param]struct{})
+	for _, sg := range r.Body {
+		for _, t := range sg.terms() {
+			if p, ok := t.(Param); ok {
+				seen[p] = struct{}{}
+			}
+		}
+	}
+	return sortedParams(seen)
+}
+
+// HeadParams returns parameters appearing in the head (normally none;
+// surfaced so validation can produce a precise error).
+func (r *Rule) HeadParams() []Param {
+	seen := make(map[Param]struct{})
+	for _, t := range r.Head.Args {
+		if p, ok := t.(Param); ok {
+			seen[p] = struct{}{}
+		}
+	}
+	return sortedParams(seen)
+}
+
+func sortedParams(set map[Param]struct{}) []Param {
+	out := make([]Param, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Predicates returns the distinct predicate names referenced in the body,
+// sorted.
+func (r *Rule) Predicates() []string {
+	seen := make(map[string]struct{})
+	for _, sg := range r.Body {
+		if a, ok := sg.(*Atom); ok {
+			seen[a.Pred] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Substitution maps parameters to constant terms. Applying it instantiates
+// a parametrized query for one candidate parameter assignment, which is how
+// the naive generate-and-test semantics of §2 is defined.
+type Substitution map[Param]Const
+
+// Substitute returns a copy of the rule with every parameter in the
+// substitution's domain replaced by its constant.
+func (r *Rule) Substitute(s Substitution) *Rule {
+	out := r.Clone()
+	sub := func(t Term) Term {
+		if p, ok := t.(Param); ok {
+			if c, bound := s[p]; bound {
+				return c
+			}
+		}
+		return t
+	}
+	for i, t := range out.Head.Args {
+		out.Head.Args[i] = sub(t)
+	}
+	for _, sg := range out.Body {
+		switch g := sg.(type) {
+		case *Atom:
+			for i, t := range g.Args {
+				g.Args[i] = sub(t)
+			}
+		case *Comparison:
+			g.Left = sub(g.Left)
+			g.Right = sub(g.Right)
+		}
+	}
+	return out
+}
+
+// RenameParams returns a copy of the rule with parameters renamed by
+// sigma; parameters outside sigma's domain are unchanged. Used to check
+// symmetric plan-step references (§3.1's exploitation of subquery
+// equivalence).
+func (r *Rule) RenameParams(sigma map[Param]Param) *Rule {
+	out := r.Clone()
+	ren := func(t Term) Term {
+		if p, ok := t.(Param); ok {
+			if q, mapped := sigma[p]; mapped {
+				return q
+			}
+		}
+		return t
+	}
+	for i, t := range out.Head.Args {
+		out.Head.Args[i] = ren(t)
+	}
+	for _, sg := range out.Body {
+		switch g := sg.(type) {
+		case *Atom:
+			for i, t := range g.Args {
+				g.Args[i] = ren(t)
+			}
+		case *Comparison:
+			g.Left = ren(g.Left)
+			g.Right = ren(g.Right)
+		}
+	}
+	return out
+}
+
+// DeleteSubgoals returns a copy of the rule without the subgoals at the
+// given body positions. It is the syntactic operation behind the paper's
+// subquery construction ("deleting one or more subgoals from Q", §3.1).
+func (r *Rule) DeleteSubgoals(positions ...int) *Rule {
+	drop := make(map[int]bool, len(positions))
+	for _, p := range positions {
+		drop[p] = true
+	}
+	out := &Rule{Head: r.Head.Clone()}
+	for i, sg := range r.Body {
+		if !drop[i] {
+			out.Body = append(out.Body, sg)
+		}
+	}
+	return out.Clone()
+}
+
+// Union is a union of extended conjunctive queries sharing a head
+// predicate and arity (§3.4).
+type Union []*Rule
+
+// String renders the union one rule per line.
+func (u Union) String() string {
+	parts := make([]string, len(u))
+	for i, r := range u {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Validate checks that the union is non-empty and head-compatible.
+func (u Union) Validate() error {
+	if len(u) == 0 {
+		return fmt.Errorf("datalog: empty union")
+	}
+	h0 := u[0].Head
+	for _, r := range u[1:] {
+		if r.Head.Pred != h0.Pred || len(r.Head.Args) != len(h0.Args) {
+			return fmt.Errorf("datalog: union heads differ: %s vs %s", h0, r.Head)
+		}
+	}
+	return nil
+}
+
+// Params returns the distinct parameters across all rules of the union,
+// sorted.
+func (u Union) Params() []Param {
+	seen := make(map[Param]struct{})
+	for _, r := range u {
+		for _, p := range r.Params() {
+			seen[p] = struct{}{}
+		}
+	}
+	return sortedParams(seen)
+}

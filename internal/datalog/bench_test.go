@@ -1,0 +1,68 @@
+package datalog
+
+import "testing"
+
+const benchFlockSrc = `
+QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= 20`
+
+func BenchmarkParseFlock(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFlock(benchFlockSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseRule(b *testing.B) {
+	const src = "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckSafety(b *testing.B) {
+	r, err := ParseRule("answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := CheckSafety(r); len(vs) != 0 {
+			b.Fatal("should be safe")
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	q1, _ := ParseRule("p(X) :- e(X,Y) AND e(Y,Z) AND e(Z,W)")
+	q2, _ := ParseRule("p(L) :- e(L,L)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := Contains(q1, q2)
+		if err != nil || !ok {
+			b.Fatal("chain should contain self-loop")
+		}
+	}
+}
+
+func BenchmarkRuleString(b *testing.B) {
+	r, _ := ParseRule("answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.String()
+	}
+}

@@ -1,0 +1,202 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// This file implements query containment for conjunctive queries via
+// containment mappings ([CM77], §3.1). Containment is what justifies the
+// generalized a-priori trick: a query Q1 containing Q2 (written Q2 ⊆ Q1)
+// upper-bounds Q2's result on every database, so a support filter that
+// rejects a parameter value under Q1 also rejects it under Q2.
+//
+// For extended CQs (negation, arithmetic) full containment is harder
+// ([Klu82], [ZO93], [LS93]); following §3.3 we restrict to the syntactic
+// subset-of-subgoals condition, which is sound for all three subgoal kinds
+// (deleting any subgoal can only grow the result).
+
+// Contains reports whether q2 ⊆ q1 holds for all databases, i.e. whether
+// there is a containment mapping from q1 to q2. Both rules must be pure
+// conjunctive queries (no negation, no arithmetic); otherwise an error is
+// returned.
+//
+// Parameters are treated as constants shared between the two queries: a
+// parameter maps only to itself, reflecting that a flock compares the two
+// queries under a common parameter assignment.
+func Contains(q1, q2 *Rule) (bool, error) {
+	for _, r := range []*Rule{q1, q2} {
+		if len(r.NegatedAtoms()) > 0 || len(r.Comparisons()) > 0 {
+			return false, fmt.Errorf("datalog: Contains requires pure conjunctive queries; %s has negation or arithmetic", r.Head.Pred)
+		}
+	}
+	if q1.Head.Pred != q2.Head.Pred || len(q1.Head.Args) != len(q2.Head.Args) {
+		return false, nil
+	}
+
+	theta := make(map[Var]Term)
+	// The head of q1 must map onto the head of q2.
+	for i, t1 := range q1.Head.Args {
+		if !bind(theta, t1, q2.Head.Args[i]) {
+			return false, nil
+		}
+	}
+	return matchAtoms(q1.PositiveAtoms(), q2.PositiveAtoms(), theta), nil
+}
+
+// bind extends theta so that term t1 (from q1) maps to t2 (from q2);
+// reports false on conflict. Constants and parameters are rigid.
+func bind(theta map[Var]Term, t1, t2 Term) bool {
+	switch a := t1.(type) {
+	case Var:
+		if prev, ok := theta[a]; ok {
+			return termEqual(prev, t2)
+		}
+		theta[a] = t2
+		return true
+	case Param:
+		b, ok := t2.(Param)
+		return ok && a == b
+	case Const:
+		b, ok := t2.(Const)
+		return ok && a.Val.Equal(b.Val)
+	default:
+		return false
+	}
+}
+
+func termEqual(a, b Term) bool {
+	switch x := a.(type) {
+	case Var:
+		y, ok := b.(Var)
+		return ok && x == y
+	case Param:
+		y, ok := b.(Param)
+		return ok && x == y
+	case Const:
+		y, ok := b.(Const)
+		return ok && x.Val.Equal(y.Val)
+	default:
+		return false
+	}
+}
+
+// matchAtoms backtracks over assignments of each atom of as1 to a
+// compatible atom of as2 under theta.
+func matchAtoms(as1, as2 []*Atom, theta map[Var]Term) bool {
+	if len(as1) == 0 {
+		return true
+	}
+	a1 := as1[0]
+	for _, a2 := range as2 {
+		if a1.Pred != a2.Pred || len(a1.Args) != len(a2.Args) {
+			continue
+		}
+		// Trail the bindings so we can undo on backtrack.
+		trail := make([]Var, 0, len(a1.Args))
+		ok := true
+		for i, t1 := range a1.Args {
+			if v, isVar := t1.(Var); isVar {
+				if _, bound := theta[v]; !bound {
+					if bind(theta, t1, a2.Args[i]) {
+						trail = append(trail, v)
+						continue
+					}
+					ok = false
+					break
+				}
+			}
+			if !bind(theta, t1, a2.Args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok && matchAtoms(as1[1:], as2, theta) {
+			return true
+		}
+		for _, v := range trail {
+			delete(theta, v)
+		}
+	}
+	return false
+}
+
+// Equivalent reports whether two pure CQs are equivalent (mutual
+// containment).
+func Equivalent(q1, q2 *Rule) (bool, error) {
+	a, err := Contains(q1, q2)
+	if err != nil || !a {
+		return false, err
+	}
+	return Contains(q2, q1)
+}
+
+// IsSubgoalSubset reports whether sub's body is a sub-multiset of full's
+// body with identical head — the syntactic condition of §3.1/§3.3 under
+// which sub is guaranteed to contain full, for extended CQs as well.
+// Subgoals are compared structurally (same kind, predicate, terms).
+func IsSubgoalSubset(sub, full *Rule) bool {
+	if !atomEqual(sub.Head, full.Head) {
+		return false
+	}
+	used := make([]bool, len(full.Body))
+outer:
+	for _, sg := range sub.Body {
+		for i, fg := range full.Body {
+			if !used[i] && subgoalEqual(sg, fg) {
+				used[i] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func atomEqual(a, b *Atom) bool {
+	if a.Pred != b.Pred || a.Negated != b.Negated || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !termEqual(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func subgoalEqual(a, b Subgoal) bool {
+	switch x := a.(type) {
+	case *Atom:
+		y, ok := b.(*Atom)
+		return ok && atomEqual(x, y)
+	case *Comparison:
+		y, ok := b.(*Comparison)
+		return ok && x.Op == y.Op && termEqual(x.Left, y.Left) && termEqual(x.Right, y.Right)
+	default:
+		return false
+	}
+}
+
+// UnionContains reports whether union q ⊆ union p for pure CQ unions,
+// using the classical sufficient-and-necessary condition for unions of
+// CQs ([SY80] as used in §3.4): every member of q is contained in some
+// member of p.
+func UnionContains(p, q Union) (bool, error) {
+	for _, qi := range q {
+		found := false
+		for _, pj := range p {
+			ok, err := Contains(pj, qi)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	return true, nil
+}

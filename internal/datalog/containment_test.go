@@ -1,0 +1,230 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustContains(t *testing.T, q1, q2 *Rule) bool {
+	t.Helper()
+	ok, err := Contains(q1, q2)
+	if err != nil {
+		t.Fatalf("Contains(%s, %s): %v", q1, q2, err)
+	}
+	return ok
+}
+
+// TestContainmentExample31 reproduces Example 3.1: both single-subgoal
+// subqueries of the market-basket query contain it.
+func TestContainmentExample31(t *testing.T) {
+	full := mustRule(t, "answer(B) :- baskets(B,$1) AND baskets(B,$2)")
+	sub1 := mustRule(t, "answer(B) :- baskets(B,$1)")
+	sub2 := mustRule(t, "answer(B) :- baskets(B,$2)")
+	if !mustContains(t, sub1, full) {
+		t.Error("sub1 should contain full")
+	}
+	if !mustContains(t, sub2, full) {
+		t.Error("sub2 should contain full")
+	}
+	// The converse fails: full does not contain sub1 because $2 appears in
+	// full but not sub1 and parameters map only to themselves.
+	if mustContains(t, full, sub1) {
+		t.Error("full must not contain sub1")
+	}
+}
+
+func TestContainmentClassic(t *testing.T) {
+	// Folding a path query: q2 (two distinct arcs) ⊆ q1? No — the classic
+	// example is the reverse: the longer chain is contained in the shorter
+	// pattern only when a homomorphism exists.
+	q1 := mustRule(t, "p(X) :- e(X,Y)")
+	q2 := mustRule(t, "p(X) :- e(X,Y) AND e(Y,Z)")
+	if !mustContains(t, q1, q2) {
+		t.Error("e(X,Y) should contain e(X,Y),e(Y,Z)")
+	}
+	if mustContains(t, q2, q1) {
+		t.Error("chain-2 must not contain chain-1")
+	}
+
+	// Self-loop: q3 asks for a node with a self-loop; mapping X,Y,Z -> L
+	// shows chain-2 contains... no: q3 ⊆ q2 (every self-loop node has a
+	// 2-chain). Contains(q2, q3) should hold via X,Y,Z -> L.
+	q3 := mustRule(t, "p(L) :- e(L,L)")
+	if !mustContains(t, q2, q3) {
+		t.Error("chain-2 should contain self-loop")
+	}
+	if mustContains(t, q3, q2) {
+		t.Error("self-loop must not contain chain-2")
+	}
+}
+
+func TestContainmentConstants(t *testing.T) {
+	gen := mustRule(t, "p(X) :- r(X,Y)")
+	spec := mustRule(t, "p(X) :- r(X,beer)")
+	if !mustContains(t, gen, spec) {
+		t.Error("general should contain constant-specialized")
+	}
+	if mustContains(t, spec, gen) {
+		t.Error("constant-specialized must not contain general")
+	}
+	other := mustRule(t, "p(X) :- r(X,diapers)")
+	if mustContains(t, spec, other) || mustContains(t, other, spec) {
+		t.Error("different constants must be incomparable")
+	}
+}
+
+func TestContainmentHeadMismatch(t *testing.T) {
+	q1 := mustRule(t, "p(X) :- r(X)")
+	q2 := mustRule(t, "q(X) :- r(X)")
+	if mustContains(t, q1, q2) {
+		t.Error("different head predicates are incomparable")
+	}
+	q3 := mustRule(t, "p(X,Y) :- r(X,Y)")
+	if mustContains(t, q1, q3) {
+		t.Error("different head arities are incomparable")
+	}
+}
+
+func TestContainmentRequiresPureCQ(t *testing.T) {
+	pure := mustRule(t, "p(X) :- r(X)")
+	neg := mustRule(t, "p(X) :- r(X) AND NOT s(X)")
+	arith := mustRule(t, "p(X) :- r(X) AND X < 3")
+	if _, err := Contains(pure, neg); err == nil {
+		t.Error("negation should be rejected")
+	}
+	if _, err := Contains(arith, pure); err == nil {
+		t.Error("arithmetic should be rejected")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// Classic redundancy: a duplicated subgoal is equivalent to one copy.
+	q1 := mustRule(t, "p(X) :- r(X,Y)")
+	q2 := mustRule(t, "p(X) :- r(X,Y) AND r(X,Z)")
+	eq, err := Equivalent(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("redundant subgoal should preserve equivalence")
+	}
+	q3 := mustRule(t, "p(X) :- r(X,Y) AND r(Y,Z)")
+	eq, err = Equivalent(q1, q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("chain must not be equivalent to single arc")
+	}
+}
+
+// TestSubsetImpliesContainment is the key soundness property behind §3.1:
+// any safe subgoal-subset subquery (on pure CQs) contains the original.
+// Verified by the containment-mapping decision procedure on random CQs.
+func TestSubsetImpliesContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		full := randomCQ(r)
+		n := len(full.Body)
+		mask := r.Intn(1 << n) // arbitrary subset; identity map works regardless
+		var drop []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				drop = append(drop, i)
+			}
+		}
+		sub := full.DeleteSubgoals(drop...)
+		// Head variables might lose their binding subgoals; Contains still
+		// must report containment (semantically the sub is unsafe/infinite,
+		// which trivially contains). Restrict to subs keeping head bound to
+		// stay within finite semantics.
+		if !IsSafe(sub) {
+			return true
+		}
+		ok, err := Contains(sub, full)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomCQ builds a small random pure conjunctive query over predicates
+// r/2 and s/2 with variables X,Y,Z and params $a,$b.
+func randomCQ(rng *rand.Rand) *Rule {
+	terms := []Term{Var("X"), Var("Y"), Var("Z"), Param("a"), Param("b"), CStr("c0")}
+	preds := []string{"r", "s"}
+	n := 1 + rng.Intn(4)
+	body := make([]Subgoal, n)
+	for i := range body {
+		body[i] = NewAtom(preds[rng.Intn(len(preds))],
+			terms[rng.Intn(len(terms))], terms[rng.Intn(len(terms))])
+	}
+	// Head uses X, which may or may not be bound; callers filter by safety.
+	return NewRule(NewAtom("answer", Var("X")), body...)
+}
+
+func TestUnionContainsFig4(t *testing.T) {
+	full, err := ParseUnion(webUnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop arithmetic to get pure CQs for the union containment check.
+	pureFull := make(Union, len(full))
+	for i, r := range full {
+		var drop []int
+		for j, sg := range r.Body {
+			if _, isCmp := sg.(*Comparison); isCmp {
+				drop = append(drop, j)
+			}
+		}
+		pureFull[i] = r.DeleteSubgoals(drop...)
+	}
+	// Example 3.3: one safe subquery per rule, restricted to $1.
+	sub, err := ParseUnion(`
+		answer(D) :- inTitle(D,$1)
+		answer(A) :- inAnchor(A,$1)
+		answer(A) :- link(A,D1,D2) AND inTitle(D2,$1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := UnionContains(sub, pureFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Example 3.3 union should contain the Fig. 4 union")
+	}
+	ok, err = UnionContains(pureFull, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("full union must not contain the relaxed union")
+	}
+}
+
+func TestIsSubgoalSubset(t *testing.T) {
+	full := mustRule(t, medicalRule)
+	sub := full.DeleteSubgoals(2)
+	if !IsSubgoalSubset(sub, full) {
+		t.Error("deleted-subgoal rule should be a subset")
+	}
+	if IsSubgoalSubset(full, sub) {
+		t.Error("superset must not be a subset")
+	}
+	renamed := mustRule(t, "answer(Q) :- exhibits(Q,$s)")
+	if IsSubgoalSubset(renamed, full) {
+		t.Error("variable-renamed rule is not a syntactic subset")
+	}
+	// Duplicate subgoals: sub needs as many copies as it uses.
+	dup := mustRule(t, "answer(B) :- baskets(B,$1) AND baskets(B,$1)")
+	one := mustRule(t, "answer(B) :- baskets(B,$1)")
+	if !IsSubgoalSubset(one, dup) {
+		t.Error("single copy should be subset of duplicated")
+	}
+	if IsSubgoalSubset(dup, one) {
+		t.Error("two copies are not a subset of one")
+	}
+}

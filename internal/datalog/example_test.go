@@ -1,0 +1,69 @@
+package datalog_test
+
+import (
+	"fmt"
+
+	"queryflocks/internal/datalog"
+)
+
+// Parsing a rule in the paper's notation.
+func ExampleParseRule() {
+	r, err := datalog.ParseRule(
+		"answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("params:", r.Params())
+	fmt.Println("positive:", len(r.PositiveAtoms()), "negated:", len(r.NegatedAtoms()))
+	// Output:
+	// params: [$s]
+	// positive: 2 negated: 1
+}
+
+// The three safety conditions of §3.3 in action.
+func ExampleCheckSafety() {
+	unsafe, _ := datalog.ParseRule("answer(P) :- NOT causes(D,$s)")
+	for _, v := range datalog.CheckSafety(unsafe) {
+		fmt.Println(v.Error())
+	}
+	// Output:
+	// safety condition (1): P in the head does not appear in a positive relational subgoal
+	// safety condition (2): D in subgoal NOT causes(D,$s) does not appear in a positive relational subgoal
+	// safety condition (2): $s in subgoal NOT causes(D,$s) does not appear in a positive relational subgoal
+}
+
+// Containment mappings ([CM77], §3.1): dropping a subgoal yields a
+// containing query.
+func ExampleContains() {
+	full, _ := datalog.ParseRule("answer(B) :- baskets(B,$1) AND baskets(B,$2)")
+	sub, _ := datalog.ParseRule("answer(B) :- baskets(B,$1)")
+	ok, err := datalog.Contains(sub, full)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sub contains full:", ok)
+	// Output:
+	// sub contains full: true
+}
+
+// A full flock source with views, query, and filter.
+func ExampleParseFlock() {
+	src := `
+VIEWS:
+allCaused(P,S) :- diagnoses(P,D) AND causes(D,S)
+QUERY:
+answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND NOT allCaused(P,$s)
+FILTER:
+COUNT(answer.P) >= 20`
+	fs, err := datalog.ParseFlock(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("views:", len(fs.Views), "rules:", len(fs.Query))
+	fmt.Println("filter:", fs.Filter)
+	fmt.Println("monotone:", fs.Filter.Monotone())
+	// Output:
+	// views: 1 rules: 1
+	// filter: COUNT(answer.P) >= 20
+	// monotone: true
+}

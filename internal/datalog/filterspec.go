@@ -1,0 +1,98 @@
+package datalog
+
+import (
+	"fmt"
+
+	"queryflocks/internal/storage"
+)
+
+// AggKind identifies the aggregate of a filter condition. The paper's
+// principal results concern COUNT (support); §5 extends to any monotone
+// aggregate condition (SUM of non-negatives, MIN, MAX).
+type AggKind int
+
+// The supported filter aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String returns the aggregate's source form.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+}
+
+// FilterSpec is the parsed form of a flock's filter condition, e.g.
+//
+//	COUNT(answer.B) >= 20
+//	COUNT(answer(*)) >= 20
+//	SUM(answer.W) >= 20
+//
+// Target names a head variable of the query's first rule; empty Target
+// means "*": the aggregate ranges over whole answer tuples. Op relates the
+// aggregate to Threshold.
+type FilterSpec struct {
+	Agg       AggKind
+	Target    string // head-variable name, or "" for *
+	Op        CmpOp
+	Threshold storage.Value
+}
+
+// String renders the condition in the paper's notation.
+func (f FilterSpec) String() string {
+	target := "answer(*)"
+	if f.Target != "" {
+		target = "answer." + f.Target
+	}
+	return fmt.Sprintf("%s(%s) %s %s", f.Agg, target, f.Op, f.Threshold.Literal())
+}
+
+// Monotone reports whether the condition is monotone in the sense of §5:
+// if it holds for a query result, it holds for every superset of that
+// result. Only monotone conditions admit the a-priori optimization, because
+// only then does a subquery's (larger) result passing-check upper-bound
+// the full query's.
+//
+//	COUNT(...) >= t   monotone
+//	SUM(...)   >= t   monotone for non-negative weights
+//	MAX(...)   >= t   monotone
+//	MIN(...)   <= t   monotone
+func (f FilterSpec) Monotone() bool {
+	switch f.Agg {
+	case AggCount, AggSum, AggMax:
+		return f.Op == Ge || f.Op == Gt
+	case AggMin:
+		return f.Op == Le || f.Op == Lt
+	default:
+		return false
+	}
+}
+
+// Validate rejects malformed specs (e.g. a COUNT with a non-numeric
+// threshold).
+func (f FilterSpec) Validate() error {
+	if !f.Threshold.IsNumeric() {
+		return fmt.Errorf("datalog: filter threshold %s is not numeric", f.Threshold.Literal())
+	}
+	if f.Agg == AggCount && f.Target != "" {
+		// COUNT over a named column is fine; nothing more to check.
+		return nil
+	}
+	if (f.Agg == AggSum || f.Agg == AggMin || f.Agg == AggMax) && f.Target == "" {
+		return fmt.Errorf("datalog: %s requires a named target column, not *", f.Agg)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package datalog
+
+import "testing"
+
+// FuzzParseFlock asserts the parser never panics and that anything it
+// accepts re-parses after printing (printer/parser closure). Run the seed
+// corpus in normal test runs; `go test -fuzz=FuzzParseFlock` explores.
+func FuzzParseFlock(f *testing.F) {
+	seeds := []string{
+		"QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2)\nFILTER:\nCOUNT(answer.B) >= 20",
+		"QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\nFILTER:\nCOUNT(answer.B) >= 20",
+		"VIEWS:\nv(P,S) :- d(P,D) AND c(D,S)\nQUERY:\nanswer(P) :- e(P,$s) AND NOT v(P,$s)\nFILTER:\nCOUNT(answer.P) >= 2",
+		"QUERY:\nanswer(A) :- link(A,D1,D2) AND inAnchor(A,$1)\nanswer(D) :- inTitle(D,$1)\nFILTER:\nCOUNT(answer(*)) >= 20",
+		"QUERY:\nanswer(B,W) :- b(B,$1) AND i(B,W)\nFILTER:\nSUM(answer.W) >= 19.5",
+		"QUERY:\nanswer(X) :- r(X,\"quoted \\\"str\\\"\") AND X != 3\nFILTER:\nMIN(answer.X) <= 5",
+		"# comment\nQUERY:\nanswer(X) :- r(X) // c\nFILTER:\nMAX(answer.X) >= 1",
+		"QUERY:",
+		"",
+		"QUERY:\nanswer(X) :- $1 < $2\nFILTER:\nCOUNT(*) >= 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fs, err := ParseFlock(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip through the printer.
+		rendered := "QUERY:\n" + fs.Query.String() + "\nFILTER:\n" + fs.Filter.String()
+		if len(fs.Views) > 0 {
+			views := ""
+			for _, v := range fs.Views {
+				views += v.String() + "\n"
+			}
+			rendered = "VIEWS:\n" + views + rendered
+		}
+		if _, err := ParseFlock(rendered); err != nil {
+			t.Fatalf("accepted source failed to re-parse after printing:\nsource: %q\nrendered: %q\nerr: %v",
+				src, rendered, err)
+		}
+	})
+}
+
+// FuzzParsePlan asserts the plan parser never panics.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("okS($s) := FILTER($s,\n answer(P) :- e(P,$s),\n COUNT(answer.P) >= 20\n);")
+	f.Add("ok($a,$b) := FILTER(($a,$b), answer(X) :- r(X,$a) AND s(X,$b), SUM(answer.X) >= 2);")
+	f.Add("x($1) := FILTER($1, a(B) :- r(B,$1), a(B) :- s(B,$1), COUNT(a.B) >= 1)")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParsePlan(src)
+	})
+}
+
+// FuzzLexer asserts the lexer terminates without panicking on arbitrary
+// bytes.
+func FuzzLexer(f *testing.F) {
+	f.Add(`answer(B) :- r(B,$1) AND "str" != 2.5e3`)
+	f.Add(":- := ; . * () <= >= != # //")
+	f.Add("$ \" \\ 3..4 -")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = lexAll(src)
+	})
+}

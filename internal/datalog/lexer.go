@@ -1,0 +1,292 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF   tokKind = iota
+	tokIdent         // lower-case identifier: predicate or symbolic constant
+	tokVar           // upper-case identifier: variable
+	tokParam         // $name
+	tokInt
+	tokFloat
+	tokString // quoted string
+	tokLParen
+	tokRParen
+	tokComma
+	tokImplies // :-
+	tokAssign  // :=
+	tokCmp     // < <= > >= = !=
+	tokSemi    // ;
+	tokAnd     // AND (case-insensitive)
+	tokNot     // NOT (case-insensitive)
+	tokDot     // .
+	tokStar    // *
+	tokSection // QUERY: or FILTER: or PLAN: at start of a clause
+)
+
+// token is one lexeme with position info for error messages.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer turns flock/Datalog source into tokens. Comments run from '#' or
+// "//" to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("datalog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case c == '(':
+		lx.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case c == ')':
+		lx.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case c == ',':
+		lx.advance()
+		return token{tokComma, ",", line, col}, nil
+	case c == '.':
+		lx.advance()
+		return token{tokDot, ".", line, col}, nil
+	case c == '*':
+		lx.advance()
+		return token{tokStar, "*", line, col}, nil
+	case c == ';':
+		lx.advance()
+		return token{tokSemi, ";", line, col}, nil
+	case c == ':':
+		lx.advance()
+		switch lx.peekByte() {
+		case '-':
+			lx.advance()
+			return token{tokImplies, ":-", line, col}, nil
+		case '=':
+			lx.advance()
+			return token{tokAssign, ":=", line, col}, nil
+		default:
+			return token{}, lx.errorf(line, col, "expected ':-' or ':='")
+		}
+	case c == '<' || c == '>':
+		lx.advance()
+		text := string(c)
+		if lx.peekByte() == '=' {
+			lx.advance()
+			text += "="
+		}
+		return token{tokCmp, text, line, col}, nil
+	case c == '=':
+		lx.advance()
+		if lx.peekByte() == '=' { // tolerate ==
+			lx.advance()
+		}
+		return token{tokCmp, "=", line, col}, nil
+	case c == '!':
+		lx.advance()
+		if lx.peekByte() != '=' {
+			return token{}, lx.errorf(line, col, "expected '!='")
+		}
+		lx.advance()
+		return token{tokCmp, "!=", line, col}, nil
+	case c == '$':
+		lx.advance()
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentByte(lx.peekByte()) {
+			lx.advance()
+		}
+		if lx.pos == start {
+			return token{}, lx.errorf(line, col, "'$' must be followed by a parameter name")
+		}
+		return token{tokParam, lx.src[start:lx.pos], line, col}, nil
+	case c == '"':
+		// Scan to the closing quote (honoring backslash escapes), then let
+		// strconv.Unquote decode — the exact inverse of the printer's
+		// strconv.Quote, so every escape Quote can emit round-trips.
+		start := lx.pos
+		lx.advance()
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(line, col, "unterminated string")
+			}
+			ch := lx.advance()
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, lx.errorf(line, col, "unterminated escape")
+				}
+				lx.advance()
+				continue
+			}
+			if ch == '"' {
+				break
+			}
+		}
+		decoded, err := strconv.Unquote(lx.src[start:lx.pos])
+		if err != nil {
+			return token{}, lx.errorf(line, col, "bad string literal: %v", err)
+		}
+		return token{tokString, decoded, line, col}, nil
+	case c == '-' || c >= '0' && c <= '9':
+		start := lx.pos
+		lx.advance()
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			d := lx.peekByte()
+			if d >= '0' && d <= '9' {
+				lx.advance()
+				continue
+			}
+			if d == '.' && !isFloat && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+				isFloat = true
+				lx.advance()
+				continue
+			}
+			if (d == 'e' || d == 'E') && lx.pos+1 < len(lx.src) {
+				nxt := lx.src[lx.pos+1]
+				if nxt >= '0' && nxt <= '9' || nxt == '-' || nxt == '+' {
+					isFloat = true
+					lx.advance() // e
+					lx.advance() // sign or digit
+					continue
+				}
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		if text == "-" {
+			return token{}, lx.errorf(line, col, "lone '-'")
+		}
+		if isFloat {
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return token{}, lx.errorf(line, col, "bad number %q", text)
+			}
+			return token{tokFloat, text, line, col}, nil
+		}
+		if _, err := strconv.ParseInt(text, 10, 64); err != nil {
+			return token{}, lx.errorf(line, col, "bad number %q", text)
+		}
+		return token{tokInt, text, line, col}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		lx.advance()
+		for lx.pos < len(lx.src) && isIdentByte(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		upper := strings.ToUpper(text)
+		switch upper {
+		case "AND":
+			return token{tokAnd, text, line, col}, nil
+		case "NOT":
+			return token{tokNot, text, line, col}, nil
+		case "QUERY", "FILTER", "PLAN", "VIEWS":
+			// Section headers are the keyword immediately followed by ':'.
+			if lx.peekByte() == ':' && (lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] != '-') {
+				lx.advance()
+				return token{tokSection, upper, line, col}, nil
+			}
+		}
+		if unicode.IsUpper(rune(text[0])) {
+			return token{tokVar, text, line, col}, nil
+		}
+		return token{tokIdent, text, line, col}, nil
+	default:
+		return token{}, lx.errorf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// lexAll tokenizes the whole input (used by the parser).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

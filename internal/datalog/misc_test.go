@@ -1,0 +1,137 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/storage"
+)
+
+func TestConstructorHelpers(t *testing.T) {
+	if got := C(storage.Int(5)); got.Val != storage.Int(5) {
+		t.Errorf("C = %v", got)
+	}
+	a := NewAtom("r", Var("X"))
+	n := Not(a)
+	if !n.Negated || a.Negated {
+		t.Error("Not must negate a copy, not the original")
+	}
+	if n.String() != "NOT r(X)" {
+		t.Errorf("Not render = %q", n.String())
+	}
+}
+
+func TestHeadParams(t *testing.T) {
+	r := NewRule(NewAtom("answer", Param("p"), Var("X")),
+		NewAtom("r", Var("X"), Param("p")))
+	hp := r.HeadParams()
+	if len(hp) != 1 || hp[0] != "p" {
+		t.Errorf("HeadParams = %v", hp)
+	}
+	clean := NewRule(NewAtom("answer", Var("X")), NewAtom("r", Var("X")))
+	if len(clean.HeadParams()) != 0 {
+		t.Error("clean rule should have no head params")
+	}
+}
+
+func TestKindAndOpStrings(t *testing.T) {
+	if AggCount.String() != "COUNT" || AggSum.String() != "SUM" ||
+		AggMin.String() != "MIN" || AggMax.String() != "MAX" {
+		t.Error("AggKind names")
+	}
+	if !strings.Contains(AggKind(99).String(), "99") {
+		t.Error("unknown AggKind")
+	}
+	if !strings.Contains(CmpOp(99).String(), "99") {
+		t.Error("unknown CmpOp")
+	}
+	if Eq.Flip() != Eq || Ne.Flip() != Ne {
+		t.Error("Eq/Ne flip to themselves")
+	}
+}
+
+func TestCmpOpEvalPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown op Eval should panic")
+		}
+	}()
+	CmpOp(99).Eval(storage.Int(1), storage.Int(2))
+}
+
+func TestFilterSpecStringStar(t *testing.T) {
+	f := FilterSpec{Agg: AggCount, Op: Ge, Threshold: storage.Int(3)}
+	if f.String() != "COUNT(answer(*)) >= 3" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestParseFlockSectionErrors(t *testing.T) {
+	bad := []string{
+		"PLAN:\nanswer(B) :- r(B)\nFILTER:\nCOUNT(answer.B) >= 2",   // wrong first section
+		"QUERY:\nanswer(B) :- r(B)\nVIEWS:\nCOUNT(answer.B) >= 2",   // wrong second section
+		"QUERY:\nanswer(B) :- r(B)\nFILTER:\nCOUNT(answer.B) >= 2x", // trailing junk
+	}
+	for _, src := range bad {
+		if _, err := ParseFlock(src); err == nil {
+			t.Errorf("ParseFlock(%q) should error", src)
+		}
+	}
+}
+
+func TestParseFilterTrailingJunk(t *testing.T) {
+	if _, err := ParseFilter("COUNT(answer.B) >= 2 extra"); err == nil {
+		t.Error("trailing junk should error")
+	}
+	if _, err := ParseFilter("COUNT answer.B >= 2"); err == nil {
+		t.Error("missing parens should error")
+	}
+	if _, err := ParseFilter("COUNT(answer,B) >= 2"); err == nil {
+		t.Error("comma target should error")
+	}
+	if _, err := ParseFilter("COUNT(answer.B) ? 2"); err == nil {
+		t.Error("bad operator should error")
+	}
+	if _, err := ParseFilter("COUNT(answer.B) >= beer"); err == nil {
+		t.Error("non-numeric threshold should error")
+	}
+}
+
+func TestConstStringQuoting(t *testing.T) {
+	cases := map[string]Const{
+		"beer":     CStr("beer"),
+		`"two w"`:  CStr("two w"),
+		`"Upper"`:  CStr("Upper"),
+		"3":        CInt(3),
+		"2.5":      CFloat(2.5),
+		`"99"`:     CStr("99"), // numeric-looking strings must quote
+		`"it_9x"`:  {Val: storage.Str("it_9x\x00")},
+		`"has\"q"`: CStr(`has"q`),
+		`"a\nb"`:   CStr("a\nb"),
+		`""`:       CStr(""),
+	}
+	for want, c := range cases {
+		got := c.String()
+		// Escaping details vary with strconv.Quote; just check quoted-vs-
+		// bare and re-lexability for the plain ones.
+		if strings.HasPrefix(want, `"`) != strings.HasPrefix(got, `"`) {
+			t.Errorf("Const(%v).String() = %q, want quoting like %q", c.Val, got, want)
+		}
+	}
+}
+
+func TestUnionParamsAndString(t *testing.T) {
+	u, err := ParseUnion(`
+		answer(X) :- r(X,$a)
+		answer(Y) :- s(Y,$b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := u.Params()
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
+		t.Errorf("union params = %v", ps)
+	}
+	if !strings.Contains(u.String(), "\n") {
+		t.Error("union String should be multi-line")
+	}
+}

@@ -1,0 +1,549 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+
+	"queryflocks/internal/storage"
+)
+
+// FlockSource is the parsed form of a flock definition in the paper's
+// notation: an optional VIEWS: section defining intermediate predicates
+// (the §2.2 extension), a QUERY: section holding a union of rules, and a
+// FILTER: section holding the support condition (Figs. 2–4).
+type FlockSource struct {
+	Views  []*Rule
+	Query  Union
+	Filter FilterSpec
+}
+
+// PlanStepSpec is the parsed form of one FILTER step of a query plan
+// (§4.1, Fig. 5):
+//
+//	okS($s) := FILTER($s,
+//	    answer(P) :- exhibits(P,$s),
+//	    COUNT(answer.P) >= 20
+//	);
+type PlanStepSpec struct {
+	Name   string  // relation created by the step
+	Params []Param // the step's parameter list, in declared order
+	Query  Union
+	Filter FilterSpec
+}
+
+// PlanSpec is a parsed sequence of FILTER steps.
+type PlanSpec struct {
+	Steps []PlanStepSpec
+}
+
+// parser is a recursive-descent parser over a pre-lexed token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return fmt.Errorf("datalog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errorf(t, "expected %s, found %s", what, t)
+	}
+	return p.advance(), nil
+}
+
+// ParseRule parses a single rule such as
+//
+//	answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+func ParseRule(src string) (*Rule, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.rule()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errorf(t, "unexpected %s after rule", t)
+	}
+	return r, nil
+}
+
+// ParseUnion parses one or more rules (a union query, §3.4).
+func ParseUnion(src string) (Union, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	u, err := p.union(func(t token) bool { return t.kind == tokEOF })
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// ParseFilter parses a filter condition such as "COUNT(answer.B) >= 20".
+func ParseFilter(src string) (FilterSpec, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return FilterSpec{}, err
+	}
+	f, err := p.filter()
+	if err != nil {
+		return FilterSpec{}, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return FilterSpec{}, p.errorf(t, "unexpected %s after filter", t)
+	}
+	return f, nil
+}
+
+// ParseFlock parses a full flock definition:
+//
+//	QUERY:
+//	answer(B) :- baskets(B,$1) AND baskets(B,$2)
+//	FILTER:
+//	COUNT(answer.B) >= 20
+func ParseFlock(src string) (*FlockSource, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var views []*Rule
+	if t := p.peek(); t.kind == tokSection && t.text == "VIEWS" {
+		p.advance()
+		for p.peek().kind != tokSection && p.peek().kind != tokEOF {
+			r, err := p.rule()
+			if err != nil {
+				return nil, err
+			}
+			views = append(views, r)
+		}
+	}
+	if t, err := p.expect(tokSection, "'QUERY:'"); err != nil {
+		return nil, err
+	} else if t.text != "QUERY" {
+		return nil, p.errorf(t, "expected 'QUERY:', found '%s:'", t.text)
+	}
+	u, err := p.union(func(t token) bool { return t.kind == tokSection || t.kind == tokEOF })
+	if err != nil {
+		return nil, err
+	}
+	if t, err := p.expect(tokSection, "'FILTER:'"); err != nil {
+		return nil, err
+	} else if t.text != "FILTER" {
+		return nil, p.errorf(t, "expected 'FILTER:', found '%s:'", t.text)
+	}
+	f, err := p.filter()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errorf(t, "unexpected %s after flock", t)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &FlockSource{Views: views, Query: u, Filter: f}, nil
+}
+
+// ParsePlan parses a sequence of FILTER steps in the Fig. 5 notation.
+// An optional leading "PLAN:" section header is accepted.
+func ParsePlan(src string) (*PlanSpec, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSection && t.text == "PLAN" {
+		p.advance()
+	}
+	var spec PlanSpec
+	for p.peek().kind != tokEOF {
+		step, err := p.planStep()
+		if err != nil {
+			return nil, err
+		}
+		spec.Steps = append(spec.Steps, step)
+	}
+	if len(spec.Steps) == 0 {
+		return nil, fmt.Errorf("datalog: empty plan")
+	}
+	return &spec, nil
+}
+
+// union parses rules until stop(peek) holds.
+func (p *parser) union(stop func(token) bool) (Union, error) {
+	var u Union
+	for !stop(p.peek()) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		u = append(u, r)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// rule parses: atom ":-" subgoal (AND subgoal)*
+func (p *parser) rule() (*Rule, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplies, "':-'"); err != nil {
+		return nil, err
+	}
+	var body []Subgoal
+	for {
+		sg, err := p.subgoal()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, sg)
+		if p.peek().kind != tokAnd {
+			break
+		}
+		p.advance()
+	}
+	return &Rule{Head: head, Body: body}, nil
+}
+
+// subgoal parses: NOT atom | atom | term cmp term
+func (p *parser) subgoal() (Subgoal, error) {
+	t := p.peek()
+	if t.kind == tokNot {
+		p.advance()
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		a.Negated = true
+		return a, nil
+	}
+	// A relational atom begins with a predicate identifier followed by '('.
+	if t.kind == tokIdent && p.peekAt(1).kind == tokLParen {
+		return p.atom()
+	}
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokCmp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	op, err := cmpOpFromText(opTok.text)
+	if err != nil {
+		return nil, p.errorf(opTok, "%v", err)
+	}
+	return &Comparison{Op: op, Left: left, Right: right}, nil
+}
+
+// atom parses: pred "(" term ("," term)* ")"
+func (p *parser) atom() (*Atom, error) {
+	predTok := p.peek()
+	if predTok.kind != tokIdent {
+		return nil, p.errorf(predTok, "expected predicate name, found %s", predTok)
+	}
+	p.advance()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	a := &Atom{Pred: predTok.text}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, t)
+		sep := p.peek()
+		if sep.kind == tokComma {
+			p.advance()
+			continue
+		}
+		if sep.kind == tokRParen {
+			p.advance()
+			return a, nil
+		}
+		return nil, p.errorf(sep, "expected ',' or ')', found %s", sep)
+	}
+}
+
+// term parses one argument term.
+func (p *parser) term() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return Var(t.text), nil
+	case tokParam:
+		p.advance()
+		return Param(t.text), nil
+	case tokIdent:
+		p.advance()
+		return CStr(t.text), nil
+	case tokString:
+		p.advance()
+		return CStr(t.text), nil
+	case tokInt:
+		p.advance()
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		return CInt(i), nil
+	case tokFloat:
+		p.advance()
+		f, _ := strconv.ParseFloat(t.text, 64)
+		return CFloat(f), nil
+	default:
+		return nil, p.errorf(t, "expected a term, found %s", t)
+	}
+}
+
+// filter parses: AGG "(" target ")" op number, with target one of
+// "answer.Col", "answer(*)", or "*".
+func (p *parser) filter() (FilterSpec, error) {
+	aggTok := p.peek()
+	agg, ok := aggFromText(aggTok.text)
+	if aggTok.kind != tokVar || !ok {
+		return FilterSpec{}, p.errorf(aggTok, "expected COUNT, SUM, MIN, or MAX, found %s", aggTok)
+	}
+	p.advance()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return FilterSpec{}, err
+	}
+	var target string
+	switch t := p.peek(); t.kind {
+	case tokStar: // COUNT(*)
+		p.advance()
+	case tokIdent: // answer.Col or answer(*)
+		p.advance()
+		switch sep := p.peek(); sep.kind {
+		case tokDot:
+			p.advance()
+			col := p.peek()
+			if col.kind != tokVar && col.kind != tokIdent {
+				return FilterSpec{}, p.errorf(col, "expected a column name, found %s", col)
+			}
+			p.advance()
+			target = col.text
+		case tokLParen:
+			p.advance()
+			if _, err := p.expect(tokStar, "'*'"); err != nil {
+				return FilterSpec{}, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return FilterSpec{}, err
+			}
+		default:
+			return FilterSpec{}, p.errorf(sep, "expected '.' or '(*)' after %q", t.text)
+		}
+	default:
+		return FilterSpec{}, p.errorf(t, "expected filter target, found %s", t)
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return FilterSpec{}, err
+	}
+	opTok, err := p.expect(tokCmp, "comparison operator")
+	if err != nil {
+		return FilterSpec{}, err
+	}
+	op, err := cmpOpFromText(opTok.text)
+	if err != nil {
+		return FilterSpec{}, p.errorf(opTok, "%v", err)
+	}
+	numTok := p.peek()
+	var threshold storage.Value
+	switch numTok.kind {
+	case tokInt:
+		i, _ := strconv.ParseInt(numTok.text, 10, 64)
+		threshold = storage.Int(i)
+	case tokFloat:
+		f, _ := strconv.ParseFloat(numTok.text, 64)
+		threshold = storage.Float(f)
+	default:
+		return FilterSpec{}, p.errorf(numTok, "expected a numeric threshold, found %s", numTok)
+	}
+	p.advance()
+	// Normalize "20 <= COUNT(...)" style by construction: we only parse the
+	// aggregate-first form, so nothing to flip here.
+	return FilterSpec{Agg: agg, Target: target, Op: op, Threshold: threshold}, nil
+}
+
+// planStep parses one FILTER step of the Fig. 5 plan notation.
+func (p *parser) planStep() (PlanStepSpec, error) {
+	nameTok := p.peek()
+	if nameTok.kind != tokIdent && nameTok.kind != tokVar {
+		return PlanStepSpec{}, p.errorf(nameTok, "expected step relation name, found %s", nameTok)
+	}
+	p.advance()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	params, err := p.paramList(tokRParen)
+	if err != nil {
+		return PlanStepSpec{}, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	if _, err := p.expect(tokAssign, "':='"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	kw := p.peek()
+	if !(kw.kind == tokVar && kw.text == "FILTER") {
+		return PlanStepSpec{}, p.errorf(kw, "expected FILTER, found %s", kw)
+	}
+	p.advance()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	// Parameter list: either "($s,$m)" or "$s".
+	var stepParams []Param
+	if p.peek().kind == tokLParen {
+		p.advance()
+		stepParams, err = p.paramList(tokRParen)
+		if err != nil {
+			return PlanStepSpec{}, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return PlanStepSpec{}, err
+		}
+	} else {
+		stepParams, err = p.paramList(tokComma)
+		if err != nil {
+			return PlanStepSpec{}, err
+		}
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	// One or more rules, then the filter condition. A rule and the
+	// condition are both comma-separated; disambiguate by whether the next
+	// tokens begin an aggregate.
+	var u Union
+	for {
+		r, err := p.rule()
+		if err != nil {
+			return PlanStepSpec{}, err
+		}
+		u = append(u, r)
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return PlanStepSpec{}, err
+		}
+		if t := p.peek(); t.kind == tokVar && p.peekAt(1).kind == tokLParen {
+			if _, isAgg := aggFromText(t.text); isAgg {
+				break
+			}
+		}
+	}
+	if err := u.Validate(); err != nil {
+		return PlanStepSpec{}, err
+	}
+	f, err := p.filter()
+	if err != nil {
+		return PlanStepSpec{}, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return PlanStepSpec{}, err
+	}
+	if p.peek().kind == tokSemi {
+		p.advance()
+	}
+	if len(params) != len(stepParams) {
+		return PlanStepSpec{}, p.errorf(nameTok, "step %s declares %d parameters but FILTER lists %d",
+			nameTok.text, len(params), len(stepParams))
+	}
+	for i := range params {
+		if params[i] != stepParams[i] {
+			return PlanStepSpec{}, p.errorf(nameTok, "step %s parameter %d: %s vs %s",
+				nameTok.text, i, params[i], stepParams[i])
+		}
+	}
+	return PlanStepSpec{Name: nameTok.text, Params: params, Query: u, Filter: f}, nil
+}
+
+// paramList parses "$a, $b, ..." stopping before the given terminator.
+func (p *parser) paramList(until tokKind) ([]Param, error) {
+	var out []Param
+	for {
+		t, err := p.expect(tokParam, "a parameter")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param(t.text))
+		if p.peek().kind == tokComma && until != tokComma {
+			p.advance()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func cmpOpFromText(s string) (CmpOp, error) {
+	switch s {
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	case "=":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}
+
+func aggFromText(s string) (AggKind, bool) {
+	switch s {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,427 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/storage"
+)
+
+// The paper's running examples, used across the test suite.
+const (
+	// Fig. 2 plus the §2.3 arithmetic refinement.
+	basketRule = "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2"
+
+	// Example 2.2 / Fig. 3.
+	medicalRule = `answer(P) :-
+		exhibits(P,$s) AND
+		treatments(P,$m) AND
+		diagnoses(P,D) AND
+		NOT causes(D,$s)`
+
+	// Example 2.3 / Fig. 4 (3-rule union).
+	webUnion = `
+		answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+		answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+		answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2`
+)
+
+func mustRule(t *testing.T, src string) *Rule {
+	t.Helper()
+	r, err := ParseRule(src)
+	if err != nil {
+		t.Fatalf("ParseRule(%q): %v", src, err)
+	}
+	return r
+}
+
+func TestParseBasketRule(t *testing.T) {
+	r := mustRule(t, basketRule)
+	if r.Head.Pred != "answer" || len(r.Head.Args) != 1 {
+		t.Fatalf("head = %s", r.Head)
+	}
+	if len(r.Body) != 3 {
+		t.Fatalf("body has %d subgoals, want 3", len(r.Body))
+	}
+	if got := len(r.PositiveAtoms()); got != 2 {
+		t.Errorf("positive atoms = %d, want 2", got)
+	}
+	if got := len(r.Comparisons()); got != 1 {
+		t.Errorf("comparisons = %d, want 1", got)
+	}
+	params := r.Params()
+	if len(params) != 2 || params[0] != "1" || params[1] != "2" {
+		t.Errorf("params = %v", params)
+	}
+}
+
+func TestParseMedicalRule(t *testing.T) {
+	r := mustRule(t, medicalRule)
+	if len(r.Body) != 4 {
+		t.Fatalf("body has %d subgoals, want 4", len(r.Body))
+	}
+	neg := r.NegatedAtoms()
+	if len(neg) != 1 || neg[0].Pred != "causes" || !neg[0].Negated {
+		t.Fatalf("negated atoms = %v", neg)
+	}
+	vars := r.Vars()
+	if len(vars) != 2 || vars[0] != "D" || vars[1] != "P" {
+		t.Errorf("vars = %v", vars)
+	}
+	params := r.Params()
+	if len(params) != 2 || params[0] != "m" || params[1] != "s" {
+		t.Errorf("params = %v", params)
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	r := mustRule(t, `answer(B) :- baskets(B,beer) AND baskets(B,"rocky road") AND weight(B,3) AND score(B,2.5)`)
+	atoms := r.PositiveAtoms()
+	if c := atoms[0].Args[1].(Const); c.Val != storage.Str("beer") {
+		t.Errorf("symbol constant = %v", c)
+	}
+	if c := atoms[1].Args[1].(Const); c.Val != storage.Str("rocky road") {
+		t.Errorf("string constant = %v", c)
+	}
+	if c := atoms[2].Args[1].(Const); c.Val != storage.Int(3) {
+		t.Errorf("int constant = %v", c)
+	}
+	if c := atoms[3].Args[1].(Const); c.Val != storage.Float(2.5) {
+		t.Errorf("float constant = %v", c)
+	}
+}
+
+func TestParseComparisonForms(t *testing.T) {
+	ops := map[string]CmpOp{"<": Lt, "<=": Le, ">": Gt, ">=": Ge, "=": Eq, "!=": Ne}
+	for src, want := range ops {
+		r := mustRule(t, "answer(X) :- r(X,Y) AND X "+src+" Y")
+		cs := r.Comparisons()
+		if len(cs) != 1 || cs[0].Op != want {
+			t.Errorf("op %q parsed as %v", src, cs)
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		basketRule,
+		medicalRule,
+		`answer(X,Y) :- r(X,Y,z_9) AND NOT s(X,"a b") AND X >= 3`,
+	} {
+		r1 := mustRule(t, src)
+		r2 := mustRule(t, r1.String())
+		if r1.String() != r2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", r1, r2)
+		}
+	}
+}
+
+func TestParseUnionFig4(t *testing.T) {
+	u, err := ParseUnion(webUnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 3 {
+		t.Fatalf("union has %d rules, want 3", len(u))
+	}
+	params := u.Params()
+	if len(params) != 2 || params[0] != "1" || params[1] != "2" {
+		t.Errorf("union params = %v", params)
+	}
+	// Union round trip.
+	u2, err := ParseUnion(u.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.String() != u2.String() {
+		t.Error("union round trip changed")
+	}
+}
+
+func TestUnionValidate(t *testing.T) {
+	if err := (Union{}).Validate(); err == nil {
+		t.Error("empty union should be invalid")
+	}
+	bad, err := ParseUnion(`
+		answer(X) :- r(X)
+		other(X) :- r(X)`)
+	if err == nil {
+		t.Errorf("mismatched heads should fail to parse, got %v", bad)
+	}
+}
+
+func TestParseFlockFig2(t *testing.T) {
+	src := `
+	# Fig. 2: market-basket association rules as a query flock
+	QUERY:
+	answer(B) :-
+	    baskets(B,$1) AND
+	    baskets(B,$2)
+	FILTER:
+	COUNT(answer.B) >= 20`
+	fs, err := ParseFlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Query) != 1 {
+		t.Fatalf("rules = %d", len(fs.Query))
+	}
+	f := fs.Filter
+	if f.Agg != AggCount || f.Target != "B" || f.Op != Ge || f.Threshold != storage.Int(20) {
+		t.Errorf("filter = %+v", f)
+	}
+	if !f.Monotone() {
+		t.Error("COUNT >= must be monotone")
+	}
+	if got := f.String(); got != "COUNT(answer.B) >= 20" {
+		t.Errorf("filter String = %q", got)
+	}
+}
+
+func TestParseFlockFig4StarFilter(t *testing.T) {
+	fs, err := ParseFlock("QUERY:\n" + webUnion + "\nFILTER:\nCOUNT(answer(*)) >= 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Filter.Target != "" {
+		t.Errorf("star target parsed as %q", fs.Filter.Target)
+	}
+	if got := fs.Filter.String(); got != "COUNT(answer(*)) >= 20" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseFilterForms(t *testing.T) {
+	for _, src := range []string{
+		"COUNT(answer.B) >= 20",
+		"COUNT(answer(*)) >= 20",
+		"COUNT(*) >= 20",
+		"SUM(answer.W) >= 19.5",
+		"MIN(answer.X) <= 3",
+		"MAX(answer.X) >= 3",
+	} {
+		if _, err := ParseFilter(src); err != nil {
+			t.Errorf("ParseFilter(%q): %v", src, err)
+		}
+	}
+}
+
+func TestFilterMonotonicity(t *testing.T) {
+	cases := []struct {
+		src      string
+		monotone bool
+	}{
+		{"COUNT(answer.B) >= 20", true},
+		{"COUNT(answer.B) <= 20", false},
+		{"SUM(answer.W) >= 20", true},
+		{"SUM(answer.W) <= 20", false},
+		{"MIN(answer.W) <= 20", true},
+		{"MIN(answer.W) >= 20", false},
+		{"MAX(answer.W) >= 20", true},
+		{"MAX(answer.W) <= 20", false},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if f.Monotone() != c.monotone {
+			t.Errorf("%q: Monotone = %v, want %v", c.src, f.Monotone(), c.monotone)
+		}
+	}
+}
+
+func TestFilterValidate(t *testing.T) {
+	if err := (FilterSpec{Agg: AggSum, Target: "", Op: Ge, Threshold: storage.Int(1)}).Validate(); err == nil {
+		t.Error("SUM(*) should be invalid")
+	}
+	if err := (FilterSpec{Agg: AggCount, Target: "B", Op: Ge, Threshold: storage.Str("x")}).Validate(); err == nil {
+		t.Error("non-numeric threshold should be invalid")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"answer(B)",                      // no body
+		"answer(B) :-",                   // empty body
+		"answer(B) :- baskets(B",         // unterminated atom
+		"answer(B) :- baskets(B,$)",      // bad param
+		"answer(B) :- NOT $1 < $2",       // NOT on comparison
+		"answer(B) :- baskets(B,$1) $2",  // missing AND
+		`answer(B) :- baskets(B,"x)`,     // unterminated string
+		"answer(B) :- baskets(B,$1) AND", // trailing AND
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q): expected error", src)
+		}
+	}
+	badFlocks := []string{
+		"FILTER:\nCOUNT(answer.B) >= 20",
+		"QUERY:\nanswer(B) :- r(B)\nFILTER:\nCOUNT(answer.B) >= x",
+		"QUERY:\nanswer(B) :- r(B)",
+		"QUERY:\nanswer(B) :- r(B)\nFILTER:\nAVG(answer.B) >= 2",
+	}
+	for _, src := range badFlocks {
+		if _, err := ParseFlock(src); err == nil {
+			t.Errorf("ParseFlock(%q): expected error", src)
+		}
+	}
+}
+
+func TestParsePlanFig5(t *testing.T) {
+	// Fig. 5: the three-step plan for the medical mining problem.
+	src := `
+	okS($s) := FILTER($s,
+	    answer(P) :- exhibits(P,$s),
+	    COUNT(answer.P) >= 20
+	);
+	okM($m) := FILTER($m,
+	    answer(P) :- treatments(P,$m),
+	    COUNT(answer.P) >= 20
+	);
+	ok($s,$m) := FILTER(($s,$m),
+	    answer(P) :-
+	        okS($s) AND
+	        okM($m) AND
+	        diagnoses(P,D) AND
+	        exhibits(P,$s) AND
+	        treatments(P,$m) AND
+	        NOT causes(D,$s),
+	    COUNT(answer.P) >= 20
+	);`
+	plan, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(plan.Steps))
+	}
+	s0 := plan.Steps[0]
+	if s0.Name != "okS" || len(s0.Params) != 1 || s0.Params[0] != "s" {
+		t.Errorf("step 0 = %+v", s0)
+	}
+	last := plan.Steps[2]
+	if last.Name != "ok" || len(last.Params) != 2 {
+		t.Errorf("last step = %+v", last)
+	}
+	if len(last.Query[0].Body) != 6 {
+		t.Errorf("last step body = %d subgoals, want 6", len(last.Query[0].Body))
+	}
+	// The first two added subgoals must reference the earlier steps.
+	preds := last.Query[0].Predicates()
+	wantPreds := map[string]bool{"okS": true, "okM": true}
+	for _, p := range preds {
+		delete(wantPreds, p)
+	}
+	if len(wantPreds) != 0 {
+		t.Errorf("last step missing references: %v (has %v)", wantPreds, preds)
+	}
+}
+
+func TestParsePlanUnionStep(t *testing.T) {
+	src := `
+	ok1($1) := FILTER($1,
+	    answer(D) :- inTitle(D,$1),
+	    answer(A) :- inAnchor(A,$1),
+	    COUNT(answer(*)) >= 20
+	);`
+	plan, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps[0].Query) != 2 {
+		t.Errorf("union step rules = %d, want 2", len(plan.Steps[0].Query))
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"okS($s) := FILTER($m, answer(P) :- r(P,$m), COUNT(answer.P) >= 20);",    // param mismatch
+		"okS($s,$t) := FILTER($s, answer(P) :- r(P,$s), COUNT(answer.P) >= 20);", // arity mismatch
+		"okS($s) := JOIN($s, answer(P) :- r(P,$s), COUNT(answer.P) >= 20);",      // not FILTER
+		"okS($s) := FILTER($s, answer(P) :- r(P,$s), COUNT(answer.P) >= 20",      // missing ')'
+	}
+	for _, src := range bad {
+		if _, err := ParsePlan(src); err == nil {
+			t.Errorf("ParsePlan(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := []string{"@", "answer(B) :~ r(B)", "! x", "$", `"abc`, `"\q"`, "3..4"}
+	for _, src := range bad {
+		if _, err := lexAll(src); err == nil {
+			// "3..4" lexes as 3. .4? ensure at least no panic; some may lex fine.
+			if src != "3..4" {
+				t.Errorf("lexAll(%q): expected error", src)
+			}
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+	# leading comment
+	answer(B) :- // inline comment style
+	    baskets(B,$1)   # trailing
+	`
+	r := mustRule(t, strings.TrimSpace(src))
+	if len(r.Body) != 1 {
+		t.Errorf("body = %v", r.Body)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	r := mustRule(t, basketRule)
+	s := Substitution{"1": CStr("beer"), "2": CStr("diapers")}
+	inst := r.Substitute(s)
+	if len(inst.Params()) != 0 {
+		t.Errorf("instantiated rule still has params: %v", inst.Params())
+	}
+	want := `answer(B) :- baskets(B,beer) AND baskets(B,diapers) AND beer < diapers`
+	if inst.String() != want {
+		t.Errorf("Substitute = %s, want %s", inst, want)
+	}
+	// Original unchanged.
+	if len(r.Params()) != 2 {
+		t.Error("Substitute mutated the original rule")
+	}
+}
+
+func TestDeleteSubgoals(t *testing.T) {
+	r := mustRule(t, medicalRule)
+	sub := r.DeleteSubgoals(1, 3) // drop treatments and NOT causes
+	if len(sub.Body) != 2 {
+		t.Fatalf("body = %d", len(sub.Body))
+	}
+	if sub.String() != "answer(P) :- exhibits(P,$s) AND diagnoses(P,D)" {
+		t.Errorf("sub = %s", sub)
+	}
+	if len(r.Body) != 4 {
+		t.Error("DeleteSubgoals mutated the original")
+	}
+	if !IsSubgoalSubset(sub, r) {
+		t.Error("deleted-subgoal query should be a subgoal subset")
+	}
+}
+
+func TestCmpOpEvalAndFlip(t *testing.T) {
+	a, b := storage.Int(1), storage.Int(2)
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{{Lt, true}, {Le, true}, {Gt, false}, {Ge, false}, {Eq, false}, {Ne, true}}
+	for _, c := range cases {
+		if c.op.Eval(a, b) != c.want {
+			t.Errorf("%v.Eval(1,2) = %v", c.op, !c.want)
+		}
+		// a op b == b flip(op) a
+		if c.op.Eval(a, b) != c.op.Flip().Eval(b, a) {
+			t.Errorf("Flip(%v) inconsistent", c.op)
+		}
+	}
+}

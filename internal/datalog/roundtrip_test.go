@@ -1,0 +1,153 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTerm draws an arbitrary term.
+func randomTerm(rng *rand.Rand) Term {
+	switch rng.Intn(6) {
+	case 0:
+		return Var([]string{"X", "Y", "Z", "W1", "Count2"}[rng.Intn(5)])
+	case 1:
+		return Param([]string{"1", "2", "s", "m", "p9"}[rng.Intn(5)])
+	case 2:
+		return CInt(int64(rng.Intn(2000) - 1000))
+	case 3:
+		return CFloat(float64(rng.Intn(1000)) / 4)
+	case 4:
+		return CStr([]string{"beer", "diapers", "a_b", "x9"}[rng.Intn(4)])
+	default:
+		return CStr("hello world!") // forces quoting
+	}
+}
+
+// randomAST builds an arbitrary syntactically valid rule (not necessarily
+// safe — the parser and printer must round-trip regardless).
+func randomAST(rng *rand.Rand) *Rule {
+	preds := []string{"r", "s", "t_2", "longPredName"}
+	head := NewAtom("answer")
+	for i := rng.Intn(3); i > 0; i-- {
+		head.Args = append(head.Args, Var([]string{"X", "Y", "Z"}[rng.Intn(3)]))
+	}
+	if len(head.Args) == 0 {
+		head.Args = append(head.Args, Var("X"))
+	}
+	n := 1 + rng.Intn(5)
+	body := make([]Subgoal, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			a := NewAtom(preds[rng.Intn(len(preds))])
+			for j := 1 + rng.Intn(3); j > 0; j-- {
+				a.Args = append(a.Args, randomTerm(rng))
+			}
+			body = append(body, a)
+		case 2:
+			a := NewAtom(preds[rng.Intn(len(preds))], randomTerm(rng), randomTerm(rng))
+			a.Negated = true
+			body = append(body, a)
+		default:
+			ops := []CmpOp{Lt, Le, Gt, Ge, Eq, Ne}
+			body = append(body, &Comparison{
+				Op:   ops[rng.Intn(len(ops))],
+				Left: randomTerm(rng), Right: randomTerm(rng),
+			})
+		}
+	}
+	return NewRule(head, body...)
+}
+
+// TestRuleRoundTripProperty: for random ASTs, parse(String(ast)) must
+// render identically to the original — the printer and parser are inverse
+// up to normalization (which String already performs).
+func TestRuleRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := randomAST(rng)
+		src := r1.String()
+		r2, err := ParseRule(src)
+		if err != nil {
+			t.Logf("parse failed on %q: %v", src, err)
+			return false
+		}
+		return r2.String() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneIsDeepProperty: mutating a clone must never affect the
+// original's rendering.
+func TestCloneIsDeepProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := randomAST(rng)
+		before := r1.String()
+		c := r1.Clone()
+		c.Head.Pred = "mutated"
+		c.Head.Args = append(c.Head.Args, Var("Q"))
+		for _, sg := range c.Body {
+			switch g := sg.(type) {
+			case *Atom:
+				g.Pred = "mutated"
+				if len(g.Args) > 0 {
+					g.Args[0] = CStr("mutated")
+				}
+			case *Comparison:
+				g.Left = CStr("mutated")
+			}
+		}
+		return r1.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRenameParamsProperty: renaming by an identity map is a no-op, and a
+// rename followed by its inverse restores the rendering.
+func TestRenameParamsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomAST(rng)
+		before := r.String()
+		if r.RenameParams(map[Param]Param{}).String() != before {
+			return false
+		}
+		sigma := map[Param]Param{"1": "tmp1", "2": "tmp2", "s": "tmpS"}
+		inverse := map[Param]Param{"tmp1": "1", "tmp2": "2", "tmpS": "s"}
+		return r.RenameParams(sigma).RenameParams(inverse).String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeleteSubgoalsProperty: deleting nothing preserves the rule, and any
+// deletion yields a body that is a subgoal subset of the original.
+func TestDeleteSubgoalsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomAST(rng)
+		if r.DeleteSubgoals().String() != r.String() {
+			return false
+		}
+		n := len(r.Body)
+		mask := rng.Intn(1 << n)
+		var drop []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				drop = append(drop, i)
+			}
+		}
+		sub := r.DeleteSubgoals(drop...)
+		return IsSubgoalSubset(sub, r) && len(sub.Body) == n-len(drop)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

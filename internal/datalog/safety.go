@@ -1,0 +1,111 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the safety conditions of §3.2–§3.3. A safe query is
+// one whose result is finite on every database, and only safe subqueries
+// can serve as a-priori-style pre-filters. Per §3.3 there are three
+// conditions, and "parameters are variables, not constants" for conditions
+// (2) and (3); parameters never appear in heads, so condition (1) does not
+// involve them.
+
+// SafetyViolation describes one way a rule fails the safety conditions.
+type SafetyViolation struct {
+	Condition int    // 1, 2, or 3, numbered as in §3.3
+	Term      string // the offending variable or parameter, rendered
+	Subgoal   string // the subgoal that triggered the requirement ("" for heads)
+}
+
+// Error renders the violation.
+func (v SafetyViolation) Error() string {
+	where := "the head"
+	if v.Subgoal != "" {
+		where = fmt.Sprintf("subgoal %s", v.Subgoal)
+	}
+	return fmt.Sprintf("safety condition (%d): %s in %s does not appear in a positive relational subgoal",
+		v.Condition, v.Term, where)
+}
+
+// CheckSafety returns all safety violations of the rule, or nil if the rule
+// is safe. The three conditions (§3.3):
+//
+//  1. Every variable in the head appears in a non-negated, non-arithmetic
+//     subgoal of the body.
+//  2. Every variable (or parameter) in a negated subgoal appears in a
+//     non-negated, non-arithmetic subgoal.
+//  3. Every variable (or parameter) in an arithmetic subgoal appears in a
+//     non-negated, non-arithmetic subgoal.
+func CheckSafety(r *Rule) []SafetyViolation {
+	positive := make(map[Term]struct{})
+	for _, a := range r.PositiveAtoms() {
+		for _, t := range a.Args {
+			switch t.(type) {
+			case Var, Param:
+				positive[t] = struct{}{}
+			}
+		}
+	}
+	limited := func(t Term) bool {
+		switch t.(type) {
+		case Var, Param:
+			_, ok := positive[t]
+			return ok
+		default: // constants are always limited
+			return true
+		}
+	}
+
+	var out []SafetyViolation
+	for _, t := range r.Head.Args {
+		if _, isVar := t.(Var); isVar && !limited(t) {
+			out = append(out, SafetyViolation{Condition: 1, Term: t.String()})
+		}
+	}
+	for _, a := range r.NegatedAtoms() {
+		for _, t := range a.Args {
+			if !limited(t) {
+				out = append(out, SafetyViolation{Condition: 2, Term: t.String(), Subgoal: a.String()})
+			}
+		}
+	}
+	for _, c := range r.Comparisons() {
+		for _, t := range []Term{c.Left, c.Right} {
+			if !limited(t) {
+				out = append(out, SafetyViolation{Condition: 3, Term: t.String(), Subgoal: c.String()})
+			}
+		}
+	}
+	return out
+}
+
+// IsSafe reports whether the rule satisfies all three safety conditions.
+func IsSafe(r *Rule) bool { return len(CheckSafety(r)) == 0 }
+
+// IsSafeUnion reports whether every rule of the union is safe; per §3.4 a
+// union bounds the original only if each member subquery is safe.
+func IsSafeUnion(u Union) bool {
+	for _, r := range u {
+		if !IsSafe(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExplainSafety renders a human-readable safety report for a rule, used by
+// the CLI's explain mode.
+func ExplainSafety(r *Rule) string {
+	vs := CheckSafety(r)
+	if len(vs) == 0 {
+		return fmt.Sprintf("%s\n  safe", r)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r)
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  UNSAFE: %s\n", v.Error())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

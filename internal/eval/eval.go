@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// Options configures rule evaluation.
+type Options struct {
+	// Order selects the join-order strategy; zero value is OrderGreedy.
+	Order OrderStrategy
+	// FixedOrder, when non-nil, overrides Order with an explicit sequence
+	// of positive-atom indices.
+	FixedOrder []int
+	// Trace, when non-nil, records every operator application.
+	Trace *Trace
+	// Parallel evaluates the branches of a union concurrently. Base
+	// relations are shared read-only (lazy index builds are locked);
+	// results merge deterministically.
+	Parallel bool
+}
+
+func (o *Options) orDefault() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// EvalRule evaluates a single safe rule against db and projects the result
+// onto the given output terms (deduplicated; set semantics). A nil out
+// projects onto the rule's head arguments.
+func EvalRule(db *storage.Database, r *datalog.Rule, out []datalog.Term, opts *Options) (*storage.Relation, error) {
+	o := opts.orDefault()
+	if out == nil {
+		out = r.Head.Args
+	}
+	ex, err := NewExecutor(db, r, o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	order := o.FixedOrder
+	if order == nil {
+		order, err = JoinOrder(db, r, o.Order)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(order) != len(r.PositiveAtoms()) {
+		return nil, fmt.Errorf("eval: join order covers %d of %d atoms", len(order), len(r.PositiveAtoms()))
+	}
+	for _, i := range order {
+		if ex.Joined(i) { // absorbed into an earlier scan as a semi-join
+			continue
+		}
+		if err := ex.JoinNext(i); err != nil {
+			return nil, err
+		}
+	}
+	return ex.Finish(out)
+}
+
+// EvalUnion evaluates a union of rules and unions the projected results.
+// outFor returns the output terms for each rule; the projections must have
+// equal arity. Set semantics: duplicates across rules collapse.
+func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule) []datalog.Term, opts *Options) (*storage.Relation, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.orDefault()
+	parts := make([]*storage.Relation, len(u))
+	if o.Parallel && len(u) > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, len(u))
+		for i, r := range u {
+			wg.Add(1)
+			go func(i int, r *datalog.Rule) {
+				defer wg.Done()
+				parts[i], errs[i] = EvalRule(db, r, outFor(r), opts)
+			}(i, r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, r := range u {
+			part, err := EvalRule(db, r, outFor(r), opts)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = part
+		}
+	}
+
+	result := parts[0]
+	for _, part := range parts[1:] {
+		if result.Arity() != part.Arity() {
+			return nil, fmt.Errorf("eval: union branches project %d vs %d columns", result.Arity(), part.Arity())
+		}
+		for _, t := range part.Tuples() {
+			result.Insert(t)
+		}
+	}
+	return result, nil
+}
+
+// EvalGround evaluates a fully instantiated rule (no parameters) and
+// reports the tuples of its head predicate — the per-assignment "result of
+// the query" of the flock semantics (§2).
+func EvalGround(db *storage.Database, r *datalog.Rule, opts *Options) (*storage.Relation, error) {
+	if ps := r.Params(); len(ps) > 0 {
+		return nil, fmt.Errorf("eval: rule still has parameters %v", ps)
+	}
+	return EvalRule(db, r, nil, opts)
+}

@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+func TestParallelUnionMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := storage.NewDatabase()
+	r := storage.NewRelation("r", "A", "B")
+	s := storage.NewRelation("s", "A", "B")
+	for i := 0; i < 3_000; i++ {
+		r.InsertValues(storage.Int(int64(rng.Intn(300))), storage.Int(int64(rng.Intn(300))))
+		s.InsertValues(storage.Int(int64(rng.Intn(300))), storage.Int(int64(rng.Intn(300))))
+	}
+	db.Add(r)
+	db.Add(s)
+
+	u, err := datalog.ParseUnion(`
+		answer(A) :- r(A,$x) AND s($x,B)
+		answer(B) :- s(A,$x) AND r($x,B)
+		answer(A) :- r(A,$x) AND r($x,A)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outFor := func(rule *datalog.Rule) []datalog.Term {
+		return []datalog.Term{datalog.Param("x"), rule.Head.Args[0]}
+	}
+
+	seq, err := EvalUnion(db, u, outFor, &Options{Parallel: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &Trace{}
+	par, err := EvalUnion(db, u, outFor, &Options{Parallel: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(seq) {
+		t.Fatalf("parallel union differs: %d vs %d tuples", par.Len(), seq.Len())
+	}
+	if len(tr.Steps) == 0 {
+		t.Error("trace should record steps from all branches")
+	}
+}
+
+func TestParallelUnionPropagatesErrors(t *testing.T) {
+	db := storage.NewDatabase()
+	db.Add(storage.NewRelation("r", "A"))
+	u, err := datalog.ParseUnion(`
+		answer(A) :- r(A) AND missing(A,$x)
+		answer(A) :- r(A) AND r($x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EvalUnion(db, u, func(rule *datalog.Rule) []datalog.Term {
+		return rule.Head.Args
+	}, &Options{Parallel: true})
+	if err == nil {
+		t.Error("missing relation in one branch should fail the union")
+	}
+}
+
+// TestConcurrentIndexBuild hammers lazy index construction from many
+// goroutines; run with -race to verify the locking.
+func TestConcurrentIndexBuild(t *testing.T) {
+	r := storage.NewRelation("r", "A", "B", "C")
+	for i := 0; i < 5_000; i++ {
+		r.InsertValues(storage.Int(int64(i%97)), storage.Int(int64(i%31)), storage.Int(int64(i)))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				cols := []int{(g + k) % 3}
+				ix := r.Index(cols)
+				if ix.GroupCount() == 0 {
+					t.Error("empty index")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

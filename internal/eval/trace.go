@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceStep records one operator application and the size of its result.
+// The dynamic strategy of §4.4 reads these sizes to decide whether a FILTER
+// step is worthwhile; benches and the CLI's explain mode print them.
+type TraceStep struct {
+	Desc string
+	Rows int
+}
+
+// Trace accumulates the intermediate-result sizes of an evaluation.
+// Recording is safe from concurrent branches (parallel union evaluation);
+// step order across branches is then nondeterministic.
+type Trace struct {
+	mu    sync.Mutex
+	Steps []TraceStep
+}
+
+func (t *Trace) add(desc string, rows int) {
+	t.mu.Lock()
+	t.Steps = append(t.Steps, TraceStep{Desc: desc, Rows: rows})
+	t.mu.Unlock()
+}
+
+// Add records an externally performed step (e.g. a FILTER reduction done by
+// a planner between joins).
+func (t *Trace) Add(desc string, rows int) { t.add(desc, rows) }
+
+// MaxRows returns the largest intermediate size seen — the usual proxy for
+// the memory high-water mark of a join pipeline.
+func (t *Trace) MaxRows() int {
+	max := 0
+	for _, s := range t.Steps {
+		if s.Rows > max {
+			max = s.Rows
+		}
+	}
+	return max
+}
+
+// TotalRows returns the sum of all intermediate sizes — the cost proxy the
+// planner's estimates are calibrated against.
+func (t *Trace) TotalRows() int {
+	total := 0
+	for _, s := range t.Steps {
+		total += s.Rows
+	}
+	return total
+}
+
+// String renders the trace one step per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.Steps {
+		fmt.Fprintf(&b, "%2d. %-40s %8d rows\n", i+1, s.Desc, s.Rows)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallConfig keeps the suite fast in CI while still exercising every
+// code path.
+func smallConfig() Config { return Config{Scale: 0.05, Seed: 7} }
+
+func TestSuiteRunsAtSmallScale(t *testing.T) {
+	for _, e := range Suite() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(smallConfig())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table ID %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			out := tab.String()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tab.Header[0]) {
+				t.Errorf("rendering missing ID/header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E5")
+	if err != nil || e.ID != "E5" {
+		t.Fatalf("ByID(E5) = %v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("yes", "1")
+	tab.AddRow("longer cell", "2")
+	tab.AddNote("hello %d", 42)
+	out := tab.String()
+	for _, want := range []string{"== EX: demo ==", "longer cell", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and rows share the width of the longest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}
+
+func TestConfigScaled(t *testing.T) {
+	c := Config{Scale: 0.001}
+	if c.scaled(100) != 1 {
+		t.Errorf("scaled floor = %d, want 1", c.scaled(100))
+	}
+	c = Config{Scale: 2}
+	if c.scaled(100) != 200 {
+		t.Errorf("scaled = %d", c.scaled(100))
+	}
+	if DefaultConfig().Scale != 1.0 {
+		t.Error("default scale")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != "1.5ms" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := speedup(20*time.Millisecond, 10*time.Millisecond); got != "2.0x" {
+		t.Errorf("speedup = %q", got)
+	}
+	if got := speedup(time.Second, 0); got != "inf" {
+		t.Errorf("speedup by zero = %q", got)
+	}
+}

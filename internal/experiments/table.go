@@ -1,0 +1,120 @@
+// Package experiments implements the reproduction suite: one experiment
+// per figure or quantitative claim of the paper (see DESIGN.md §4 for the
+// index). Each experiment builds its workload, runs the competing
+// strategies, and returns a Table that cmd/flockbench prints and
+// EXPERIMENTS.md records.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result. The struct marshals directly to
+// JSON for machine-readable output (flockbench -json).
+type Table struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string `json:"id"`
+	// Title describes the experiment and the paper artifact it reproduces.
+	Title string `json:"title"`
+	// Header names the columns.
+	Header []string `json:"header"`
+	// Rows holds the measurements.
+	Rows [][]string `json:"rows"`
+	// Notes carries the claim being checked and the observed verdict.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales the experiment workloads.
+type Config struct {
+	// Scale multiplies the default workload sizes; 1.0 is the EXPERIMENTS
+	// reference scale. Smaller values keep CI fast.
+	Scale float64
+	// Seed drives every generator.
+	Seed int64
+}
+
+// DefaultConfig is the reference configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1998} }
+
+func (c Config) scaled(n int) int {
+	s := int(float64(n) * c.Scale)
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// timed measures one evaluation and returns its duration. A garbage
+// collection runs first so one strategy's allocation debris does not bill
+// the next strategy's clock.
+func timed(f func() error) (time.Duration, error) {
+	runtime.GC()
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+
+// speedup formats a ratio between two durations.
+func speedup(base, other time.Duration) string {
+	if other <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
+}

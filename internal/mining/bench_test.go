@@ -1,0 +1,36 @@
+package mining
+
+import (
+	"testing"
+
+	"queryflocks/internal/apriori"
+	"queryflocks/internal/workload"
+)
+
+func BenchmarkFrequentItemsetsFlockSequence(b *testing.B) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 3_000, Items: 300, MeanSize: 8, Skew: 1.1, Seed: 10,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FrequentItemsets(db, 30, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrequentItemsetsClassic(b *testing.B) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 3_000, Items: 300, MeanSize: 8, Skew: 1.1, Seed: 10,
+	})
+	ds, err := apriori.FromBaskets(db.MustRelation("baskets"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.Frequent(ds, 30, 0)
+	}
+}

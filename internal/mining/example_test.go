@@ -1,0 +1,40 @@
+package mining_test
+
+import (
+	"fmt"
+
+	"queryflocks/internal/mining"
+	"queryflocks/internal/storage"
+)
+
+// Frequent itemsets of every cardinality, mined as footnote 2's sequence
+// of flocks.
+func ExampleFrequentItemsets() {
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	for bid, items := range map[int64][]string{
+		1: {"beer", "chips", "diapers"},
+		2: {"beer", "chips", "diapers"},
+		3: {"beer", "diapers"},
+		4: {"chips"},
+	} {
+		for _, it := range items {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	db := storage.NewDatabase()
+	db.Add(rel)
+
+	res, err := mining.FrequentItemsets(db, 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	for k, level := range res.Levels {
+		fmt.Printf("L%d: %d sets\n", k+1, level.Len())
+	}
+	fmt.Println("maximal:", len(res.MaximalItemsets()))
+	// Output:
+	// L1: 3 sets
+	// L2: 3 sets
+	// L3: 1 sets
+	// maximal: 1
+}

@@ -1,0 +1,191 @@
+package mining
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"queryflocks/internal/apriori"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// aprioriLevels converts the classic algorithm's output into the same
+// shape as Result.Levels for comparison.
+func aprioriLevels(t *testing.T, rel *storage.Relation, support, maxK int) []*storage.Relation {
+	t.Helper()
+	ds, err := apriori.FromBaskets(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*storage.Relation
+	for k, level := range apriori.Frequent(ds, support, maxK) {
+		if len(level) == 0 {
+			break
+		}
+		cols := make([]string, k+1)
+		for i := range cols {
+			cols[i] = "$" + string(rune('1'+i))
+		}
+		lr := storage.NewRelation(levelRelName(k+1), cols...)
+		for _, c := range level {
+			tuple := make(storage.Tuple, len(c.Items))
+			for i, it := range c.Items {
+				tuple[i] = ds.Value(it)
+			}
+			// Item IDs sort by first appearance, not by value; re-sort by
+			// value to match the flock's $1 < $2 < ... ordering.
+			sort.Slice(tuple, func(a, b int) bool { return tuple[a].Compare(tuple[b]) < 0 })
+			lr.Insert(tuple)
+		}
+		out = append(out, lr)
+	}
+	return out
+}
+
+func TestFrequentItemsetsMatchesApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 8; trial++ {
+		db := workload.Baskets(workload.BasketConfig{
+			Baskets:  100 + rng.Intn(300),
+			Items:    6 + rng.Intn(12),
+			MeanSize: 3 + rng.Intn(3),
+			Skew:     rng.Float64(),
+			Seed:     rng.Int63(),
+		})
+		support := 3 + rng.Intn(6)
+		res, err := FrequentItemsets(db, support, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := aprioriLevels(t, db.MustRelation("baskets"), support, 0)
+		if len(res.Levels) != len(want) {
+			t.Fatalf("trial %d support %d: %d levels, apriori has %d",
+				trial, support, len(res.Levels), len(want))
+		}
+		for k := range want {
+			if !res.Levels[k].Equal(want[k]) {
+				t.Fatalf("trial %d support %d level %d differs:\nflocks:\n%s\napriori:\n%s",
+					trial, support, k+1, res.Levels[k].Dump(), want[k].Dump())
+			}
+		}
+	}
+}
+
+func TestFrequentItemsetsMaxK(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 200, Items: 10, MeanSize: 5, Skew: 0.5, Seed: 9,
+	})
+	res, err := FrequentItemsets(db, 5, &Options{MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) > 2 {
+		t.Errorf("MaxK=2 produced %d levels", len(res.Levels))
+	}
+	full, err := FrequentItemsets(db, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Levels {
+		if !res.Levels[k].Equal(full.Levels[k]) {
+			t.Errorf("level %d differs between MaxK and unbounded runs", k+1)
+		}
+	}
+}
+
+func TestFrequentItemsetsFlockShape(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 100, Items: 8, MeanSize: 4, Skew: 0.5, Seed: 2,
+	})
+	res, err := FrequentItemsets(db, 3, &Options{MaxK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flocks) < 2 {
+		t.Fatal("expected at least two flocks in the sequence")
+	}
+	// The k=2 flock must reference freq1 for both parameters (footnote 2:
+	// "each flock depending on the result of the previous flock").
+	rule := res.Flocks[1].Query[0]
+	refs := 0
+	for _, p := range rule.Predicates() {
+		if p == "freq1" {
+			refs = 1
+		}
+	}
+	if refs == 0 {
+		t.Errorf("k=2 flock does not reference freq1: %s", rule)
+	}
+	// Level columns are $1..$k.
+	if got := res.Levels[1].Columns(); len(got) != 2 || got[0] != "$1" || got[1] != "$2" {
+		t.Errorf("level-2 columns = %v", got)
+	}
+}
+
+func TestMaximalItemsets(t *testing.T) {
+	// Baskets: 5x {a,b,c}, 5x {d,e}; support 4 => maximal sets {a,b,c}
+	// and {d,e}.
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	bid := int64(0)
+	for i := 0; i < 5; i++ {
+		bid++
+		for _, it := range []string{"a", "b", "c"} {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		bid++
+		for _, it := range []string{"d", "e"} {
+			rel.InsertValues(storage.Int(bid), storage.Str(it))
+		}
+	}
+	db := storage.NewDatabase()
+	db.Add(rel)
+	res, err := FrequentItemsets(db, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 5+4+1 { // 5 singletons, 4 pairs ({a,b},{a,c},{b,c},{d,e}), 1 triple
+		t.Fatalf("total itemsets = %d; levels: %v", res.Count(), res.Levels)
+	}
+	max := res.MaximalItemsets()
+	if len(max) != 2 {
+		for _, m := range max {
+			t.Logf("  maximal: %v", m)
+		}
+		t.Fatalf("maximal sets = %d, want 2", len(max))
+	}
+}
+
+func TestFrequentItemsetsErrors(t *testing.T) {
+	db := storage.NewDatabase()
+	if _, err := FrequentItemsets(db, 2, nil); err == nil {
+		t.Error("missing relation should error")
+	}
+	bad := storage.NewRelation("baskets", "A", "B", "C")
+	db.Add(bad)
+	if _, err := FrequentItemsets(db, 2, nil); err == nil {
+		t.Error("arity 3 should error")
+	}
+	db2 := storage.NewDatabase()
+	db2.Add(storage.NewRelation("baskets", "BID", "Item"))
+	if _, err := FrequentItemsets(db2, 0, nil); err == nil {
+		t.Error("support 0 should error")
+	}
+	db2.Add(storage.NewRelation("freq1", "X"))
+	if _, err := FrequentItemsets(db2, 2, nil); err == nil {
+		t.Error("freq1 name collision should error")
+	}
+}
+
+func TestIsSubsetSorted(t *testing.T) {
+	a := storage.Tuple{storage.Int(1), storage.Int(3)}
+	b := storage.Tuple{storage.Int(1), storage.Int(2), storage.Int(3)}
+	if !isSubsetSorted(a, b) {
+		t.Error("{1,3} should be subset of {1,2,3}")
+	}
+	if isSubsetSorted(b, a) {
+		t.Error("{1,2,3} is not a subset of {1,3}")
+	}
+}

@@ -1,0 +1,89 @@
+// Package paper provides the query flocks of the paper's figures as
+// ready-made constructors, parametrized by support threshold. These are
+// the canonical artifacts the experiment suite (EXPERIMENTS.md) runs.
+package paper
+
+import (
+	"fmt"
+	"strings"
+
+	"queryflocks/internal/core"
+)
+
+// MarketBasket returns the Fig. 2 flock — pairs of items appearing in at
+// least `support` baskets — including the §2.3 arithmetic refinement
+// $1 < $2 that reports each pair once.
+func MarketBasket(support int) *core.Flock {
+	return core.MustParse(fmt.Sprintf(`
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= %d`, support))
+}
+
+// MarketBasketUnordered returns Fig. 2 exactly as printed (no ordering
+// subgoal): every qualifying pair appears in both orders.
+func MarketBasketUnordered(support int) *core.Flock {
+	return core.MustParse(fmt.Sprintf(`
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2)
+FILTER:
+COUNT(answer.B) >= %d`, support))
+}
+
+// Medical returns the Fig. 3 flock: (symptom, medicine) pairs where at
+// least `support` patients take the medicine and exhibit the symptom, yet
+// their disease does not explain it.
+func Medical(support int) *core.Flock {
+	return core.MustParse(fmt.Sprintf(`
+QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= %d`, support))
+}
+
+// WebWords returns the Fig. 4 union flock: strongly connected word pairs,
+// counted across title-title co-occurrence and anchor-to-title links.
+func WebWords(support int) *core.Flock {
+	return core.MustParse(fmt.Sprintf(`
+QUERY:
+answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+FILTER:
+COUNT(answer(*)) >= %d`, support))
+}
+
+// Path returns the Fig. 6 flock: nodes $1 with at least `support`
+// successors X from which a path of length n extends. n >= 0; n = 0 gives
+// the single-subgoal fanout query.
+func Path(n, support int) *core.Flock {
+	var b strings.Builder
+	b.WriteString("QUERY:\nanswer(X) :- arc($1,X)")
+	prev := "X"
+	for i := 1; i <= n; i++ {
+		cur := fmt.Sprintf("Y%d", i)
+		fmt.Fprintf(&b, " AND arc(%s,%s)", prev, cur)
+		prev = cur
+	}
+	fmt.Fprintf(&b, "\nFILTER:\nCOUNT(answer.X) >= %d", support)
+	return core.MustParse(b.String())
+}
+
+// WeightedBasket returns the Fig. 10 monotone-SUM flock: item pairs whose
+// co-occurring baskets have total importance at least `support`.
+func WeightedBasket(support int) *core.Flock {
+	return core.MustParse(fmt.Sprintf(`
+QUERY:
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W) AND
+    $1 < $2
+FILTER:
+SUM(answer.W) >= %d`, support))
+}

@@ -1,0 +1,48 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructorsParse(t *testing.T) {
+	for name, n := range map[string]int{
+		"MarketBasket":          len(MarketBasket(20).Params),
+		"MarketBasketUnordered": len(MarketBasketUnordered(20).Params),
+		"Medical":               len(Medical(20).Params),
+		"WebWords":              len(WebWords(20).Params),
+		"WeightedBasket":        len(WeightedBasket(20).Params),
+	} {
+		if n != 2 {
+			t.Errorf("%s: params = %d, want 2", name, n)
+		}
+	}
+	if len(WebWords(20).Query) != 3 {
+		t.Error("WebWords should be a 3-rule union")
+	}
+}
+
+func TestPathArity(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		f := Path(n, 20)
+		if got := len(f.Query[0].Body); got != n+1 {
+			t.Errorf("Path(%d): %d subgoals, want %d", n, got, n+1)
+		}
+		if len(f.Params) != 1 {
+			t.Errorf("Path(%d): params = %v", n, f.Params)
+		}
+	}
+	// Fig. 6 shape for n = 3.
+	src := Path(3, 20).Query[0].String()
+	want := "answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2) AND arc(Y2,Y3)"
+	if src != want {
+		t.Errorf("Path(3) = %s", src)
+	}
+}
+
+func TestThresholdWiring(t *testing.T) {
+	f := MarketBasket(37)
+	if !strings.Contains(f.Filter.String(), ">= 37") {
+		t.Errorf("filter = %s", f.Filter)
+	}
+}

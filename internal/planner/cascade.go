@@ -1,0 +1,84 @@
+package planner
+
+import (
+	"fmt"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+)
+
+// This file implements §4.3's second restricted search: "select a list of
+// subsets of the subgoals of the original query that form safe queries;
+// turn each subquery into a FILTER step, first adding to Q any subgoals
+// that can be formed from the result of a prior step". The canonical
+// instance is the Fig. 7 cascade for the Fig. 6 path flock: step k filters
+// nodes by the first k subgoals, each step semi-joining with the previous
+// step's survivors.
+
+// PlanCascade builds the Fig. 7-style prefix cascade for a single-rule
+// flock: for k = 1..n-1, a step keeping the first k body subgoals (skipped
+// when the prefix is unsafe or binds no parameter), each referencing the
+// nearest prior step whose parameters are a subset of its own; the final
+// step keeps everything. depth bounds the number of pre-filter steps
+// (depth < 1 yields the trivial plan).
+func PlanCascade(f *core.Flock, depth int) (*core.Plan, error) {
+	if len(f.Query) != 1 {
+		return nil, fmt.Errorf("planner: cascade plans require a single-rule flock; this one has %d rules", len(f.Query))
+	}
+	r := f.Query[0]
+	n := len(r.Body)
+	var steps []core.FilterStep
+	for k := 1; k < n && len(steps) < depth; k++ {
+		var drop []int
+		for i := k; i < n; i++ {
+			drop = append(drop, i)
+		}
+		sub := r.DeleteSubgoals(drop...)
+		if !datalog.IsSafe(sub) {
+			continue
+		}
+		params := sub.Params()
+		if len(params) == 0 {
+			continue
+		}
+		q := datalog.Union{sub}
+		// Reference the most recent prior step usable from this prefix.
+		for i := len(steps) - 1; i >= 0; i-- {
+			if isParamSubset(steps[i].Params, params) {
+				q = core.WithStepRefs(q, steps[i])
+				break
+			}
+		}
+		steps = append(steps, core.FilterStep{
+			Name:   fmt.Sprintf("ok%d", len(steps)),
+			Params: params,
+			Query:  q,
+		})
+	}
+	var refs []core.FilterStep
+	if len(steps) > 0 {
+		refs = steps[len(steps)-1:] // the final step semi-joins the last survivors
+	}
+	steps = append(steps, core.FinalStep(f, "ok", refs...))
+	return core.NewPlan(f, steps)
+}
+
+// PlanLevelwise builds the generalized a-priori plan of §4.3 heuristic 2
+// for k-item-set-style flocks: one FILTER step per parameter subset of
+// size 1, then size 2, ... up to maxSize (excluding the full parameter
+// set, which the mandatory final step covers), each step referencing all
+// prior steps over subsets of its parameters. Parameter sets lacking a
+// safe subquery in some rule are skipped.
+func PlanLevelwise(f *core.Flock, maxSize int) (*core.Plan, error) {
+	if maxSize <= 0 || maxSize >= len(f.Params) {
+		maxSize = len(f.Params) - 1
+	}
+	var sets [][]datalog.Param
+	for _, set := range candidateSets(f, maxSize) {
+		if len(set) == len(f.Params) {
+			continue
+		}
+		sets = append(sets, set)
+	}
+	return PlanWithParamSets(f, sets)
+}

@@ -1,0 +1,352 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/storage"
+)
+
+// This file implements the dynamic strategy of §4.4: choose a join order
+// in advance, then decide whether to apply a FILTER step only after seeing
+// each intermediate relation. "If the size of an intermediate relation is
+// such that the average number of tuples per assignment of values to the
+// parameters is significantly lower than it was at any previous step that
+// computed a relation with the same set of parameters, then there is a
+// good chance that many value-assignments will be eliminated on this
+// step"; for a parameter set not previously encountered, the average is
+// compared against the support threshold itself.
+//
+// A FILTER applied at an intermediate node is sound because the subgoals
+// joined so far form a safe subquery of the full rule (the head variables
+// must already be bound, which the implementation checks), so its
+// per-assignment result upper-bounds the full query's (§3.1).
+
+// DynamicOptions configures the dynamic evaluator.
+type DynamicOptions struct {
+	// FilterRatio triggers a filter at a fresh parameter set when the
+	// average group size is below FilterRatio × threshold. Default 1.0
+	// (the paper's "somewhat below 20").
+	FilterRatio float64
+	// RefilterRatio triggers a repeat filter on an already-seen parameter
+	// set when the average group size has dropped below RefilterRatio ×
+	// its previous best. Default 0.5 ("significantly lower").
+	RefilterRatio float64
+	// Order picks the join order fixed before execution begins.
+	Order eval.OrderStrategy
+	// FixedOrder, when non-nil, pins the join order (positive-atom
+	// indices), overriding Order. Example 4.4 fixes the Fig. 8 tree this
+	// way. Only meaningful for single-rule flocks.
+	FixedOrder []int
+	// Trace, when non-nil, records engine steps.
+	Trace *eval.Trace
+}
+
+func (o *DynamicOptions) orDefault() DynamicOptions {
+	out := DynamicOptions{FilterRatio: 1.0, RefilterRatio: 0.5, Order: eval.OrderGreedy}
+	if o == nil {
+		return out
+	}
+	if o.FilterRatio > 0 {
+		out.FilterRatio = o.FilterRatio
+	}
+	if o.RefilterRatio > 0 {
+		out.RefilterRatio = o.RefilterRatio
+	}
+	out.Order = o.Order
+	out.FixedOrder = o.FixedOrder
+	out.Trace = o.Trace
+	return out
+}
+
+// Decision records one filter/don't-filter choice made during dynamic
+// evaluation (the paper's Example 4.4 narrative, machine-readable).
+type Decision struct {
+	// After names the join step the decision follows.
+	After string
+	// Params is the parameter set bound at this node.
+	Params []datalog.Param
+	// AvgGroup is the observed tuples-per-assignment ratio.
+	AvgGroup float64
+	// Filtered reports whether a FILTER step was applied.
+	Filtered bool
+	// RowsBefore and RowsAfter give the intermediate sizes around the
+	// filter (equal when not filtered).
+	RowsBefore, RowsAfter int
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	verdict := "skip"
+	if d.Filtered {
+		verdict = fmt.Sprintf("FILTER %d -> %d rows", d.RowsBefore, d.RowsAfter)
+	}
+	return fmt.Sprintf("after %s: params %v avg %.2f: %s", d.After, d.Params, d.AvgGroup, verdict)
+}
+
+// DynamicResult is the outcome of a dynamic evaluation.
+type DynamicResult struct {
+	Answer    *storage.Relation
+	Decisions []Decision
+}
+
+// FilterCount returns how many FILTER reductions were applied.
+func (r *DynamicResult) FilterCount() int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Filtered {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the run.
+func (r *DynamicResult) String() string {
+	var b strings.Builder
+	for _, d := range r.Decisions {
+		fmt.Fprintf(&b, "%s\n", d)
+	}
+	fmt.Fprintf(&b, "answer: %d rows", r.Answer.Len())
+	return b.String()
+}
+
+// EvalDynamic evaluates the flock with dynamic filter selection. The
+// flock's filter must be monotone (intermediate filtering is unsound
+// otherwise). Multi-rule (union) flocks are evaluated rule-by-rule without
+// intermediate filtering — per-rule pruning would be unsound because the
+// union's support sums contributions across rules (§3.4) — and then
+// filtered at the end.
+func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*DynamicResult, error) {
+	o := opts.orDefault()
+	if !f.Filter.Monotone() {
+		return nil, fmt.Errorf("planner: dynamic filtering requires a monotone filter; %s is not", f.Filter)
+	}
+	if f.Filter.PassesEmpty() {
+		return nil, fmt.Errorf("planner: filter %s accepts the empty result", f.Filter)
+	}
+	if err := f.CheckDatabase(db); err != nil {
+		return nil, err
+	}
+	db, err := f.MaterializeViews(db, &core.EvalOptions{Order: o.Order, Trace: o.Trace})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DynamicResult{}
+	var ext *storage.Relation
+	for _, r := range f.Query {
+		part, err := evalRuleDynamic(db, f, r, &o, res, len(f.Query) == 1)
+		if err != nil {
+			return nil, err
+		}
+		if ext == nil {
+			ext = part
+		} else {
+			for _, t := range part.Tuples() {
+				ext.Insert(t)
+			}
+		}
+	}
+	res.Answer = core.GroupAndFilter(ext, len(f.Params), f.Filter, "flock")
+	return res, nil
+}
+
+// evalRuleDynamic runs one rule through the executor, interleaving filter
+// decisions, and returns the rule's extended answer (params + head).
+func evalRuleDynamic(db *storage.Database, f *core.Flock, r *datalog.Rule,
+	o *DynamicOptions, res *DynamicResult, allowFiltering bool) (*storage.Relation, error) {
+
+	ex, err := eval.NewExecutor(db, r, o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	order := o.FixedOrder
+	if order == nil {
+		var err error
+		order, err = eval.JoinOrder(db, r, o.Order)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(order) != len(r.PositiveAtoms()) {
+		return nil, fmt.Errorf("planner: fixed order covers %d of %d atoms", len(order), len(r.PositiveAtoms()))
+	}
+
+	headCols := make([]string, 0, len(r.Head.Args))
+	for _, t := range r.Head.Args {
+		col, ok := termCol(t)
+		if !ok {
+			return nil, fmt.Errorf("planner: constant head argument %s", t)
+		}
+		headCols = append(headCols, col)
+	}
+	paramCols := make(map[string]datalog.Param, len(f.Params))
+	for _, p := range f.Params {
+		paramCols["$"+string(p)] = p
+	}
+	threshold := thresholdOf(f)
+	bestAvg := make(map[string]float64) // param-set key -> best avg seen
+
+	atoms := r.PositiveAtoms()
+	for _, i := range order {
+		if ex.Joined(i) { // absorbed into an earlier scan as a semi-join
+			continue
+		}
+		if err := ex.JoinNext(i); err != nil {
+			return nil, err
+		}
+		if !allowFiltering {
+			continue
+		}
+		cur := ex.Current()
+		boundParams, paramPos := boundParamsOf(cur, paramCols)
+		if len(boundParams) == 0 {
+			continue
+		}
+		if !allBound(cur, headCols) {
+			// The subquery-so-far is unsafe as a FILTER query (its head
+			// would be unbound); no legal filter step exists here.
+			continue
+		}
+		rows := cur.Len()
+		assigns := distinctOn(cur, paramPos)
+		avg := 0.0
+		if assigns > 0 {
+			avg = float64(rows) / float64(assigns)
+		}
+		key := paramSetKey(boundParams)
+		prev, seen := bestAvg[key]
+		shouldFilter := false
+		switch {
+		case rows == 0:
+			// Nothing to prune.
+		case !seen:
+			// Fresh parameter set: compare against the threshold (§4.4's
+			// "important special case").
+			shouldFilter = avg < o.FilterRatio*float64(threshold)
+		default:
+			shouldFilter = avg < o.RefilterRatio*prev
+		}
+		d := Decision{
+			After:      atoms[i].String(),
+			Params:     boundParams,
+			AvgGroup:   avg,
+			RowsBefore: rows,
+			RowsAfter:  rows,
+		}
+		if shouldFilter {
+			reduced, err := filterIntermediate(cur, paramPos, headCols, f.Filter)
+			if err != nil {
+				return nil, err
+			}
+			if err := ex.ReplaceCurrent(reduced); err != nil {
+				return nil, err
+			}
+			d.Filtered = true
+			d.RowsAfter = reduced.Len()
+			if o.Trace != nil {
+				o.Trace.Add(fmt.Sprintf("dynamic filter on %v", boundParams), reduced.Len())
+			}
+		}
+		if !seen || avg < prev {
+			bestAvg[key] = avg
+		}
+		res.Decisions = append(res.Decisions, d)
+	}
+	return ex.Finish(extendedTerms(f.Params, r))
+}
+
+// extendedTerms builds the (params..., head args...) projection list.
+func extendedTerms(params []datalog.Param, r *datalog.Rule) []datalog.Term {
+	out := make([]datalog.Term, 0, len(params)+len(r.Head.Args))
+	for _, p := range params {
+		out = append(out, p)
+	}
+	return append(out, r.Head.Args...)
+}
+
+// boundParamsOf returns the flock parameters bound in the relation's
+// columns (sorted) and their column positions (in the same order).
+func boundParamsOf(rel *storage.Relation, paramCols map[string]datalog.Param) ([]datalog.Param, []int) {
+	type bp struct {
+		p   datalog.Param
+		pos int
+	}
+	var found []bp
+	for i, c := range rel.Columns() {
+		if p, ok := paramCols[c]; ok {
+			found = append(found, bp{p, i})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].p < found[j].p })
+	params := make([]datalog.Param, len(found))
+	pos := make([]int, len(found))
+	for i, f := range found {
+		params[i] = f.p
+		pos[i] = f.pos
+	}
+	return params, pos
+}
+
+func allBound(rel *storage.Relation, cols []string) bool {
+	for _, c := range cols {
+		if rel.ColumnIndex(c) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func distinctOn(rel *storage.Relation, pos []int) int {
+	return rel.Index(pos).GroupCount()
+}
+
+// filterIntermediate applies a FILTER step to an intermediate binding
+// relation: group by the bound parameters, count the (distinct) head
+// tuples per group via the flock's filter, and keep only rows whose
+// parameter assignment passes.
+func filterIntermediate(cur *storage.Relation, paramPos []int, headCols []string, filter core.Filter) (*storage.Relation, error) {
+	headPos := make([]int, len(headCols))
+	for i, c := range headCols {
+		headPos[i] = cur.ColumnIndex(c)
+	}
+	type group struct {
+		acc  core.GroupAcc
+		done bool
+	}
+	groups := make(map[string]*group)
+	// The filter must see *distinct* head tuples per group (set
+	// semantics): dedupe (params, head) projections first.
+	seen := make(map[string]struct{})
+	for _, t := range cur.Tuples() {
+		gkey := t.KeyOn(paramPos)
+		hkey := gkey + "\x00" + t.KeyOn(headPos)
+		g, ok := groups[gkey]
+		if !ok {
+			g = &group{acc: filter.NewGroup()}
+			groups[gkey] = g
+		}
+		if g.done {
+			continue
+		}
+		if _, dup := seen[hkey]; dup {
+			continue
+		}
+		seen[hkey] = struct{}{}
+		g.acc.Add(t.Project(headPos))
+		if g.acc.Done() {
+			g.done = true
+		}
+	}
+	out := storage.NewRelation(cur.Name()+"_f", cur.Columns()...)
+	for _, t := range cur.Tuples() {
+		if g := groups[t.KeyOn(paramPos)]; g != nil && g.acc.Passes() {
+			out.Insert(t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package planner_test
+
+import (
+	"fmt"
+
+	"queryflocks/internal/paper"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/storage"
+)
+
+// layeredGraph: hub 0 fans out to 30 nodes, 10 of which continue onward;
+// node 1000 fans out to 25 dead ends.
+func layeredGraph() *storage.Database {
+	arc := storage.NewRelation("arc", "From", "To")
+	for j := 0; j < 30; j++ {
+		arc.InsertValues(storage.Int(0), storage.Int(int64(100+j)))
+		if j < 10 {
+			arc.InsertValues(storage.Int(int64(100+j)), storage.Int(int64(200+j)))
+		}
+	}
+	for j := 0; j < 25; j++ {
+		arc.InsertValues(storage.Int(1000), storage.Int(int64(1100+j)))
+	}
+	db := storage.NewDatabase()
+	db.Add(arc)
+	return db
+}
+
+// The Fig. 7 cascade for the Fig. 6 path flock: each step prunes with a
+// longer prefix.
+func ExamplePlanCascade() {
+	flock := paper.Path(1, 10) // nodes with >= 10 successors that continue
+	plan, err := planner.PlanCascade(flock, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := plan.Execute(layeredGraph(), nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Steps {
+		fmt.Printf("%s: %d\n", s.Name, s.Rows)
+	}
+	// Output:
+	// ok0: 2
+	// ok: 1
+}
+
+// Dynamic filter selection (§4.4): the evaluator reports each decision.
+func ExampleEvalDynamic() {
+	flock := paper.Path(1, 10)
+	res, err := planner.EvalDynamic(layeredGraph(), flock, &planner.DynamicOptions{
+		FixedOrder: []int{0, 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range res.Decisions {
+		fmt.Println(d)
+	}
+	fmt.Println("answers:", res.Answer.Len())
+	// Output:
+	// after arc($1,X): params [$1] avg 5.42: FILTER 65 -> 55 rows
+	// after arc(X,Y1): params [$1] avg 10.00: skip
+	// answers: 1
+}

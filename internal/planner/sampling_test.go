@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/paper"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// exactSurvivorFraction computes the ground truth by evaluating the
+// subquery as a flock at the full threshold.
+func exactSurvivorFraction(t *testing.T, db *storage.Database, sub datalog.Union, params []datalog.Param, threshold int) float64 {
+	t.Helper()
+	spec := datalog.FilterSpec{
+		Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(int64(threshold)),
+	}
+	flock, err := core.New(sub, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, err := flock.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(db)
+	denom := est.sampledParamCombos(db, sub, params)
+	if denom == 0 {
+		t.Fatal("no candidates")
+	}
+	return float64(survivors.Len()) / denom
+}
+
+func TestSampledSurvivorFractionSingleParam(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 8_000, Items: 800, MeanSize: 8, Skew: 1.0, Seed: 9,
+	})
+	est := NewEstimator(db)
+	f := paper.MarketBasket(40)
+	sub, err := core.UnionSubquery(f.Query, []datalog.Param{"1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactSurvivorFraction(t, db, sub, []datalog.Param{"1"}, 40)
+	sampled, err := est.SampledSurvivorFraction(sub, []datalog.Param{"1"}, 40, &SampleOptions{Fraction: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact <= 0 || exact >= 1 {
+		t.Fatalf("degenerate exact fraction %g", exact)
+	}
+	// Entity sampling at 25% has real variance around the threshold; the
+	// estimate must land within a factor of ~2 of the truth.
+	if sampled < exact/2 || sampled > exact*2 {
+		t.Errorf("sampled %g vs exact %g (off by more than 2x)", sampled, exact)
+	}
+}
+
+// TestSampledBeatsModelOnJoinSubquery is the ablation DESIGN.md calls out:
+// on Example 3.2's join subquery (3), the closed-form model guesses from
+// an exponential assumption, while sampling evaluates the actual join —
+// sampling must land closer to the truth.
+func TestSampledBeatsModelOnJoinSubquery(t *testing.T) {
+	db := workload.Medical(example44Config())
+	est := NewEstimator(db)
+	f := paper.Medical(20)
+	// Subquery (3): exhibits + diagnoses + NOT causes, params {s}.
+	sub3 := datalog.Union{f.Query[0].DeleteSubgoals(1)} // drop treatments
+	params := []datalog.Param{"s"}
+
+	exact := exactSurvivorFraction(t, db, sub3, params, 20)
+	model := est.SurvivorFraction(sub3, params, 20)
+	sampled, err := est.SampledSurvivorFraction(sub3, params, 20, &SampleOptions{Fraction: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errModel := math.Abs(model - exact)
+	errSampled := math.Abs(sampled - exact)
+	t.Logf("exact %.4f model %.4f (err %.4f) sampled %.4f (err %.4f)",
+		exact, model, errModel, sampled, errSampled)
+	if errSampled > errModel {
+		t.Errorf("sampling (err %.4f) should beat the closed-form model (err %.4f)", errSampled, errModel)
+	}
+}
+
+func TestSampledSurvivorFractionFractionOne(t *testing.T) {
+	// Fraction 1.0 = no sampling: the estimate must equal the exact value.
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 1_000, Items: 200, MeanSize: 6, Skew: 1.0, Seed: 2,
+	})
+	est := NewEstimator(db)
+	f := paper.MarketBasket(10)
+	sub, _ := core.UnionSubquery(f.Query, []datalog.Param{"1"})
+	exact := exactSurvivorFraction(t, db, sub, []datalog.Param{"1"}, 10)
+	got, err := est.SampledSurvivorFraction(sub, []datalog.Param{"1"}, 10, &SampleOptions{Fraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 1e-9 {
+		t.Errorf("fraction 1.0: got %g, want exact %g", got, exact)
+	}
+}
+
+func TestPlanStaticWithSampling(t *testing.T) {
+	db := workload.Medical(example44Config())
+	est := NewEstimator(db)
+	f := paper.Medical(20)
+	plan, err := PlanStatic(f, est, &StaticOptions{Sampling: &SampleOptions{Fraction: 0.3, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := f.Eval(db, nil)
+	if !res.Answer.Equal(direct) {
+		t.Error("sampling-guided plan differs from direct")
+	}
+	// The symptom filter must still be selected on this data.
+	found := false
+	for _, s := range plan.Steps {
+		if s.Name == "ok_s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sampling-guided planner skipped the symptom filter:\n%s", plan)
+	}
+}
+
+func TestSampledSurvivorFractionErrors(t *testing.T) {
+	est := NewEstimator(storage.NewDatabase())
+	f := paper.MarketBasket(10)
+	sub, _ := core.UnionSubquery(f.Query, []datalog.Param{"1"})
+	if _, err := est.SampledSurvivorFraction(sub, []datalog.Param{"1"}, 10, nil); err == nil {
+		t.Error("missing relations should error")
+	}
+}

@@ -1,0 +1,209 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/paper"
+)
+
+func TestFlockSQLFig1Shape(t *testing.T) {
+	// The Fig. 2 flock rendered as SQL must have the Fig. 1 ingredients:
+	// a self-join of baskets, the BID equality, the item ordering, a GROUP
+	// BY of the item pair and a COUNT HAVING clause.
+	f := paper.MarketBasket(20)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FROM baskets t0, baskets t1",
+		"t0.c1 = t1.c1", // shared basket ID
+		"t0.c2 < t1.c2", // $1 < $2
+		"GROUP BY p1, p2",
+		"COUNT(DISTINCT h1) >= 20",
+		"SELECT DISTINCT",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestFlockSQLNegation(t *testing.T) {
+	f := paper.Medical(20)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"NOT EXISTS (SELECT 1 FROM causes n WHERE",
+		"FROM exhibits t0, treatments t1, diagnoses t2",
+		"HAVING COUNT(DISTINCT h1) >= 20",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestFlockSQLUnion(t *testing.T) {
+	f := paper.WebWords(20)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "UNION") != 2 {
+		t.Errorf("want 2 UNIONs:\n%s", sql)
+	}
+	if !strings.Contains(sql, "COUNT(DISTINCT h1)") {
+		t.Errorf("union COUNT(*) over unary heads should count h1:\n%s", sql)
+	}
+}
+
+func TestFlockSQLWeighted(t *testing.T) {
+	f := paper.WeightedBasket(20)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "SUM(h2) >= 20") {
+		t.Errorf("want SUM over the weight column:\n%s", sql)
+	}
+}
+
+func TestFlockSQLConstants(t *testing.T) {
+	f := core.MustParse(`
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,beer) AND weight(B,3)
+FILTER:
+COUNT(answer.B) >= 20`)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "= 'beer'") {
+		t.Errorf("string constant not quoted:\n%s", sql)
+	}
+	if !strings.Contains(sql, "= 3") {
+		t.Errorf("int constant missing:\n%s", sql)
+	}
+}
+
+func TestPlanSQLWithChain(t *testing.T) {
+	f := paper.Medical(20)
+	okS, _ := core.MinimalSubqueryForParams(f.Query[0], []datalog.Param{"s"})
+	okM, _ := core.MinimalSubqueryForParams(f.Query[0], []datalog.Param{"m"})
+	stepS := core.FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{okS.Rule}}
+	stepM := core.FilterStep{Name: "okM", Params: []datalog.Param{"m"}, Query: datalog.Union{okM.Rule}}
+	plan, err := core.NewPlan(f, []core.FilterStep{stepS, stepM, core.FinalStep(f, "ok", stepS, stepM)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := PlanSQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"WITH okS AS (",
+		"okM AS (",
+		"FROM okS t0, okM t1", // step refs joined in the final query
+		"HAVING COUNT(DISTINCT h1) >= 20",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("plan SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestFlockSQLWithViews(t *testing.T) {
+	f := core.MustParse(`
+VIEWS:
+allCaused(P,S) :- diagnoses(P,D) AND causes(D,S)
+QUERY:
+answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND NOT allCaused(P,$s)
+FILTER:
+COUNT(answer.P) >= 20`)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"WITH allCaused AS (",
+		"FROM diagnoses t0, causes t1",
+		"NOT EXISTS (SELECT 1 FROM allCaused n",
+		"HAVING COUNT(DISTINCT h1) >= 20",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("view SQL missing %q:\n%s", want, sql)
+		}
+	}
+}
+
+func TestFlockSQLUnionView(t *testing.T) {
+	f := core.MustParse(`
+VIEWS:
+senior(P) :- people(P,S) AND S > 65
+senior(P) :- vip(P)
+QUERY:
+answer(P) :- buys(P,$i) AND senior(P)
+FILTER:
+COUNT(answer.P) >= 2`)
+	sql, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "UNION") != 1 {
+		t.Errorf("union view should produce one UNION:\n%s", sql)
+	}
+	if !strings.Contains(sql, "senior AS (") {
+		t.Errorf("missing senior CTE:\n%s", sql)
+	}
+}
+
+func TestPlanSQLSymmetricRefs(t *testing.T) {
+	// The shared item filter referenced for both parameters renders as two
+	// FROM entries over the same CTE.
+	f := paper.MarketBasket(20)
+	sub, ok := core.MinimalSubqueryForParams(f.Query[0], []datalog.Param{"1"})
+	if !ok {
+		t.Fatal("no $1 subquery")
+	}
+	step := core.FilterStep{Name: "okitem", Params: []datalog.Param{"1"}, Query: datalog.Union{sub.Rule}}
+	final := core.FinalStepRefs(f, "ok",
+		core.StepRef{Step: step, Args: []datalog.Param{"1"}},
+		core.StepRef{Step: step, Args: []datalog.Param{"2"}},
+	)
+	plan, err := core.NewPlan(f, []core.FilterStep{step, final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := PlanSQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "FROM okitem t0, okitem t1") {
+		t.Errorf("symmetric refs should join the CTE twice:\n%s", sql)
+	}
+}
+
+func TestPlanSQLTrivial(t *testing.T) {
+	f := paper.MarketBasket(20)
+	plan := core.TrivialPlan(f)
+	sql, err := PlanSQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "WITH") {
+		t.Errorf("trivial plan should have no CTEs:\n%s", sql)
+	}
+	direct, err := FlockSQL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != direct {
+		t.Errorf("trivial plan SQL should equal flock SQL\nplan:\n%s\nflock:\n%s", sql, direct)
+	}
+}

@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchRelation(rows int) *Relation {
+	r := NewRelation("bench", "A", "B", "C")
+	for i := 0; i < rows; i++ {
+		r.Insert(Tuple{Int(int64(i % 997)), Str(fmt.Sprintf("v%d", i%313)), Float(float64(i % 101))})
+	}
+	return r
+}
+
+func BenchmarkRelationInsert(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRelation("bench", "A", "B")
+	for i := 0; i < b.N; i++ {
+		r.Insert(Tuple{Int(int64(i)), Str("x")})
+	}
+}
+
+func BenchmarkRelationInsertDuplicates(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRelation("bench", "A", "B")
+	t := Tuple{Int(1), Str("x")}
+	r.Insert(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Insert(t)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	r := benchRelation(50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildIndex(r, []int{0})
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	r := benchRelation(50_000)
+	ix := r.Index([]int{0})
+	key := Tuple{Int(42)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ix.Lookup(key); len(got) == 0 {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	t := Tuple{Int(123456), Str("some item name"), Float(2.5)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.Key()
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	r := benchRelation(5_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf strings.Builder
+		if err := WriteCSV(r, &buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadCSV("bench", strings.NewReader(buf.String())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurvivorFraction(b *testing.B) {
+	r := benchRelation(50_000)
+	db := NewDatabase()
+	db.Add(r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := NewStats(db) // fresh stats: measure the uncached path
+		if f := st.SurvivorFraction("bench", "A", 10); f <= 0 {
+			b.Fatal("no survivors")
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Database is a named collection of relations — the catalog against which
+// flock queries are evaluated. Lookup is by relation (predicate) name.
+type Database struct {
+	rels  map[string]*Relation
+	order []string // registration order, for deterministic listings
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation under its own name, replacing any previous
+// relation with that name.
+func (db *Database) Add(r *Relation) {
+	if _, exists := db.rels[r.Name()]; !exists {
+		db.order = append(db.order, r.Name())
+	}
+	db.rels[r.Name()] = r
+}
+
+// Remove drops the named relation, if present.
+func (db *Database) Remove(name string) {
+	if _, ok := db.rels[name]; !ok {
+		return
+	}
+	delete(db.rels, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Relation returns the named relation, or an error naming it if absent.
+func (db *Database) Relation(name string) (*Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no relation %q in database", name)
+	}
+	return r, nil
+}
+
+// MustRelation is Relation but panics on a missing name; for use where the
+// name was already validated.
+func (db *Database) MustRelation(name string) *Relation {
+	r, err := db.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Has reports whether the database holds a relation with the given name.
+func (db *Database) Has(name string) bool {
+	_, ok := db.rels[name]
+	return ok
+}
+
+// Names returns the relation names in registration order.
+func (db *Database) Names() []string { return db.order }
+
+// Clone returns a database sharing the relation objects but with an
+// independent name table, so plan executors can register temporary
+// relations without mutating the caller's database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, n := range db.order {
+		out.Add(db.rels[n])
+	}
+	return out
+}
+
+// String lists the relations and their sizes.
+func (db *Database) String() string {
+	var b strings.Builder
+	for i, n := range db.order {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(db.rels[n].String())
+	}
+	return b.String()
+}
+
+// Stats exposes the statistics the cost-based planner consumes: relation
+// cardinalities, per-column distinct counts, and group-size quantiles used
+// to estimate how many parameter values survive a support threshold
+// (§4.3's "estimate for the expected sizes of relations and joins").
+// Results are computed on demand and cached; the cache is keyed by relation
+// identity and remains valid while relations are not mutated.
+type Stats struct {
+	db        *Database
+	survivors map[string]float64
+}
+
+// NewStats creates a statistics view over db.
+func NewStats(db *Database) *Stats {
+	return &Stats{db: db, survivors: make(map[string]float64)}
+}
+
+// Rows returns the cardinality of the named relation (0 if absent).
+func (s *Stats) Rows(name string) int {
+	r, err := s.db.Relation(name)
+	if err != nil {
+		return 0
+	}
+	return r.Len()
+}
+
+// Distinct returns the number of distinct values in rel.col (0 if absent).
+func (s *Stats) Distinct(name, col string) int {
+	r, err := s.db.Relation(name)
+	if err != nil {
+		return 0
+	}
+	if r.ColumnIndex(col) < 0 {
+		return 0
+	}
+	return r.DistinctCount(col)
+}
+
+// SurvivorFraction returns the fraction of distinct values of rel.groupCol
+// whose group (set of tuples sharing that value) has size >= threshold.
+// This is the exact selectivity of a single-subgoal a-priori filter such as
+// "okS($s) := symptoms appearing in >= 20 patients" and is the anchor of
+// the planner's filter-benefit estimates.
+func (s *Stats) SurvivorFraction(name, groupCol string, threshold int) float64 {
+	key := fmt.Sprintf("%s\x00%s\x00%d", name, groupCol, threshold)
+	if v, ok := s.survivors[key]; ok {
+		return v
+	}
+	r, err := s.db.Relation(name)
+	if err != nil {
+		return 0
+	}
+	p := r.ColumnIndex(groupCol)
+	if p < 0 || r.Len() == 0 {
+		return 0
+	}
+	ix := r.Index([]int{p})
+	total, pass := 0, 0
+	for _, sz := range ix.GroupSizes() {
+		total++
+		if sz >= threshold {
+			pass++
+		}
+	}
+	v := float64(pass) / float64(total)
+	s.survivors[key] = v
+	return v
+}
+
+// TupleSurvivorFraction returns the fraction of *tuples* of rel that lie in
+// a group (by groupCol) of size >= threshold — i.e. how much of the
+// relation remains after semi-joining with the survivor set. This is the
+// quantity Example 4.4 reasons about when deciding whether filtering
+// "reduces the size of the relation by half".
+func (s *Stats) TupleSurvivorFraction(name, groupCol string, threshold int) float64 {
+	r, err := s.db.Relation(name)
+	if err != nil {
+		return 0
+	}
+	p := r.ColumnIndex(groupCol)
+	if p < 0 || r.Len() == 0 {
+		return 0
+	}
+	ix := r.Index([]int{p})
+	kept := 0
+	for _, sz := range ix.GroupSizes() {
+		if sz >= threshold {
+			kept += sz
+		}
+	}
+	return float64(kept) / float64(r.Len())
+}
+
+// GroupSizeQuantiles returns the q-quantiles (q >= 1) of group sizes of
+// rel grouped by groupCol, e.g. q=4 returns the quartile boundaries. Used
+// in EXPERIMENTS reporting and by ablation benches of the cost model.
+func (s *Stats) GroupSizeQuantiles(name, groupCol string, q int) []int {
+	r, err := s.db.Relation(name)
+	if err != nil || q < 1 {
+		return nil
+	}
+	p := r.ColumnIndex(groupCol)
+	if p < 0 || r.Len() == 0 {
+		return nil
+	}
+	sizes := r.Index([]int{p}).GroupSizes()
+	sort.Ints(sizes)
+	out := make([]int, q+1)
+	for i := 0; i <= q; i++ {
+		pos := i * (len(sizes) - 1) / q
+		out[i] = sizes[pos]
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package storage
+
+// Index is a hash index mapping the key of a column-subset projection to
+// the tuples holding that projection. Indexes are built lazily by
+// Relation.Index and discarded when the relation changes.
+type Index struct {
+	cols    []int
+	buckets map[string][]Tuple
+}
+
+func buildIndex(r *Relation, cols []int) *Index {
+	ix := &Index{
+		cols:    append([]int(nil), cols...),
+		buckets: make(map[string][]Tuple, len(r.tuples)),
+	}
+	for _, t := range r.tuples {
+		k := t.KeyOn(cols)
+		ix.buckets[k] = append(ix.buckets[k], t)
+	}
+	return ix
+}
+
+// Columns returns the indexed column positions.
+func (ix *Index) Columns() []int { return ix.cols }
+
+// Lookup returns the tuples whose indexed columns equal the given key
+// values (in index-column order). The returned slice must not be mutated.
+func (ix *Index) Lookup(key Tuple) []Tuple {
+	return ix.buckets[key.Key()]
+}
+
+// LookupKey returns the tuples for a precomputed key string (see
+// Tuple.KeyOn). This avoids re-encoding in tight join loops.
+func (ix *Index) LookupKey(key string) []Tuple {
+	return ix.buckets[key]
+}
+
+// GroupCount returns the number of distinct key groups in the index.
+func (ix *Index) GroupCount() int { return len(ix.buckets) }
+
+// GroupSizes returns the size of each key group, in unspecified order.
+// The planner uses this to build group-size histograms for support-
+// selectivity estimation.
+func (ix *Index) GroupSizes() []int {
+	out := make([]int, 0, len(ix.buckets))
+	for _, ts := range ix.buckets {
+		out = append(out, len(ts))
+	}
+	return out
+}

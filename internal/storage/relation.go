@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Relation is a named, set-semantics collection of tuples over a fixed list
+// of columns. Duplicate inserts are ignored, preserving the set semantics
+// the paper's optimization claims depend on (§2.3).
+//
+// A Relation is not safe for concurrent mutation; concurrent reads —
+// including Index, which builds lazily under an internal lock — are safe
+// once loading has finished.
+type Relation struct {
+	name string
+	cols []string
+
+	tuples []Tuple
+	seen   map[string]struct{} // tuple Key -> present
+
+	mu      sync.Mutex        // guards indexes
+	indexes map[string]*Index // key: joined column positions
+}
+
+// NewRelation creates an empty relation with the given name and columns.
+// Column names must be non-empty and unique.
+func NewRelation(name string, cols ...string) *Relation {
+	unique := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		if c == "" {
+			panic(fmt.Sprintf("storage: relation %q has an empty column name", name))
+		}
+		if _, dup := unique[c]; dup {
+			panic(fmt.Sprintf("storage: relation %q has duplicate column %q", name, c))
+		}
+		unique[c] = struct{}{}
+	}
+	return &Relation{
+		name:    name,
+		cols:    append([]string(nil), cols...),
+		seen:    make(map[string]struct{}),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Columns returns the column names. The returned slice must not be mutated.
+func (r *Relation) Columns() []string { return r.cols }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.cols) }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (r *Relation) ColumnIndex(col string) int {
+	for i, c := range r.cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert adds a tuple if not already present and reports whether it was
+// added. The tuple is stored as-is; callers must not mutate it afterwards.
+// Inserting invalidates any indexes built so far.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != len(r.cols) {
+		panic(fmt.Sprintf("storage: arity mismatch inserting %d-tuple into %q(%d cols)",
+			len(t), r.name, len(r.cols)))
+	}
+	k := t.Key()
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.tuples = append(r.tuples, t)
+	r.mu.Lock()
+	if len(r.indexes) > 0 {
+		r.indexes = make(map[string]*Index)
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// InsertValues is Insert with variadic values, for convenience in tests and
+// generators.
+func (r *Relation) InsertValues(vs ...Value) bool { return r.Insert(Tuple(vs)) }
+
+// Contains reports whether the relation holds the given tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[t.Key()]
+	return ok
+}
+
+// Tuples returns the stored tuples in insertion order. The slice and its
+// tuples must not be mutated.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Index returns (building on first use) a hash index on the given column
+// positions. The index is dropped automatically on the next Insert.
+// Index is safe to call from concurrent readers.
+func (r *Relation) Index(cols []int) *Index {
+	key := indexKey(cols)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix, ok := r.indexes[key]; ok {
+		return ix
+	}
+	ix := buildIndex(r, cols)
+	r.indexes[key] = ix
+	return ix
+}
+
+// IndexOn is Index keyed by column names.
+func (r *Relation) IndexOn(cols ...string) *Index {
+	pos := make([]int, len(cols))
+	for i, c := range cols {
+		p := r.ColumnIndex(c)
+		if p < 0 {
+			panic(fmt.Sprintf("storage: relation %q has no column %q", r.name, c))
+		}
+		pos[i] = p
+	}
+	return r.Index(pos)
+}
+
+// DistinctCount returns the number of distinct values in the named column.
+func (r *Relation) DistinctCount(col string) int {
+	p := r.ColumnIndex(col)
+	if p < 0 {
+		panic(fmt.Sprintf("storage: relation %q has no column %q", r.name, col))
+	}
+	return len(r.Index([]int{p}).buckets)
+}
+
+// Clone returns a deep-enough copy: tuples are shared (they are immutable by
+// convention) but the container and membership set are independent.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.name, r.cols...)
+	out.tuples = append([]Tuple(nil), r.tuples...)
+	for k := range r.seen {
+		out.seen[k] = struct{}{}
+	}
+	return out
+}
+
+// Rename returns a shallow view of the relation with a different name and,
+// optionally, different column names (pass nil to keep the originals).
+func (r *Relation) Rename(name string, cols []string) *Relation {
+	if cols == nil {
+		cols = r.cols
+	}
+	if len(cols) != len(r.cols) {
+		panic(fmt.Sprintf("storage: Rename of %q with %d columns (want %d)", r.name, len(cols), len(r.cols)))
+	}
+	out := NewRelation(name, cols...)
+	out.tuples = r.tuples
+	out.seen = r.seen
+	return out
+}
+
+// Sorted returns the tuples in lexicographic order (a fresh slice; the
+// relation itself keeps insertion order). Useful for deterministic output.
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two relations hold exactly the same set of tuples
+// (names and column names are ignored; arity must match).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.Arity() != s.Arity() || r.Len() != s.Len() {
+		return false
+	}
+	for k := range r.seen {
+		if _, ok := s.seen[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short human-readable summary.
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%s)[%d tuples]", r.name, strings.Join(r.cols, ", "), len(r.tuples))
+}
+
+// Dump renders the full relation, sorted, one tuple per line. Intended for
+// small relations in examples and tests.
+func (r *Relation) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s):\n", r.name, strings.Join(r.cols, ", "))
+	for _, t := range r.Sorted() {
+		b.WriteString("  ")
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func indexKey(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+// Package storage implements the relational substrate for the query-flock
+// system: typed values, tuples, set-semantics relations with hash indexes,
+// a statistics catalog used by the cost-based planner, and CSV import/export.
+//
+// The paper assumes "the data is stored in a conventional relational system"
+// (§1.4); this package is that system. Relations follow set semantics
+// throughout because the paper's containment-based claims do not hold for
+// bag semantics (§2.3).
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. Null is the zero Kind so that a zero Value is
+// a well-defined null.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar stored in relations. Value is a
+// comparable struct so it can be used directly as a map key; two Values are
+// identical under == exactly when they have the same kind and content.
+//
+// Numeric comparisons across Int and Float are supported by Compare;
+// equality under == is intentionally kind-sensitive (Int(1) != Float(1)),
+// matching the behaviour of a typed column store.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value. (Constructor; see Value.String for display.)
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer content. It panics if the value is not an int;
+// use Kind to check first.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("storage: AsInt on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric content widened to float64. It accepts both
+// int and float values.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic(fmt.Sprintf("storage: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string content. It panics if the value is not a
+// string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("storage: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// IsNumeric reports whether the value is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display. Strings are rendered bare; use
+// Literal for a parseable form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return fmt.Sprintf("Value(%d)", uint8(v.kind))
+	}
+}
+
+// Literal renders the value as a parseable literal: strings are quoted,
+// numbers and NULL are bare.
+func (v Value) Literal() string {
+	if v.kind == KindString {
+		return strconv.Quote(v.s)
+	}
+	return v.String()
+}
+
+// Compare orders two values. The total order is: NULL < numerics < strings;
+// numerics compare by numeric value regardless of int/float kind; strings
+// compare lexicographically. It returns -1, 0, or +1.
+func (v Value) Compare(w Value) int {
+	vr, wr := v.rank(), w.rank()
+	if vr != wr {
+		if vr < wr {
+			return -1
+		}
+		return 1
+	}
+	switch vr {
+	case 0: // both null
+		return 0
+	case 1: // both numeric
+		a, b := v.AsFloat(), w.AsFloat()
+		// Exact path for int-int comparisons to avoid float rounding on
+		// large int64s.
+		if v.kind == KindInt && w.kind == KindInt {
+			switch {
+			case v.i < w.i:
+				return -1
+			case v.i > w.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	default: // both strings
+		return strings.Compare(v.s, w.s)
+	}
+}
+
+// rank buckets kinds for cross-kind ordering.
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Equal reports semantic equality: same as Compare(w) == 0, so Int(1) and
+// Float(1) are Equal even though they differ under ==.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+// ParseValue converts a text field into a Value using the cheapest type
+// that round-trips: int, then float, then string. Quoted strings are
+// unquoted and always treated as strings.
+func ParseValue(s string) Value {
+	if s == "" {
+		return Str("")
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return Str(u)
+		}
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return Str(s)
+}
+
+// appendKey appends a self-delimiting binary encoding of v to dst. The
+// encoding is injective across values (kind byte + length-prefixed payload),
+// so concatenated keys of tuples never collide.
+func (v Value) appendKey(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+		return dst
+	case KindInt:
+		u := uint64(v.i)
+		for shift := 0; shift < 64; shift += 8 {
+			dst = append(dst, byte(u>>shift))
+		}
+		return dst
+	case KindFloat:
+		u := floatBits(v.f)
+		for shift := 0; shift < 64; shift += 8 {
+			dst = append(dst, byte(u>>shift))
+		}
+		return dst
+	default:
+		n := len(v.s)
+		dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		return append(dst, v.s...)
+	}
+}

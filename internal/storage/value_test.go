@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("beer"), KindString, "beer"},
+		{Null(), KindNull, "NULL"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(5).AsInt() != 5 {
+		t.Error("AsInt(Int(5)) != 5")
+	}
+	if Int(5).AsFloat() != 5.0 {
+		t.Error("AsFloat(Int(5)) != 5.0")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat(Float(1.5)) != 1.5")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString(Str(x)) != x")
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if !Int(1).IsNumeric() || !Float(1).IsNumeric() || Str("1").IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(1.0), Int(1), 0}, // cross-kind numeric equality
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null(), Int(-100), -1},
+		{Int(1 << 62), Str(""), -1}, // numerics before strings
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueCompareLargeInts(t *testing.T) {
+	// Large int64s that would collide as float64s must still order exactly.
+	a, b := Int(math.MaxInt64-1), Int(math.MaxInt64)
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("large int comparison lost precision")
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should Equal Float(3)")
+	}
+	if Int(3) == Float(3) {
+		t.Error("Int(3) must differ from Float(3) under ==")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-1", Int(-1)},
+		{"2.5", Float(2.5)},
+		{"1e3", Float(1000)},
+		{"beer", Str("beer")},
+		{"", Str("")},
+		{`"42"`, Str("42")}, // quoted stays string
+		{"12abc", Str("12abc")},
+	}
+	for _, c := range cases {
+		if got := ParseValue(c.in); got != c.want {
+			t.Errorf("ParseValue(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueLiteralRoundTrip(t *testing.T) {
+	vals := []Value{Int(7), Float(3.25), Str("hello world"), Str("42")}
+	for _, v := range vals {
+		got := ParseValue(v.Literal())
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("ParseValue(Literal(%v)) = %v (kind %v), want same", v, got, got.Kind())
+		}
+	}
+}
+
+// randomValue produces an arbitrary Value for property tests. Floats are
+// drawn from a finite, NaN-free range.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return Int(r.Int63n(2000) - 1000)
+	case 1:
+		return Float(float64(r.Intn(2000)-1000) / 4)
+	default:
+		letters := "abcdefgh"
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(string(b))
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	// Property: identical keys imply Equal values, and == values imply
+	// identical keys.
+	f := func(seedA, seedB int64) bool {
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := randomValue(ra), randomValue(rb)
+		ka := string(a.appendKey(nil))
+		kb := string(b.appendKey(nil))
+		if a == b && ka != kb {
+			return false
+		}
+		if ka == kb && !(a.Kind() == b.Kind() && a.Equal(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatBitsNegZero(t *testing.T) {
+	if floatBits(0.0) != floatBits(math.Copysign(0, -1)) {
+		t.Error("-0 and +0 must share a key")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	// Property: Compare is antisymmetric and transitive on random triples.
+	f := func(s1, s2, s3 int64) bool {
+		r1, r2, r3 := rand.New(rand.NewSource(s1)), rand.New(rand.NewSource(s2)), rand.New(rand.NewSource(s3))
+		a, b, c := randomValue(r1), randomValue(r2), randomValue(r3)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// transitivity: a<=b && b<=c => a<=c
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

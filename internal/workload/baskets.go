@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"math/rand"
+
+	"queryflocks/internal/storage"
+)
+
+// BasketConfig parametrizes the market-basket generator (the Quest-style
+// workload behind Figs. 1–2) and, with word-oriented defaults, the §1.3
+// "word occurrences in newspaper articles" dataset.
+type BasketConfig struct {
+	// Baskets is the number of baskets (or documents).
+	Baskets int
+	// Items is the size of the item (or vocabulary) universe.
+	Items int
+	// MeanSize is the average number of distinct items per basket; actual
+	// sizes are uniform in [1, 2*MeanSize-1].
+	MeanSize int
+	// Skew is the Zipf exponent of item popularity. Retail-like data sits
+	// near 0.7–0.9; word frequencies near 1.0–1.2.
+	Skew float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// Baskets generates the relation baskets(BID, Item) in a fresh database.
+// Basket IDs are ints from 0; items are ints from 0 with Zipfian
+// popularity (item 0 most popular).
+func Baskets(cfg BasketConfig) *storage.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := NewZipf(rng, cfg.Items, cfg.Skew)
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	for b := 0; b < cfg.Baskets; b++ {
+		size := 1 + rng.Intn(2*cfg.MeanSize-1)
+		for n := 0; n < size; n++ {
+			rel.InsertValues(storage.Int(int64(b)), storage.Int(int64(zipf.Next())))
+		}
+	}
+	db := storage.NewDatabase()
+	db.Add(rel)
+	return db
+}
+
+// Words generates the §1.3 word-occurrence dataset: documents as baskets,
+// words as items, with word-frequency skew defaulted to Zipf s = 1.1.
+// The relation is still named baskets(BID, Item) so the market-basket
+// flock runs unchanged.
+func Words(docs, vocab, meanLen int, seed int64) *storage.Database {
+	return Baskets(BasketConfig{
+		Baskets:  docs,
+		Items:    vocab,
+		MeanSize: meanLen,
+		Skew:     1.1,
+		Seed:     seed,
+	})
+}
+
+// AttachWeights adds the importance(BID, W) relation of Fig. 10 to a
+// basket database: every basket ID referenced by baskets gets a weight
+// uniform in [1, maxWeight].
+func AttachWeights(db *storage.Database, maxWeight int, seed int64) error {
+	baskets, err := db.Relation("baskets")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	imp := storage.NewRelation("importance", "BID", "W")
+	seen := make(map[storage.Value]struct{})
+	for _, t := range baskets.Tuples() {
+		bid := t[0]
+		if _, dup := seen[bid]; dup {
+			continue
+		}
+		seen[bid] = struct{}{}
+		imp.InsertValues(bid, storage.Int(1+int64(rng.Intn(maxWeight))))
+	}
+	db.Add(imp)
+	return nil
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+
+	"queryflocks/internal/storage"
+)
+
+// GraphConfig parametrizes the directed-graph generator for the Fig. 6
+// path flock ("nodes with at least c successors from which a path of
+// length n extends").
+type GraphConfig struct {
+	// Nodes is the number of vertices.
+	Nodes int
+	// OutDegree is the mean out-degree of ordinary nodes.
+	OutDegree int
+	// Hubs is the number of high-fanout nodes; the flock's answers come
+	// from hubs whose successors continue onward.
+	Hubs int
+	// HubDegree is the out-degree of hub nodes.
+	HubDegree int
+	// DeadEndFrac is the fraction of nodes with no outgoing arcs, which
+	// makes deep cascade steps selective: many hubs fan out into dead
+	// ends and are pruned only by the later steps of the Fig. 7 plan.
+	DeadEndFrac float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultGraph returns a config whose shape rewards the Fig. 7 cascade:
+// plenty of fanout at hubs but long paths are rare.
+func DefaultGraph(nodes int, seed int64) GraphConfig {
+	return GraphConfig{
+		Nodes:       nodes,
+		OutDegree:   2,
+		Hubs:        nodes / 50,
+		HubDegree:   30,
+		DeadEndFrac: 0.5,
+		Seed:        seed,
+	}
+}
+
+// Graph generates arc(From, To) over int node IDs.
+func Graph(cfg GraphConfig) *storage.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arc := storage.NewRelation("arc", "From", "To")
+	node := func(i int) storage.Value { return storage.Int(int64(i)) }
+
+	deadEnd := make([]bool, cfg.Nodes)
+	for i := range deadEnd {
+		deadEnd[i] = rng.Float64() < cfg.DeadEndFrac
+	}
+	addArcs := func(from, degree int) {
+		for k := 0; k < degree; k++ {
+			to := rng.Intn(cfg.Nodes)
+			if to == from {
+				continue
+			}
+			arc.Insert(storage.Tuple{node(from), node(to)})
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if deadEnd[i] {
+			continue
+		}
+		addArcs(i, 1+rng.Intn(2*cfg.OutDegree-1))
+	}
+	for h := 0; h < cfg.Hubs; h++ {
+		// Hubs are the first nodes; give them fanout even if marked dead.
+		addArcs(h, cfg.HubDegree)
+	}
+
+	db := storage.NewDatabase()
+	db.Add(arc)
+	return db
+}

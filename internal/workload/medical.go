@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"queryflocks/internal/storage"
+)
+
+// SideEffect plants an unexplained medicine→symptom association — the
+// signal the Fig. 3 flock is mining for.
+type SideEffect struct {
+	// Medicine and Symptom identify the planted pair (indices into the
+	// generator's universes).
+	Medicine, Symptom int
+	// Rate is the probability that a patient taking the medicine exhibits
+	// the symptom.
+	Rate float64
+}
+
+// MedicalConfig parametrizes the Example 2.2 medical database generator.
+type MedicalConfig struct {
+	// Patients, Diseases, Symptoms, Medicines size the universes.
+	Patients, Diseases, Symptoms, Medicines int
+	// SymptomsPerDisease is the causes-relation fan-out per disease.
+	SymptomsPerDisease int
+	// MedicinesPerDisease is how many standard medicines treat a disease;
+	// each patient takes one of them (§3.2's "the number of different
+	// medicines administered for a disease is small").
+	MedicinesPerDisease int
+	// ExhibitRate is the probability a patient exhibits each symptom
+	// caused by their disease.
+	ExhibitRate float64
+	// ExtraMedicines is the expected number of additional uniformly random
+	// medicines each patient takes beyond the one treating their disease
+	// (polypharmacy). It drives the exhibits-join-treatments fan-out that
+	// makes the Fig. 5 pre-filters worthwhile.
+	ExtraMedicines float64
+	// NoiseRate is the expected number of extra uniformly random symptoms
+	// a patient exhibits (unexplained, but too scattered to reach
+	// support). Values above 1 make rare symptoms the majority of the
+	// exhibits relation, the regime where Example 3.2's subquery (1) pays
+	// off.
+	NoiseRate float64
+	// SideEffects are the planted unexplained associations.
+	SideEffects []SideEffect
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultMedical returns a config shaped like Example 2.2's narrative:
+// skewed disease prevalence, few medicines per disease, and two planted
+// side effects strong enough to clear a support threshold of ~20 at 5k
+// patients.
+func DefaultMedical(patients int, seed int64) MedicalConfig {
+	return MedicalConfig{
+		Patients:            patients,
+		Diseases:            50,
+		Symptoms:            200,
+		Medicines:           120,
+		SymptomsPerDisease:  4,
+		MedicinesPerDisease: 2,
+		ExhibitRate:         0.8,
+		NoiseRate:           0.3,
+		SideEffects: []SideEffect{
+			{Medicine: 3, Symptom: 190, Rate: 0.5},
+			{Medicine: 7, Symptom: 195, Rate: 0.35},
+		},
+		Seed: seed,
+	}
+}
+
+// Medical generates diagnoses(Patient, Disease), exhibits(Patient,
+// Symptom), treatments(Patient, Medicine), and causes(Disease, Symptom).
+// Patients are ints; diseases, symptoms and medicines are strings ("d3",
+// "s17", "m5") so mined answers read naturally. Disease prevalence is
+// Zipfian. The planted side effects are the high-support unexplained
+// (symptom, medicine) pairs; ambient noise contributes unexplained
+// symptoms at low support.
+func Medical(cfg MedicalConfig) *storage.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	diagnoses := storage.NewRelation("diagnoses", "Patient", "Disease")
+	exhibits := storage.NewRelation("exhibits", "Patient", "Symptom")
+	treatments := storage.NewRelation("treatments", "Patient", "Medicine")
+	causes := storage.NewRelation("causes", "Disease", "Symptom")
+
+	disease := func(i int) storage.Value { return storage.Str(fmt.Sprintf("d%d", i)) }
+	symptom := func(i int) storage.Value { return storage.Str(fmt.Sprintf("s%d", i)) }
+	medicine := func(i int) storage.Value { return storage.Str(fmt.Sprintf("m%d", i)) }
+
+	// Fixed structure: disease i causes SymptomsPerDisease symptoms and is
+	// treated by MedicinesPerDisease medicines, assigned round-robin so
+	// structure is deterministic and disjointness is controlled.
+	causedBy := make([][]int, cfg.Diseases)
+	treatedBy := make([][]int, cfg.Diseases)
+	for d := 0; d < cfg.Diseases; d++ {
+		for k := 0; k < cfg.SymptomsPerDisease; k++ {
+			s := (d*cfg.SymptomsPerDisease + k) % cfg.Symptoms
+			causedBy[d] = append(causedBy[d], s)
+			causes.InsertValues(disease(d), symptom(s))
+		}
+		for k := 0; k < cfg.MedicinesPerDisease; k++ {
+			treatedBy[d] = append(treatedBy[d], (d*cfg.MedicinesPerDisease+k)%cfg.Medicines)
+		}
+	}
+
+	// Side-effect lookup: medicine -> planted symptoms.
+	planted := make(map[int][]SideEffect)
+	for _, se := range cfg.SideEffects {
+		planted[se.Medicine] = append(planted[se.Medicine], se)
+	}
+
+	prevalence := NewZipf(rng, cfg.Diseases, 1.0)
+	for p := 0; p < cfg.Patients; p++ {
+		pid := storage.Int(int64(p))
+		d := prevalence.Next()
+		diagnoses.Insert(storage.Tuple{pid, disease(d)})
+		m := treatedBy[d][rng.Intn(len(treatedBy[d]))]
+		treatments.Insert(storage.Tuple{pid, medicine(m)})
+		extra := int(cfg.ExtraMedicines)
+		if rng.Float64() < cfg.ExtraMedicines-float64(extra) {
+			extra++
+		}
+		for n := 0; n < extra; n++ {
+			treatments.Insert(storage.Tuple{pid, medicine(rng.Intn(cfg.Medicines))})
+		}
+		for _, s := range causedBy[d] {
+			if rng.Float64() < cfg.ExhibitRate {
+				exhibits.Insert(storage.Tuple{pid, symptom(s)})
+			}
+		}
+		noise := int(cfg.NoiseRate)
+		if rng.Float64() < cfg.NoiseRate-float64(noise) {
+			noise++
+		}
+		for n := 0; n < noise; n++ {
+			exhibits.Insert(storage.Tuple{pid, symptom(rng.Intn(cfg.Symptoms))})
+		}
+		for _, se := range planted[m] {
+			if rng.Float64() < se.Rate {
+				exhibits.Insert(storage.Tuple{pid, symptom(se.Symptom)})
+			}
+		}
+	}
+
+	db := storage.NewDatabase()
+	db.Add(diagnoses)
+	db.Add(exhibits)
+	db.Add(treatments)
+	db.Add(causes)
+	return db
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"queryflocks/internal/storage"
+)
+
+// WebConfig parametrizes the Example 2.3 HTML-collection generator.
+type WebConfig struct {
+	// Docs is the number of documents.
+	Docs int
+	// Vocab is the vocabulary size.
+	Vocab int
+	// TitleWords is the mean number of distinct words per title.
+	TitleWords int
+	// AnchorsPerDoc is the mean number of inbound anchors per document.
+	AnchorsPerDoc int
+	// AnchorWords is the mean number of words per anchor text.
+	AnchorWords int
+	// Skew is the Zipf exponent of word frequency.
+	Skew float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultWeb returns a config with word-frequency skew typical of text.
+func DefaultWeb(docs int, seed int64) WebConfig {
+	return WebConfig{
+		Docs:          docs,
+		Vocab:         docs, // vocabulary scales with collection size
+		TitleWords:    4,
+		AnchorsPerDoc: 2,
+		AnchorWords:   3,
+		Skew:          1.05,
+		Seed:          seed,
+	}
+}
+
+// Web generates inTitle(D, W), inAnchor(A, W), and link(A, D1, D2).
+// Document IDs ("d12") and anchor IDs ("a7") are disjoint string spaces,
+// matching the Fig. 4 assumption that "there are no values in common
+// between these two types of ID's". Anchor text correlates with the target
+// document's title (half of each anchor's words are drawn from the
+// target's title), which is what makes the union flock find strongly
+// connected word pairs.
+func Web(cfg WebConfig) *storage.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := NewZipf(rng, cfg.Vocab, cfg.Skew)
+
+	inTitle := storage.NewRelation("inTitle", "D", "W")
+	inAnchor := storage.NewRelation("inAnchor", "A", "W")
+	link := storage.NewRelation("link", "A", "D1", "D2")
+
+	doc := func(i int) storage.Value { return storage.Str(fmt.Sprintf("d%d", i)) }
+	word := func(i int) storage.Value { return storage.Str(fmt.Sprintf("w%d", i)) }
+
+	titles := make([][]int, cfg.Docs)
+	for d := 0; d < cfg.Docs; d++ {
+		n := 1 + rng.Intn(2*cfg.TitleWords-1)
+		for k := 0; k < n; k++ {
+			w := zipf.Next()
+			titles[d] = append(titles[d], w)
+			inTitle.Insert(storage.Tuple{doc(d), word(w)})
+		}
+	}
+
+	anchorID := 0
+	for d := 0; d < cfg.Docs; d++ {
+		anchors := rng.Intn(2*cfg.AnchorsPerDoc + 1)
+		for k := 0; k < anchors; k++ {
+			a := storage.Str(fmt.Sprintf("a%d", anchorID))
+			anchorID++
+			src := rng.Intn(cfg.Docs)
+			link.Insert(storage.Tuple{a, doc(src), doc(d)})
+			n := 1 + rng.Intn(2*cfg.AnchorWords-1)
+			for j := 0; j < n; j++ {
+				var w int
+				if len(titles[d]) > 0 && rng.Intn(2) == 0 {
+					w = titles[d][rng.Intn(len(titles[d]))]
+				} else {
+					w = zipf.Next()
+				}
+				inAnchor.Insert(storage.Tuple{a, word(w)})
+			}
+		}
+	}
+
+	db := storage.NewDatabase()
+	db.Add(inTitle)
+	db.Add(inAnchor)
+	db.Add(link)
+	return db
+}

@@ -1,0 +1,52 @@
+// Package workload generates the synthetic datasets the experiments run
+// on, substituting for the paper's proprietary inputs (retail baskets,
+// newspaper word occurrences, medical records, HTML collections; see
+// DESIGN.md's substitution table). All generators are deterministic given
+// their Seed, so benches and EXPERIMENTS.md are reproducible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..N with P(rank k) proportional to 1/k^s. It
+// supports any s >= 0 (the standard library's rand.Zipf requires s > 1),
+// which matters because word-frequency skew near s = 1 is exactly the
+// regime the §1.3 experiment depends on.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over n ranks with exponent s.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf needs n >= 1")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next samples a rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet test test-short race cover bench fuzz experiments examples clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
+# The full race pass covers every package: the parallel partitioned join,
+# anti-join, and group-by operators are exercised with workers > cores by
+# the *_test.go worker sweeps, so any shared mutable state surfaces here.
 race:
-	$(GO) test -race ./internal/eval/ ./internal/storage/ ./internal/core/
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/eval/ ./internal/storage/ ./internal/core/ ./internal/planner/
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -10,6 +10,7 @@
 package queryflocks_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -298,6 +299,69 @@ func BenchmarkE8_SafetyCheck(b *testing.B) {
 		if !datalog.IsSafe(r) {
 			b.Fatal("medical rule should be safe")
 		}
+	}
+}
+
+// --- Parallel execution layer ---------------------------------------------
+
+// BenchmarkParallelJoin sweeps the worker knob over the join-dominated
+// Fig. 1 word-pair flock. Workers=1 is the sequential baseline; on a
+// single-core host the other counts should sit within noise of it, and on
+// multi-core hosts they track the core count until the group-by merge and
+// index build start to bound the speedup.
+func BenchmarkParallelJoin(b *testing.B) {
+	db := words(b)
+	f := paper.MarketBasket(20)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchFlockDirect(b, db, f, &core.EvalOptions{Workers: w})
+		})
+	}
+}
+
+// BenchmarkParallelGroupBy isolates the partitioned group-by: the extended
+// answer is materialized once outside the timer, so each iteration measures
+// only GroupAndFilterWorkers (partition, partial aggregation, merge).
+func BenchmarkParallelGroupBy(b *testing.B) {
+	db := words(b)
+	f := paper.MarketBasket(20)
+	r := f.Query[0]
+	ext, err := eval.EvalUnion(db, f.Query, func(*datalog.Rule) []datalog.Term {
+		out := make([]datalog.Term, 0, len(f.Params)+len(r.Head.Args))
+		for _, p := range f.Params {
+			out = append(out, p)
+		}
+		return append(out, r.Head.Args...)
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.GroupAndFilterWorkers(ext, len(f.Params), f.Filter, "bench", w)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDynamic sweeps the worker knob through the §4.4 dynamic
+// strategy end to end (joins, intermediate filters, final group-by).
+func BenchmarkParallelDynamic(b *testing.B) {
+	db := medical(b)
+	f := paper.Medical(20)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.EvalDynamic(db, f, &planner.DynamicOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

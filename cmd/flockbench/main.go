@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-json]
+//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json]
 //
-// Without -exp, the whole suite (E1–E10) runs in order; -json emits the
-// tables as a JSON array.
+// Without -exp, the whole suite (E1–E11) runs in order; -json emits the
+// tables as a JSON array. E11 sweeps the parallel worker knob and, under
+// -json, reports machine-readable ns/op plus the speedup over workers=1
+// in each table's "metrics" field; -workers sets the worker count the
+// other experiments evaluate with (0 = one per CPU, 1 = sequential).
 package main
 
 import (
@@ -32,16 +35,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flockbench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment to run (E1..E10); empty runs all")
-		scale  = fs.Float64("scale", 1.0, "workload scale factor (1.0 = EXPERIMENTS.md reference)")
-		seed   = fs.Int64("seed", 1998, "generator seed")
-		asJSON = fs.Bool("json", false, "emit results as a JSON array instead of tables")
+		exp     = fs.String("exp", "", "experiment to run (E1..E11); empty runs all")
+		scale   = fs.Float64("scale", 1.0, "workload scale factor (1.0 = EXPERIMENTS.md reference)")
+		seed    = fs.Int64("seed", 1998, "generator seed")
+		workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
+		asJSON  = fs.Bool("json", false, "emit results as a JSON array instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	suite := experiments.Suite()
 	if *exp != "" {
 		e, err := experiments.ByID(*exp)

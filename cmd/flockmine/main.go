@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"queryflocks/internal/apriori"
+	"queryflocks/internal/core"
 	"queryflocks/internal/mining"
 	"queryflocks/internal/storage"
 )
@@ -42,6 +43,7 @@ func run(args []string) error {
 		minConf = fs.Float64("min-confidence", 0.5, "confidence floor for -rules")
 		out     = fs.String("out", "", "write rules as CSV to this file (with -rules)")
 		top     = fs.Int("top", 10, "rules to print (by confidence)")
+		workers = fs.Int("workers", 0, "join/group-by worker count for the flocks engine (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +60,10 @@ func run(args []string) error {
 	case "flocks":
 		db := storage.NewDatabase()
 		db.Add(rel.Rename("baskets", nil))
-		res, err := mining.FrequentItemsets(db, *support, &mining.Options{MaxK: *maxK})
+		res, err := mining.FrequentItemsets(db, *support, &mining.Options{
+			MaxK: *maxK,
+			Eval: &core.EvalOptions{Workers: *workers},
+		})
 		if err != nil {
 			return err
 		}

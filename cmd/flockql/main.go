@@ -59,6 +59,7 @@ func run(args []string) error {
 		explain     = fs.Bool("explain", false, "print subqueries, plans, and decisions")
 		quiet       = fs.Bool("quiet", false, "suppress the answer listing (timing only)")
 		interactive = fs.Bool("i", false, "interactive shell over the loaded relations")
+		workers     = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +105,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain)
+	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain, *workers)
 	if err != nil {
 		return err
 	}
@@ -117,10 +118,11 @@ func run(args []string) error {
 	return nil
 }
 
-func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool) (*storage.Relation, error) {
+func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool, workers int) (*storage.Relation, error) {
+	ev := &core.EvalOptions{Workers: workers}
 	switch strategy {
 	case "direct":
-		return flock.Eval(db, nil)
+		return flock.Eval(db, ev)
 	case "naive":
 		return flock.EvalNaive(db)
 	case "static":
@@ -131,7 +133,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		if explain {
 			fmt.Printf("chosen static plan:\n%s\n\n", plan)
 		}
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +146,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		if explain {
 			fmt.Printf("exhaustive-search plan:\n%s\n\n", plan)
 		}
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +159,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		if explain {
 			fmt.Printf("level-wise plan:\n%s\n\n", plan)
 		}
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}
@@ -170,13 +172,13 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		if explain {
 			fmt.Printf("cascade plan:\n%s\n\n", plan)
 		}
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}
 		return res.Answer, nil
 	case "dynamic":
-		res, err := planner.EvalDynamic(db, flock, nil)
+		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +205,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		if err != nil {
 			return nil, err
 		}
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}

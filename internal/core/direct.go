@@ -5,6 +5,7 @@ import (
 
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
+	"queryflocks/internal/par"
 	"queryflocks/internal/storage"
 )
 
@@ -22,13 +23,27 @@ type EvalOptions struct {
 	Trace *eval.Trace
 	// Parallel evaluates union branches concurrently.
 	Parallel bool
+	// Workers is the worker count for the partitioned join, anti-join,
+	// and group-by operators: 0 (the default) means one worker per CPU,
+	// 1 forces the sequential paths, larger values are used as given.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 func (o *EvalOptions) evalOpts() *eval.Options {
 	if o == nil {
 		return nil
 	}
-	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel}
+	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel, Workers: o.Workers}
+}
+
+// workers returns the configured worker knob (0 when opts is nil, meaning
+// one worker per CPU).
+func (o *EvalOptions) workers() int {
+	if o == nil {
+		return 0
+	}
+	return o.Workers
 }
 
 // Eval computes the flock's answer over db using the direct group-by
@@ -58,17 +73,34 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 	if err != nil {
 		return nil, err
 	}
-	res := GroupAndFilter(ext, len(params), filter, name)
+	res := GroupAndFilterWorkers(ext, len(params), filter, name, opts.workers())
 	if opts != nil && opts.Trace != nil {
 		opts.Trace.Add(fmt.Sprintf("filter %s [%s]", name, filter), res.Len())
 	}
 	return res, nil
 }
 
+// minParallelGroupRows is the extended-result size below which the group-by
+// stays sequential even when more workers are available: small inputs are
+// dominated by goroutine startup and per-worker map state.
+const minParallelGroupRows = 256
+
 // GroupAndFilter groups an extended-answer relation by its first nParams
 // columns, applies the filter to each group's head tuples, and returns the
 // passing parameter tuples. Monotone filters short-circuit per group.
 func GroupAndFilter(ext *storage.Relation, nParams int, filter Filter, name string) *storage.Relation {
+	return GroupAndFilterWorkers(ext, nParams, filter, name, 1)
+}
+
+// GroupAndFilterWorkers is GroupAndFilter with a partitioned parallel path:
+// with workers > 1 (see par.Resolve for the knob convention) the extended
+// result is range-partitioned, each worker aggregates its chunk into a
+// private group map (keeping the per-group monotone short-circuit), and the
+// partial accumulators are folded together with GroupAcc.Merge. A merged
+// group passes when any partial short-circuited Done — monotone conditions
+// cannot un-pass — or the combined aggregate passes; both decisions equal
+// the sequential ones, so the answer is identical for every worker count.
+func GroupAndFilterWorkers(ext *storage.Relation, nParams int, filter Filter, name string, workers int) *storage.Relation {
 	paramPos := make([]int, nParams)
 	for i := range paramPos {
 		paramPos[i] = i
@@ -78,30 +110,75 @@ func GroupAndFilter(ext *storage.Relation, nParams int, filter Filter, name stri
 		headPos[i] = nParams + i
 	}
 	out := storage.NewRelation(name, ext.Columns()[:nParams]...)
+	tuples := ext.Tuples()
 
 	type group struct {
 		params storage.Tuple
 		acc    GroupAcc
 		done   bool
 	}
-	groups := make(map[string]*group)
-	for _, t := range ext.Tuples() {
-		key := t.KeyOn(paramPos)
-		g, ok := groups[key]
-		if !ok {
-			g = &group{params: t.Project(paramPos), acc: filter.NewGroup()}
-			groups[key] = g
+	// aggregate builds the group map for one range of extended tuples,
+	// reusing one key buffer so only new groups allocate a key string.
+	aggregate := func(lo, hi int) map[string]*group {
+		groups := make(map[string]*group)
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			t := tuples[i]
+			buf = t.AppendKeyOn(buf[:0], paramPos)
+			g, ok := groups[string(buf)]
+			if !ok {
+				g = &group{params: t.Project(paramPos), acc: filter.NewGroup()}
+				groups[string(buf)] = g
+			}
+			if g.done {
+				continue
+			}
+			g.acc.Add(t.Project(headPos))
+			if g.acc.Done() {
+				g.done = true
+			}
 		}
-		if g.done {
-			continue
+		return groups
+	}
+
+	w := par.Resolve(workers)
+	if len(tuples) < minParallelGroupRows {
+		w = 1
+	}
+	if w <= 1 {
+		for _, g := range aggregate(0, len(tuples)) {
+			if g.done || g.acc.Passes() {
+				out.Insert(g.params)
+			}
 		}
-		g.acc.Add(t.Project(headPos))
-		if g.acc.Done() {
-			g.done = true
+		return out
+	}
+
+	parts := make([]map[string]*group, par.Chunks(len(tuples), w))
+	par.Run(len(tuples), w, func(wi, lo, hi int) { parts[wi] = aggregate(lo, hi) })
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		for k, g := range part {
+			m, ok := merged[k]
+			if !ok {
+				merged[k] = g
+				continue
+			}
+			if m.done {
+				continue
+			}
+			if g.done {
+				m.done = true
+				continue
+			}
+			m.acc.Merge(g.acc)
+			if m.acc.Done() {
+				m.done = true
+			}
 		}
 	}
-	for _, g := range groups {
-		if g.acc.Passes() {
+	for _, g := range merged {
+		if g.done || g.acc.Passes() {
 			out.Insert(g.params)
 		}
 	}

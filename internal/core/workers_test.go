@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// randomExt builds a random extended-answer relation (params..., head...)
+// large enough to cross minParallelGroupRows, with group sizes spread so
+// some groups pass, some fail, and monotone filters short-circuit mid-
+// partition. Head values are non-negative so SUM stays monotone (the
+// order-dependence of short-circuited sums over negative weights is a
+// property of the sequential evaluator too, not of the parallel merge).
+func randomExt(rng *rand.Rand, nParams int) *storage.Relation {
+	cols := make([]string, 0, nParams+2)
+	for i := 0; i < nParams; i++ {
+		cols = append(cols, string(rune('p'+i)))
+	}
+	cols = append(cols, "H1", "H2")
+	ext := storage.NewRelation("ext", cols...)
+	for i := 0; i < 3_000; i++ {
+		tu := make(storage.Tuple, 0, len(cols))
+		for j := 0; j < nParams; j++ {
+			tu = append(tu, storage.Int(int64(rng.Intn(40))))
+		}
+		tu = append(tu, storage.Int(int64(rng.Intn(50))), storage.Int(int64(rng.Intn(8))))
+		ext.Insert(tu)
+	}
+	return ext
+}
+
+func mustFilter(t *testing.T, spec datalog.FilterSpec, nParams int) Filter {
+	t.Helper()
+	// Head shape matching randomExt: the filter target resolves against the
+	// rule head (H1, H2).
+	head := &datalog.Atom{Pred: "answer", Args: []datalog.Term{datalog.Var("H1"), datalog.Var("H2")}}
+	_ = nParams
+	f, err := NewFilter(spec, head)
+	if err != nil {
+		t.Fatalf("NewFilter(%v): %v", spec, err)
+	}
+	return f
+}
+
+// TestGroupAndFilterWorkersMatchesSequential sweeps every aggregate kind —
+// monotone and non-monotone, short-circuiting and not — across worker
+// counts on randomized extended relations. The parallel merge must
+// reproduce the sequential answer exactly.
+func TestGroupAndFilterWorkersMatchesSequential(t *testing.T) {
+	specs := []datalog.FilterSpec{
+		{Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(5)},               // COUNT(*) monotone
+		{Agg: datalog.AggCount, Target: "H1", Op: datalog.Ge, Threshold: storage.Int(4)}, // COUNT(col) monotone
+		{Agg: datalog.AggCount, Target: "H1", Op: datalog.Lt, Threshold: storage.Int(6)}, // non-monotone
+		{Agg: datalog.AggSum, Target: "H2", Op: datalog.Ge, Threshold: storage.Int(30)},  // SUM monotone (non-negative)
+		{Agg: datalog.AggSum, Target: "H2", Op: datalog.Le, Threshold: storage.Int(40)},  // SUM non-monotone
+		{Agg: datalog.AggMin, Target: "H1", Op: datalog.Le, Threshold: storage.Int(3)},   // MIN monotone
+		{Agg: datalog.AggMax, Target: "H1", Op: datalog.Ge, Threshold: storage.Int(45)},  // MAX monotone
+		{Agg: datalog.AggMax, Target: "H2", Op: datalog.Lt, Threshold: storage.Int(7)},   // MAX non-monotone
+	}
+	nonEmpty := 0
+	for seed := int64(0); seed < 3; seed++ {
+		for _, nParams := range []int{1, 2} {
+			ext := randomExt(rand.New(rand.NewSource(seed)), nParams)
+			for _, spec := range specs {
+				f := mustFilter(t, spec, nParams)
+				want := GroupAndFilter(ext, nParams, f, "flock")
+				if want.Len() > 0 {
+					nonEmpty++
+				}
+				for _, w := range []int{2, 3, 8} {
+					got := GroupAndFilterWorkers(ext, nParams, f, "flock", w)
+					if !got.Equal(want) {
+						t.Fatalf("seed %d params %d %v workers=%d: %d groups pass, want %d",
+							seed, nParams, spec, w, got.Len(), want.Len())
+					}
+				}
+			}
+		}
+	}
+	// Some combinations legitimately pass no group (tight non-monotone
+	// cutoffs); the sweep as a whole must not be vacuous.
+	if nonEmpty < 10 {
+		t.Fatalf("only %d non-empty cases across the sweep; thresholds too tight", nonEmpty)
+	}
+}
+
+// TestGroupAndFilterWorkersSmallInput pins the sequential fallback: inputs
+// below the partitioning threshold must take the workers=1 path and still
+// agree, including the empty relation.
+func TestGroupAndFilterWorkersSmallInput(t *testing.T) {
+	f := mustFilter(t, datalog.FilterSpec{
+		Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(2),
+	}, 1)
+	ext := storage.NewRelation("ext", "p", "H1", "H2")
+	for i := 0; i < 10; i++ {
+		ext.InsertValues(storage.Int(int64(i%3)), storage.Int(int64(i)), storage.Int(1))
+	}
+	want := GroupAndFilter(ext, 1, f, "flock")
+	for _, w := range []int{0, 2, 8} {
+		got := GroupAndFilterWorkers(ext, 1, f, "flock", w)
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d on small input: %d vs %d", w, got.Len(), want.Len())
+		}
+	}
+	empty := storage.NewRelation("ext", "p", "H1", "H2")
+	if got := GroupAndFilterWorkers(empty, 1, f, "flock", 4); got.Len() != 0 {
+		t.Fatalf("empty input produced %d groups", got.Len())
+	}
+}
+
+// TestGroupAccMerge exercises every accumulator's Merge directly: feeding
+// a tuple set through one accumulator must equal feeding a split of it
+// through two and merging.
+func TestGroupAccMerge(t *testing.T) {
+	specs := []datalog.FilterSpec{
+		{Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(3)},
+		{Agg: datalog.AggCount, Target: "H1", Op: datalog.Ge, Threshold: storage.Int(3)},
+		{Agg: datalog.AggSum, Target: "H1", Op: datalog.Ge, Threshold: storage.Int(10)},
+		{Agg: datalog.AggMin, Target: "H1", Op: datalog.Le, Threshold: storage.Int(2)},
+		{Agg: datalog.AggMax, Target: "H1", Op: datalog.Ge, Threshold: storage.Int(8)},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, spec := range specs {
+		f := mustFilter(t, spec, 1)
+		tuples := make([]storage.Tuple, 12)
+		for i := range tuples {
+			tuples[i] = storage.Tuple{storage.Int(int64(rng.Intn(10))), storage.Int(int64(i))}
+		}
+		whole := f.NewGroup()
+		for _, tu := range tuples {
+			whole.Add(tu)
+		}
+		for split := 0; split <= len(tuples); split += 4 {
+			a, b := f.NewGroup(), f.NewGroup()
+			for _, tu := range tuples[:split] {
+				a.Add(tu)
+			}
+			for _, tu := range tuples[split:] {
+				b.Add(tu)
+			}
+			a.Merge(b)
+			if a.Passes() != whole.Passes() {
+				t.Fatalf("%v split %d: merged Passes()=%v, whole=%v",
+					spec, split, a.Passes(), whole.Passes())
+			}
+		}
+	}
+}

@@ -21,6 +21,11 @@ type Options struct {
 	// relations are shared read-only (lazy index builds are locked);
 	// results merge deterministically.
 	Parallel bool
+	// Workers is the worker count for the partitioned hash-join and
+	// anti-join operators inside each rule: 0 (the default) means one
+	// worker per CPU, 1 forces the sequential paths, larger values are
+	// used as given. Results are identical for every worker count.
+	Workers int
 }
 
 func (o *Options) orDefault() Options {
@@ -42,6 +47,7 @@ func EvalRule(db *storage.Database, r *datalog.Rule, out []datalog.Term, opts *O
 	if err != nil {
 		return nil, err
 	}
+	ex.SetWorkers(o.Workers)
 	order := o.FixedOrder
 	if order == nil {
 		order, err = JoinOrder(db, r, o.Order)

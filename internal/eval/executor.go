@@ -14,8 +14,15 @@ import (
 	"fmt"
 
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/par"
 	"queryflocks/internal/storage"
 )
+
+// minParallelRows is the binding-relation size below which join operators
+// stay sequential even when more workers are available: under a few
+// hundred probe rows, goroutine startup and per-worker state dominate any
+// scan overlap.
+const minParallelRows = 256
 
 // termColumn returns the intermediate-relation column name for a term.
 // Variables map to their own name; parameters are prefixed with '$', which
@@ -45,9 +52,16 @@ type Executor struct {
 	pendingCmp []*datalog.Comparison
 	pendingNeg []*datalog.Atom
 
-	trace *Trace
-	steps int
+	workers int // join/anti-join worker count; see SetWorkers
+	trace   *Trace
+	steps   int
 }
+
+// SetWorkers sets the worker count for the partitioned hash-join and
+// anti-join operators: 0 (the default) means one worker per CPU, 1 forces
+// the sequential paths, larger values are used as given. Results are
+// identical for every worker count; only the wall-clock changes.
+func (e *Executor) SetWorkers(n int) { e.workers = n }
 
 // NewExecutor prepares evaluation of r's body against db. The rule must be
 // safe (§3.3) — unsafe rules denote infinite results. Any relation named by
@@ -156,27 +170,47 @@ func (e *Executor) JoinNext(i int) error {
 	if err != nil {
 		return err
 	}
-	next, err := joinAtom(e.db, e.cur, atoms[i], e.stepName(), checks)
+	next, err := joinAtom(e.db, e.cur, atoms[i], e.stepName(), checks, e.workers)
 	if err != nil {
 		return err
 	}
 	e.joined[i] = true
 	e.cur = next
-	desc := fmt.Sprintf("join %s", atoms[i])
-	if absorbed > 0 {
-		desc = fmt.Sprintf("join %s (+%d absorbed)", atoms[i], absorbed)
+	if e.trace != nil { // skip the Sprintf entirely when not tracing
+		desc := fmt.Sprintf("join %s", atoms[i])
+		if absorbed > 0 {
+			desc = fmt.Sprintf("join %s (+%d absorbed)", atoms[i], absorbed)
+		}
+		e.traceStep(desc)
 	}
-	e.traceStep(desc)
 	return e.applyPending()
 }
 
 // rowCheck decides one (binding, candidate) row pair during a join scan.
 type rowCheck func(ct, bt storage.Tuple) bool
 
+// rowCheckFactory instantiates a rowCheck. Factories exist because some
+// checks carry reusable probe buffers: each worker of a partitioned scan
+// instantiates its own copies so no mutable state is shared across
+// goroutines. Stateless checks return the same closure every time.
+type rowCheckFactory func() rowCheck
+
+// instantiateChecks materializes one worker's private check set.
+func instantiateChecks(fs []rowCheckFactory) []rowCheck {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]rowCheck, len(fs))
+	for i, f := range fs {
+		out[i] = f()
+	}
+	return out
+}
+
 // absorbChecks builds per-row checks for every pending subgoal decidable
 // during the scan of atom, removing the absorbed subgoals from the pending
 // lists and marking absorbed positive atoms as joined.
-func (e *Executor) absorbChecks(atom *datalog.Atom) ([]rowCheck, int, error) {
+func (e *Executor) absorbChecks(atom *datalog.Atom) ([]rowCheckFactory, int, error) {
 	curCols := make(map[string]int, e.cur.Arity())
 	for i, c := range e.cur.Columns() {
 		curCols[c] = i
@@ -217,7 +251,7 @@ func (e *Executor) absorbChecks(atom *datalog.Atom) ([]rowCheck, int, error) {
 		return out, true
 	}
 
-	var checks []rowCheck
+	var checks []rowCheckFactory
 
 	var keepCmp []*datalog.Comparison
 	for _, c := range e.pendingCmp {
@@ -227,9 +261,11 @@ func (e *Executor) absorbChecks(atom *datalog.Atom) ([]rowCheck, int, error) {
 			continue
 		}
 		op := c.Op
-		checks = append(checks, func(ct, bt storage.Tuple) bool {
+		// Comparison checks are stateless; every worker shares one closure.
+		cmp := func(ct, bt storage.Tuple) bool {
 			return op.Eval(gs[0](ct, bt), gs[1](ct, bt))
-		})
+		}
+		checks = append(checks, func() rowCheck { return cmp })
 	}
 	e.pendingCmp = keepCmp
 
@@ -274,15 +310,22 @@ func (e *Executor) absorbChecks(atom *datalog.Atom) ([]rowCheck, int, error) {
 	return checks, len(checks), nil
 }
 
-// membershipCheck builds a rowCheck testing (non-)membership of the
-// resolved tuple in rel.
-func membershipCheck(rel *storage.Relation, gs []func(ct, bt storage.Tuple) storage.Value, want bool) rowCheck {
-	probe := make(storage.Tuple, len(gs))
-	return func(ct, bt storage.Tuple) bool {
-		for i, g := range gs {
-			probe[i] = g(ct, bt)
+// membershipCheck builds a rowCheck factory testing (non-)membership of
+// the resolved tuple in rel. Each instantiation owns a private probe tuple
+// and key buffer, so workers never contend, and the membership test
+// encodes into the reused buffer instead of allocating a key string per
+// probed row.
+func membershipCheck(rel *storage.Relation, gs []func(ct, bt storage.Tuple) storage.Value, want bool) rowCheckFactory {
+	return func() rowCheck {
+		probe := make(storage.Tuple, len(gs))
+		var buf []byte
+		return func(ct, bt storage.Tuple) bool {
+			for i, g := range gs {
+				probe[i] = g(ct, bt)
+			}
+			buf = probe.AppendKey(buf[:0])
+			return rel.ContainsKey(buf) == want
 		}
-		return rel.Contains(probe) == want
 	}
 }
 
@@ -319,7 +362,9 @@ func (e *Executor) applyPending() error {
 			continue
 		}
 		e.cur = applyComparison(e.cur, c, e.stepName())
-		e.traceStep(fmt.Sprintf("select %s", c))
+		if e.trace != nil { // skip the Sprintf entirely when not tracing
+			e.traceStep(fmt.Sprintf("select %s", c))
+		}
 	}
 	e.pendingCmp = keepCmp
 
@@ -336,12 +381,14 @@ func (e *Executor) applyPending() error {
 			keepNeg = append(keepNeg, a)
 			continue
 		}
-		next, err := antiJoin(e.db, e.cur, a, e.stepName())
+		next, err := antiJoin(e.db, e.cur, a, e.stepName(), e.workers)
 		if err != nil {
 			return err
 		}
 		e.cur = next
-		e.traceStep(fmt.Sprintf("antijoin %s", a))
+		if e.trace != nil { // skip the Sprintf entirely when not tracing
+			e.traceStep(fmt.Sprintf("antijoin %s", a))
+		}
 	}
 	e.pendingNeg = keepNeg
 	return nil
@@ -389,7 +436,15 @@ func ProjectTerms(rel *storage.Relation, out []datalog.Term, name string) (*stor
 // joinAtom hash-joins the current bindings with the atom's base relation.
 // Each surviving (binding, candidate) pair must additionally pass every
 // rowCheck (absorbed subgoals) before the joined row materializes.
-func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, checks []rowCheck) (*storage.Relation, error) {
+//
+// With workers > 1 (and enough binding rows), the probe side is range-
+// partitioned: each worker probes its contiguous chunk of cur into its own
+// storage.Builder with its own instantiated checks and probe-key buffer,
+// and the builders are merged in worker order afterwards. Because every
+// output row embeds its distinct binding tuple, two workers can never
+// produce the same row, and the worker-order merge reproduces exactly the
+// sequential insertion order.
+func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, checks []rowCheckFactory, workers int) (*storage.Relation, error) {
 	base, err := db.Relation(atom.Pred)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
@@ -437,6 +492,11 @@ func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 		newPos = append(newPos, i)
 	}
 
+	workers = par.Resolve(workers)
+	if cur.Len() < minParallelRows {
+		workers = 1
+	}
+
 	// The index covers constants first (fixed key prefix) then probed
 	// positions.
 	idxCols := make([]int, 0, len(consts)+len(probeRel))
@@ -444,46 +504,75 @@ func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 		idxCols = append(idxCols, c.pos)
 	}
 	idxCols = append(idxCols, probeRel...)
-	idx := base.Index(idxCols)
+	idx := base.IndexParallel(idxCols, workers)
 
 	outCols := append(append([]string(nil), cur.Columns()...), newCols...)
 	out := storage.NewRelation(name, outCols...)
 
-	keyPrefix := make(storage.Tuple, 0, len(idxCols))
+	// Constants contribute a fixed probe-key prefix, encoded once.
+	var prefix []byte
 	for _, c := range consts {
-		keyPrefix = append(keyPrefix, c.val)
+		prefix = c.val.AppendKey(prefix)
 	}
-	for _, ct := range cur.Tuples() {
-		key := keyPrefix
-		for _, p := range probeCur {
-			key = append(key, ct[p])
-		}
-		matches := idx.Lookup(key)
-	match:
-		for _, bt := range matches {
-			for _, d := range dupCheck {
-				if bt[d[0]] != bt[d[1]] {
-					continue match
+	curTuples := cur.Tuples()
+
+	// scan probes the binding tuples in [lo, hi) and emits surviving rows.
+	// Each caller supplies private checks and receives a private key buffer,
+	// so concurrent scans share only read-only state.
+	scan := func(lo, hi int, cks []rowCheck, emit func(storage.Tuple)) {
+		buf := append([]byte(nil), prefix...)
+		for i := lo; i < hi; i++ {
+			ct := curTuples[i]
+			buf = buf[:len(prefix)]
+			for _, p := range probeCur {
+				buf = ct[p].AppendKey(buf)
+			}
+			matches := idx.LookupBytes(buf)
+		match:
+			for _, bt := range matches {
+				for _, d := range dupCheck {
+					if bt[d[0]] != bt[d[1]] {
+						continue match
+					}
 				}
-			}
-			for _, check := range checks {
-				if !check(ct, bt) {
-					continue match
+				for _, check := range cks {
+					if !check(ct, bt) {
+						continue match
+					}
 				}
+				row := make(storage.Tuple, 0, len(outCols))
+				row = append(row, ct...)
+				for _, p := range newPos {
+					row = append(row, bt[p])
+				}
+				emit(row)
 			}
-			row := make(storage.Tuple, 0, len(outCols))
-			row = append(row, ct...)
-			for _, p := range newPos {
-				row = append(row, bt[p])
-			}
-			out.Insert(row)
 		}
+	}
+
+	if workers <= 1 {
+		scan(0, len(curTuples), instantiateChecks(checks), func(row storage.Tuple) { out.Insert(row) })
+		return out, nil
+	}
+
+	builders := make([]*storage.Builder, par.Chunks(len(curTuples), workers))
+	par.Run(len(curTuples), workers, func(w, lo, hi int) {
+		b := storage.NewBuilder(hi - lo)
+		scan(lo, hi, instantiateChecks(checks), func(row storage.Tuple) { b.Add(row) })
+		builders[w] = b
+	})
+	for _, b := range builders {
+		out.AbsorbBuilder(b)
 	}
 	return out, nil
 }
 
 // antiJoin removes bindings for which the (fully bound) negated atom holds.
-func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string) (*storage.Relation, error) {
+// Like joinAtom, with workers > 1 the binding relation is range-partitioned
+// into per-worker Builders merged in worker order; surviving rows are the
+// (distinct) binding tuples themselves, so partitions cannot collide and
+// the merged order equals the sequential one.
+func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, workers int) (*storage.Relation, error) {
 	base, err := db.Relation(atom.Pred)
 	if err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
@@ -495,12 +584,15 @@ func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 	for i, c := range cur.Columns() {
 		curCols[c] = i
 	}
-	// Precompute how to build the membership probe for each binding tuple.
-	build := make([]func(storage.Tuple) storage.Value, len(atom.Args))
+	// Column-offset plan for the membership probe: each atom argument is
+	// either a constant (encoded once into the key prefix position) or a cur
+	// column offset. srcPos[i] < 0 means "use constVal[i]".
+	srcPos := make([]int, len(atom.Args))
+	constVal := make([]storage.Value, len(atom.Args))
 	for i, t := range atom.Args {
 		if c, isConst := t.(datalog.Const); isConst {
-			v := c.Val
-			build[i] = func(storage.Tuple) storage.Value { return v }
+			srcPos[i] = -1
+			constVal[i] = c.Val
 			continue
 		}
 		col, _ := termColumn(t)
@@ -508,18 +600,47 @@ func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 		if !bound {
 			return nil, fmt.Errorf("eval: negated atom %s has unbound term %s", atom, t)
 		}
-		pp := p
-		build[i] = func(ct storage.Tuple) storage.Value { return ct[pp] }
+		srcPos[i] = p
 	}
+
+	workers = par.Resolve(workers)
+	if cur.Len() < minParallelRows {
+		workers = 1
+	}
+
 	out := storage.NewRelation(name, cur.Columns()...)
-	probe := make(storage.Tuple, len(atom.Args))
-	for _, ct := range cur.Tuples() {
-		for i, f := range build {
-			probe[i] = f(ct)
+	curTuples := cur.Tuples()
+	scan := func(lo, hi int, emit func(storage.Tuple)) {
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			ct := curTuples[i]
+			buf = buf[:0]
+			for j, p := range srcPos {
+				if p < 0 {
+					buf = constVal[j].AppendKey(buf)
+				} else {
+					buf = ct[p].AppendKey(buf)
+				}
+			}
+			if !base.ContainsKey(buf) {
+				emit(ct)
+			}
 		}
-		if !base.Contains(probe) {
-			out.Insert(ct)
-		}
+	}
+
+	if workers <= 1 {
+		scan(0, len(curTuples), func(ct storage.Tuple) { out.Insert(ct) })
+		return out, nil
+	}
+
+	builders := make([]*storage.Builder, par.Chunks(len(curTuples), workers))
+	par.Run(len(curTuples), workers, func(w, lo, hi int) {
+		b := storage.NewBuilder(hi - lo)
+		scan(lo, hi, func(ct storage.Tuple) { b.Add(ct) })
+		builders[w] = b
+	})
+	for _, b := range builders {
+		out.AbsorbBuilder(b)
 	}
 	return out, nil
 }

@@ -43,7 +43,7 @@ func E1(cfg Config) (*Table, error) {
 		var direct, rewritten *storage.Relation
 		directTime, err := timed(func() error {
 			var err error
-			direct, err = f.Eval(db, nil)
+			direct, err = f.Eval(db, cfg.EvalOpts())
 			return err
 		})
 		if err != nil {
@@ -56,7 +56,7 @@ func E1(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E1 plan: %w", err)
 		}
 		rewriteTime, err := timed(func() error {
-			res, err := plan.Execute(db, nil)
+			res, err := plan.Execute(db, cfg.EvalOpts())
 			if err == nil {
 				rewritten = res.Answer
 			}

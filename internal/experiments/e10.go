@@ -55,13 +55,13 @@ func E10(cfg Config) (*Table, error) {
 		{"(4) symptom-medicine pair", datalog.Union{rule.DeleteSubgoals(2, 3)}, []datalog.Param{"m", "s"}},
 	}
 	for _, c := range cases {
-		exact, err := exactFraction(db, est, c.sub, c.params, support)
+		exact, err := exactFraction(db, est, c.sub, c.params, support, cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("E10 %s: %w", c.name, err)
 		}
 		model := est.SurvivorFraction(c.sub, c.params, support)
 		sampled, err := est.SampledSurvivorFraction(c.sub, c.params, support,
-			&planner.SampleOptions{Fraction: 0.3, Seed: cfg.Seed})
+			&planner.SampleOptions{Fraction: 0.3, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("E10 %s: %w", c.name, err)
 		}
@@ -75,7 +75,7 @@ func E10(cfg Config) (*Table, error) {
 }
 
 // exactFraction computes the true survivor fraction of a subquery.
-func exactFraction(db *storage.Database, est *planner.Estimator, sub datalog.Union, params []datalog.Param, support int) (float64, error) {
+func exactFraction(db *storage.Database, est *planner.Estimator, sub datalog.Union, params []datalog.Param, support, workers int) (float64, error) {
 	spec := datalog.FilterSpec{
 		Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(int64(support)),
 	}
@@ -83,7 +83,7 @@ func exactFraction(db *storage.Database, est *planner.Estimator, sub datalog.Uni
 	if err != nil {
 		return 0, err
 	}
-	survivors, err := flock.Eval(db, nil)
+	survivors, err := flock.Eval(db, &core.EvalOptions{Workers: workers})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/paper"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// E11 measures the parallel partitioned execution layer: the market-basket
+// flock of Fig. 2 evaluated directly (hash join + group-by) on the E1
+// word-occurrence workload and the E2 retail workload, swept over worker
+// counts. Every worker count must produce the identical answer — the knob
+// only changes the wall clock. The Metrics field carries the machine-
+// readable ns/op and speedup-vs-sequential numbers that flockbench -json
+// emits.
+//
+// Expected shape: near-linear scaling on the join-dominated word workload
+// up to the physical core count, flatter on the group-by-heavy retail
+// workload (the merge of per-worker partial aggregates is sequential). On
+// a single-core host every worker count times within noise of workers=1.
+func E11(cfg Config) (*Table, error) {
+	type bench struct {
+		name    string
+		db      *storage.Database
+		support int
+	}
+	benches := []bench{
+		{
+			name: "E1 word pairs",
+			db: workload.Baskets(workload.BasketConfig{
+				Baskets:  cfg.scaled(10_000),
+				Items:    cfg.scaled(60_000),
+				MeanSize: 15,
+				Skew:     1.0,
+				Seed:     cfg.Seed,
+			}),
+			support: 20,
+		},
+		{
+			name: "E2 retail baskets",
+			db: workload.Baskets(workload.BasketConfig{
+				Baskets:  cfg.scaled(20_000),
+				Items:    cfg.scaled(8_000),
+				MeanSize: 8,
+				Skew:     1.0,
+				Seed:     cfg.Seed,
+			}),
+			support: 20,
+		},
+	}
+
+	sweep := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > 4 {
+		sweep = append(sweep, max)
+	}
+
+	t := &Table{
+		ID:     "E11",
+		Title:  "parallel partitioned join + group-by — worker sweep (Fig. 2 flock)",
+		Header: []string{"workload", "workers", "time", "speedup", "answers"},
+	}
+
+	for _, b := range benches {
+		f := paper.MarketBasket(b.support)
+		var baseline time.Duration
+		var want *storage.Relation
+		for _, w := range sweep {
+			var answer *storage.Relation
+			elapsed, err := timed(func() error {
+				var err error
+				answer, err = f.Eval(b.db, &core.EvalOptions{Workers: w})
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E11 %s (workers %d): %w", b.name, w, err)
+			}
+			if want == nil {
+				baseline, want = elapsed, answer
+			} else if !answer.Equal(want) {
+				return nil, fmt.Errorf("E11 %s: workers=%d changed the answer", b.name, w)
+			}
+			ratio := float64(baseline) / float64(elapsed)
+			t.AddRow(b.name, fmt.Sprintf("%d", w), ms(elapsed),
+				fmt.Sprintf("%.2fx", ratio), fmt.Sprintf("%d", want.Len()))
+			t.Metrics = append(t.Metrics, Metric{
+				Name:    b.name,
+				Workers: w,
+				NsPerOp: elapsed.Nanoseconds(),
+				Speedup: ratio,
+			})
+		}
+	}
+	t.AddNote("answers verified identical across all worker counts on both workloads")
+	t.AddNote("speedup is vs. workers=1 on this host (%d logical CPUs); single-core hosts "+
+		"stay within noise of sequential", runtime.GOMAXPROCS(0))
+	return t, nil
+}

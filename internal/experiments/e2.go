@@ -38,7 +38,7 @@ func E2(cfg Config) (*Table, error) {
 	var direct *storage.Relation
 	directTime, err := timed(func() error {
 		var err error
-		direct, err = f.Eval(db, nil)
+		direct, err = f.Eval(db, cfg.EvalOpts())
 		return err
 	})
 	if err != nil {
@@ -52,7 +52,7 @@ func E2(cfg Config) (*Table, error) {
 	}
 	var planned *storage.Relation
 	planTime, err := timed(func() error {
-		res, err := plan.Execute(db, nil)
+		res, err := plan.Execute(db, cfg.EvalOpts())
 		if err == nil {
 			planned = res.Answer
 		}

@@ -69,7 +69,7 @@ func E3(cfg Config) (*Table, error) {
 			steps  string
 		}
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, nil)
+			r, err := plan.Execute(db, cfg.EvalOpts())
 			if err != nil {
 				return err
 			}

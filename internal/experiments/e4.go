@@ -54,7 +54,7 @@ func E4(cfg Config) (*Table, error) {
 		var answer *storage.Relation
 		steps := "-"
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, nil)
+			r, err := plan.Execute(db, cfg.EvalOpts())
 			if err != nil {
 				return err
 			}

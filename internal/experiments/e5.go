@@ -47,7 +47,7 @@ func E5(cfg Config) (*Table, error) {
 		var answer *storage.Relation
 		var steps []string
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, nil)
+			r, err := plan.Execute(db, cfg.EvalOpts())
 			if err != nil {
 				return err
 			}

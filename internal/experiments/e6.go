@@ -50,7 +50,7 @@ func E6(cfg Config) (*Table, error) {
 		}
 		var answer *storage.Relation
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, nil)
+			r, err := plan.Execute(db, cfg.EvalOpts())
 			if err == nil {
 				answer = r.Answer
 			}
@@ -81,7 +81,7 @@ func E6(cfg Config) (*Table, error) {
 	dynTime, err := timed(func() error {
 		var err error
 		// Fig. 8 join order: exhibits, treatments, diagnoses.
-		dres, err = planner.EvalDynamic(db, f, &planner.DynamicOptions{FixedOrder: []int{0, 1, 2}})
+		dres, err = planner.EvalDynamic(db, f, &planner.DynamicOptions{FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers})
 		return err
 	})
 	if err != nil {

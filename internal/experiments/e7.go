@@ -43,7 +43,7 @@ func E7(cfg Config) (*Table, error) {
 	var direct *storage.Relation
 	directTime, err := timed(func() error {
 		var err error
-		direct, err = f.Eval(db, nil)
+		direct, err = f.Eval(db, cfg.EvalOpts())
 		return err
 	})
 	if err != nil {
@@ -57,7 +57,7 @@ func E7(cfg Config) (*Table, error) {
 	}
 	var planned *storage.Relation
 	planTime, err := timed(func() error {
-		r, err := plan.Execute(db, nil)
+		r, err := plan.Execute(db, cfg.EvalOpts())
 		if err == nil {
 			planned = r.Answer
 		}
@@ -77,7 +77,7 @@ func E7(cfg Config) (*Table, error) {
 	var counted *storage.Relation
 	countTime, err := timed(func() error {
 		var err error
-		counted, err = fc.Eval(db, nil)
+		counted, err = fc.Eval(db, cfg.EvalOpts())
 		return err
 	})
 	if err != nil {

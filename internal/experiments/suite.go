@@ -28,6 +28,7 @@ func Suite() []Experiment {
 		{"E8", "Ex. 3.2 enumeration", E8},
 		{"E9", "footnote 2 itemset sequence", E9},
 		{"E10", "§4.4 statistics accuracy", E10},
+		{"E11", "parallel worker-sweep scaling", E11},
 	}
 }
 

@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+
+	"queryflocks/internal/core"
 	"strings"
 	"time"
 )
@@ -25,6 +27,19 @@ type Table struct {
 	Rows [][]string `json:"rows"`
 	// Notes carries the claim being checked and the observed verdict.
 	Notes []string `json:"notes,omitempty"`
+	// Metrics carries machine-readable measurements (flockbench -json);
+	// the parallel-scaling experiment fills one entry per worker count.
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// Metric is one machine-readable measurement of a named workload at a
+// worker count: absolute time per evaluation plus the speedup over the
+// same workload at workers=1.
+type Metric struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
 }
 
 // AddRow appends a row of already-formatted cells.
@@ -83,10 +98,19 @@ type Config struct {
 	Scale float64
 	// Seed drives every generator.
 	Seed int64
+	// Workers is the join/group-by worker count for every strategy under
+	// test (0 = one per CPU, 1 = sequential). Answers are identical for
+	// every worker count; E11 sweeps this knob explicitly.
+	Workers int
 }
 
 // DefaultConfig is the reference configuration used for EXPERIMENTS.md.
 func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1998} }
+
+// EvalOpts returns the evaluation options the configuration implies.
+func (c Config) EvalOpts() *core.EvalOptions {
+	return &core.EvalOptions{Workers: c.Workers}
+}
 
 func (c Config) scaled(n int) int {
 	s := int(float64(n) * c.Scale)

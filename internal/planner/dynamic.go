@@ -44,6 +44,11 @@ type DynamicOptions struct {
 	FixedOrder []int
 	// Trace, when non-nil, records engine steps.
 	Trace *eval.Trace
+	// Workers is the worker count for the partitioned join, anti-join,
+	// and group-by operators: 0 (the default) means one worker per CPU,
+	// 1 forces the sequential paths, larger values are used as given.
+	// Answers and Decisions are identical for every worker count.
+	Workers int
 }
 
 func (o *DynamicOptions) orDefault() DynamicOptions {
@@ -60,6 +65,7 @@ func (o *DynamicOptions) orDefault() DynamicOptions {
 	out.Order = o.Order
 	out.FixedOrder = o.FixedOrder
 	out.Trace = o.Trace
+	out.Workers = o.Workers
 	return out
 }
 
@@ -132,7 +138,7 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 	if err := f.CheckDatabase(db); err != nil {
 		return nil, err
 	}
-	db, err := f.MaterializeViews(db, &core.EvalOptions{Order: o.Order, Trace: o.Trace})
+	db, err := f.MaterializeViews(db, &core.EvalOptions{Order: o.Order, Trace: o.Trace, Workers: o.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +158,7 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 			}
 		}
 	}
-	res.Answer = core.GroupAndFilter(ext, len(f.Params), f.Filter, "flock")
+	res.Answer = core.GroupAndFilterWorkers(ext, len(f.Params), f.Filter, "flock", o.Workers)
 	return res, nil
 }
 
@@ -165,6 +171,7 @@ func evalRuleDynamic(db *storage.Database, f *core.Flock, r *datalog.Rule,
 	if err != nil {
 		return nil, err
 	}
+	ex.SetWorkers(o.Workers)
 	order := o.FixedOrder
 	if order == nil {
 		var err error
@@ -308,7 +315,10 @@ func distinctOn(rel *storage.Relation, pos []int) int {
 // filterIntermediate applies a FILTER step to an intermediate binding
 // relation: group by the bound parameters, count the (distinct) head
 // tuples per group via the flock's filter, and keep only rows whose
-// parameter assignment passes.
+// parameter assignment passes. It stays sequential regardless of the
+// worker knob: unlike GroupAndFilterWorkers it must keep every binding
+// row (not one row per group), and its input — an already filter-worthy
+// intermediate — is usually small enough that partitioning would not pay.
 func filterIntermediate(cur *storage.Relation, paramPos []int, headCols []string, filter core.Filter) (*storage.Relation, error) {
 	headPos := make([]int, len(headCols))
 	for i, c := range headCols {

@@ -26,6 +26,10 @@ type SampleOptions struct {
 	Fraction float64
 	// Seed drives the sample; fixed default for reproducibility.
 	Seed int64
+	// Workers is the worker count for evaluating the subquery over the
+	// sample (0 = per CPU, 1 = sequential). The estimate is identical for
+	// every worker count.
+	Workers int
 }
 
 func (o *SampleOptions) orDefault() SampleOptions {
@@ -37,6 +41,7 @@ func (o *SampleOptions) orDefault() SampleOptions {
 		out.Fraction = o.Fraction
 	}
 	out.Seed = o.Seed
+	out.Workers = o.Workers
 	return out
 }
 
@@ -74,7 +79,7 @@ func (e *Estimator) SampledSurvivorFraction(sub datalog.Union, params []datalog.
 	if err != nil {
 		return 0, fmt.Errorf("planner: sampling subquery: %w", err)
 	}
-	survivors, err := flock.Eval(sampleDB, nil)
+	survivors, err := flock.Eval(sampleDB, &core.EvalOptions{Workers: o.Workers})
 	if err != nil {
 		return 0, err
 	}

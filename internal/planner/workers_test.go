@@ -1,0 +1,65 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+
+	"queryflocks/internal/paper"
+	"queryflocks/internal/workload"
+)
+
+// TestDynamicWorkersMatchSequential runs the §4.4 dynamic strategy across
+// the worker sweep on a medical workload large enough to cross the
+// partitioning thresholds. Not just the answer but the full decision
+// narrative must be invariant: the partitioned operators reproduce the
+// sequential intermediate relations exactly, so every filter/skip choice —
+// which depends on intermediate sizes — is the same at every worker count.
+func TestDynamicWorkersMatchSequential(t *testing.T) {
+	db := workload.Medical(workload.DefaultMedical(2_000, 17))
+	f := paper.Medical(5)
+
+	base, err := EvalDynamic(db, f, &DynamicOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Decisions) == 0 {
+		t.Fatal("no decisions recorded at workers=1")
+	}
+	for _, w := range []int{0, 2, 3, 8} {
+		res, err := EvalDynamic(db, f, &DynamicOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !res.Answer.Equal(base.Answer) {
+			t.Fatalf("workers=%d: answer %d rows, want %d", w, res.Answer.Len(), base.Answer.Len())
+		}
+		if got, want := fmt.Sprintf("%v", res.Decisions), fmt.Sprintf("%v", base.Decisions); got != want {
+			t.Fatalf("workers=%d decisions diverge:\n got %s\nwant %s", w, got, want)
+		}
+	}
+}
+
+// TestDynamicParallelRaceSoak hammers the dynamic strategy with more
+// workers than cores on a workload that repeatedly crosses the parallel
+// join and group-by paths. Its real assertion is `go test -race ./...`:
+// any shared mutable state in the partitioned operators surfaces here.
+func TestDynamicParallelRaceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("race soak skipped with -short")
+	}
+	db := workload.Medical(workload.DefaultMedical(1_500, 13))
+	f := paper.Medical(4)
+	want, err := EvalDynamic(db, f, &DynamicOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		res, err := EvalDynamic(db, f, &DynamicOptions{Workers: 8})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !res.Answer.Equal(want.Answer) {
+			t.Fatalf("round %d: answer changed under workers=8", round)
+		}
+	}
+}

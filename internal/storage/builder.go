@@ -1,0 +1,76 @@
+package storage
+
+import "fmt"
+
+// Builder accumulates a set of distinct tuples with no locking. It is the
+// write side of the parallel execution contract (see the Relation doc
+// comment): a Relation must never be Inserted into concurrently, so each
+// worker of a partitioned operator fills its own Builder and a single
+// thread merges them afterwards with Relation.AbsorbBuilder. The key
+// computed for each tuple during Add is kept alongside it, so the merge
+// re-checks membership without re-encoding any tuple.
+type Builder struct {
+	tuples []Tuple
+	keys   []string
+	seen   map[string]struct{}
+	buf    []byte
+}
+
+// NewBuilder returns an empty builder. sizeHint, when positive, pre-sizes
+// the internal containers for roughly that many tuples.
+func NewBuilder(sizeHint int) *Builder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Builder{
+		tuples: make([]Tuple, 0, sizeHint),
+		keys:   make([]string, 0, sizeHint),
+		seen:   make(map[string]struct{}, sizeHint),
+	}
+}
+
+// Add appends t if the builder does not already hold it and reports
+// whether it was added. The tuple is stored as-is; callers must not mutate
+// it afterwards.
+func (b *Builder) Add(t Tuple) bool {
+	b.buf = t.AppendKey(b.buf[:0])
+	if _, dup := b.seen[string(b.buf)]; dup {
+		return false
+	}
+	k := string(b.buf)
+	b.seen[k] = struct{}{}
+	b.keys = append(b.keys, k)
+	b.tuples = append(b.tuples, t)
+	return true
+}
+
+// Len returns the number of distinct tuples added so far.
+func (b *Builder) Len() int { return len(b.tuples) }
+
+// AbsorbBuilder inserts every tuple of b into r, in b's insertion order,
+// skipping tuples r already holds. It reuses the keys b computed during
+// Add, so no tuple is re-encoded. Like Insert, this is a mutation: it must
+// not run concurrently with any other access to r.
+//
+// Merging per-worker builders in worker order reproduces the insertion
+// order a sequential scan would have produced, because workers process
+// contiguous chunks of the input: set semantics makes the answer
+// independent of merge order, and order-stability on top keeps downstream
+// scans (and traces) deterministic for any worker count.
+func (r *Relation) AbsorbBuilder(b *Builder) {
+	for i, t := range b.tuples {
+		if len(t) != len(r.cols) {
+			panic(fmt.Sprintf("storage: arity mismatch absorbing %d-tuple into %q(%d cols)",
+				len(t), r.name, len(r.cols)))
+		}
+		k := b.keys[i]
+		if _, dup := r.seen[k]; dup {
+			continue
+		}
+		r.seen[k] = struct{}{}
+		r.tuples = append(r.tuples, t)
+	}
+	if len(b.tuples) > 0 {
+		r.dropIndexes()
+	}
+}

@@ -1,22 +1,99 @@
 package storage
 
+import "queryflocks/internal/par"
+
 // Index is a hash index mapping the key of a column-subset projection to
 // the tuples holding that projection. Indexes are built lazily by
 // Relation.Index and discarded when the relation changes.
+//
+// The bucket map is split into one or more shards by key hash. A
+// single-shard index is the sequential layout; multi-shard indexes exist so
+// the build can proceed with one worker per shard, each writing only its
+// own map. Lookups are identical either way: within a bucket, tuples keep
+// relation insertion order, so results do not depend on the shard count.
 type Index struct {
-	cols    []int
-	buckets map[string][]Tuple
+	cols   []int
+	shards []map[string][]Tuple
 }
 
+// FNV-1a, the hash that routes a key to its shard. Keys are already
+// injective encodings (Tuple.Key), so a simple byte hash suffices.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashKey(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func hashKeyString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// buildIndex builds a single-shard index sequentially.
 func buildIndex(r *Relation, cols []int) *Index {
 	ix := &Index{
-		cols:    append([]int(nil), cols...),
-		buckets: make(map[string][]Tuple, len(r.tuples)),
+		cols:   append([]int(nil), cols...),
+		shards: []map[string][]Tuple{make(map[string][]Tuple, len(r.tuples))},
 	}
 	for _, t := range r.tuples {
 		k := t.KeyOn(cols)
-		ix.buckets[k] = append(ix.buckets[k], t)
+		ix.shards[0][k] = append(ix.shards[0][k], t)
 	}
+	return ix
+}
+
+// buildIndexParallel builds a hash-partitioned index with one shard per
+// worker. Phase one computes every tuple's key and shard hash in parallel
+// over disjoint ranges; phase two gives each worker one shard to fill, so
+// no map is ever written by two goroutines. Within each bucket, tuples
+// appear in relation order (phase two scans tuples in order), matching the
+// sequential build exactly.
+func buildIndexParallel(r *Relation, cols []int, workers int) *Index {
+	n := len(r.tuples)
+	shardCount := par.Chunks(n, workers)
+	if shardCount <= 1 {
+		return buildIndex(r, cols)
+	}
+	keys := make([]string, n)
+	hashes := make([]uint64, n)
+	par.Run(n, workers, func(_, lo, hi int) {
+		buf := make([]byte, 0, 16*len(cols))
+		for i := lo; i < hi; i++ {
+			buf = r.tuples[i].AppendKeyOn(buf[:0], cols)
+			keys[i] = string(buf)
+			hashes[i] = hashKey(buf)
+		}
+	})
+	ix := &Index{
+		cols:   append([]int(nil), cols...),
+		shards: make([]map[string][]Tuple, shardCount),
+	}
+	// One worker per shard; each scans the (cheap) hash array and claims
+	// its own keys. Work is duplicated S times on the scan but the heavy
+	// part — key encoding — happened once above.
+	par.Run(shardCount, shardCount, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			shard := make(map[string][]Tuple, n/shardCount+1)
+			for i := 0; i < n; i++ {
+				if hashes[i]%uint64(shardCount) == uint64(s) {
+					shard[keys[i]] = append(shard[keys[i]], r.tuples[i])
+				}
+			}
+			ix.shards[s] = shard
+		}
+	})
 	return ix
 }
 
@@ -26,25 +103,46 @@ func (ix *Index) Columns() []int { return ix.cols }
 // Lookup returns the tuples whose indexed columns equal the given key
 // values (in index-column order). The returned slice must not be mutated.
 func (ix *Index) Lookup(key Tuple) []Tuple {
-	return ix.buckets[key.Key()]
+	return ix.LookupBytes(key.AppendKey(make([]byte, 0, 16*len(key))))
+}
+
+// LookupBytes returns the tuples for a key encoding built with
+// Tuple.AppendKey/AppendKeyOn. It performs no allocation, so probe loops
+// can reuse one buffer per worker. Safe for concurrent readers.
+func (ix *Index) LookupBytes(key []byte) []Tuple {
+	if len(ix.shards) == 1 {
+		return ix.shards[0][string(key)]
+	}
+	return ix.shards[hashKey(key)%uint64(len(ix.shards))][string(key)]
 }
 
 // LookupKey returns the tuples for a precomputed key string (see
 // Tuple.KeyOn). This avoids re-encoding in tight join loops.
 func (ix *Index) LookupKey(key string) []Tuple {
-	return ix.buckets[key]
+	if len(ix.shards) == 1 {
+		return ix.shards[0][key]
+	}
+	return ix.shards[hashKeyString(key)%uint64(len(ix.shards))][key]
 }
 
 // GroupCount returns the number of distinct key groups in the index.
-func (ix *Index) GroupCount() int { return len(ix.buckets) }
+func (ix *Index) GroupCount() int {
+	n := 0
+	for _, shard := range ix.shards {
+		n += len(shard)
+	}
+	return n
+}
 
 // GroupSizes returns the size of each key group, in unspecified order.
 // The planner uses this to build group-size histograms for support-
 // selectivity estimation.
 func (ix *Index) GroupSizes() []int {
-	out := make([]int, 0, len(ix.buckets))
-	for _, ts := range ix.buckets {
-		out = append(out, len(ts))
+	out := make([]int, 0, ix.GroupCount())
+	for _, shard := range ix.shards {
+		for _, ts := range shard {
+			out = append(out, len(ts))
+		}
 	}
 	return out
 }

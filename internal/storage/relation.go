@@ -5,21 +5,31 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"queryflocks/internal/par"
 )
 
 // Relation is a named, set-semantics collection of tuples over a fixed list
 // of columns. Duplicate inserts are ignored, preserving the set semantics
 // the paper's optimization claims depend on (§2.3).
 //
-// A Relation is not safe for concurrent mutation; concurrent reads —
-// including Index, which builds lazily under an internal lock — are safe
-// once loading has finished.
+// Thread-safety contract: a Relation is single-writer. Insert,
+// InsertValues, and AbsorbBuilder mutate tuples, seen, and an internal key
+// buffer without locking, so no mutation may run concurrently with any
+// other access (the internal mutex guards only the lazy index cache, not
+// the data). Once mutation stops, any number of goroutines may read
+// concurrently — Tuples, Contains, ContainsKey, Len, and Index/IndexParallel
+// (which build lazily under the internal lock) are all read-safe. Parallel
+// operators therefore never share an output Relation across workers: each
+// worker accumulates into its own lock-free Builder and one thread merges
+// them with AbsorbBuilder afterwards.
 type Relation struct {
 	name string
 	cols []string
 
 	tuples []Tuple
 	seen   map[string]struct{} // tuple Key -> present
+	keyBuf []byte              // reusable Insert key buffer (single-writer)
 
 	mu      sync.Mutex        // guards indexes
 	indexes map[string]*Index // key: joined column positions
@@ -76,18 +86,25 @@ func (r *Relation) Insert(t Tuple) bool {
 		panic(fmt.Sprintf("storage: arity mismatch inserting %d-tuple into %q(%d cols)",
 			len(t), r.name, len(r.cols)))
 	}
-	k := t.Key()
-	if _, dup := r.seen[k]; dup {
+	// The reusable buffer means duplicate inserts allocate nothing; the key
+	// string materializes only when the tuple is actually added.
+	r.keyBuf = t.AppendKey(r.keyBuf[:0])
+	if _, dup := r.seen[string(r.keyBuf)]; dup {
 		return false
 	}
-	r.seen[k] = struct{}{}
+	r.seen[string(r.keyBuf)] = struct{}{}
 	r.tuples = append(r.tuples, t)
+	r.dropIndexes()
+	return true
+}
+
+// dropIndexes discards the lazy index cache after a mutation.
+func (r *Relation) dropIndexes() {
 	r.mu.Lock()
 	if len(r.indexes) > 0 {
 		r.indexes = make(map[string]*Index)
 	}
 	r.mu.Unlock()
-	return true
 }
 
 // InsertValues is Insert with variadic values, for convenience in tests and
@@ -100,6 +117,14 @@ func (r *Relation) Contains(t Tuple) bool {
 	return ok
 }
 
+// ContainsKey reports membership for a tuple key encoding built with
+// Tuple.AppendKey. It performs no allocation, so probe loops can reuse one
+// buffer per worker. Safe for concurrent readers.
+func (r *Relation) ContainsKey(key []byte) bool {
+	_, ok := r.seen[string(key)]
+	return ok
+}
+
 // Tuples returns the stored tuples in insertion order. The slice and its
 // tuples must not be mutated.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
@@ -108,13 +133,28 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // positions. The index is dropped automatically on the next Insert.
 // Index is safe to call from concurrent readers.
 func (r *Relation) Index(cols []int) *Index {
+	return r.IndexParallel(cols, 1)
+}
+
+// IndexParallel is Index with a hash-partitioned parallel build: the
+// bucket map is split into up to `workers` shards and each shard is filled
+// by its own goroutine (see par.Resolve for the knob convention). The
+// resulting index answers lookups identically to a sequential build, and
+// either form is cached and served for later requests on the same columns
+// regardless of the worker count asked for.
+func (r *Relation) IndexParallel(cols []int, workers int) *Index {
 	key := indexKey(cols)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if ix, ok := r.indexes[key]; ok {
 		return ix
 	}
-	ix := buildIndex(r, cols)
+	var ix *Index
+	if w := par.Resolve(workers); w > 1 {
+		ix = buildIndexParallel(r, cols, w)
+	} else {
+		ix = buildIndex(r, cols)
+	}
 	r.indexes[key] = ix
 	return ix
 }
@@ -138,7 +178,7 @@ func (r *Relation) DistinctCount(col string) int {
 	if p < 0 {
 		panic(fmt.Sprintf("storage: relation %q has no column %q", r.name, col))
 	}
-	return len(r.Index([]int{p}).buckets)
+	return r.Index([]int{p}).GroupCount()
 }
 
 // Clone returns a deep-enough copy: tuples are shared (they are immutable by

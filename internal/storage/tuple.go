@@ -22,21 +22,32 @@ func floatBits(f float64) uint64 {
 // as a map key. Distinct tuples always produce distinct keys because each
 // value encoding is self-delimiting.
 func (t Tuple) Key() string {
-	buf := make([]byte, 0, 16*len(t))
+	return string(t.AppendKey(make([]byte, 0, 16*len(t))))
+}
+
+// AppendKey appends the tuple's key encoding (see Key) to dst and returns
+// the extended buffer. Probe loops reuse one buffer per worker to avoid a
+// string allocation per tuple.
+func (t Tuple) AppendKey(dst []byte) []byte {
 	for _, v := range t {
-		buf = v.appendKey(buf)
+		dst = v.AppendKey(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // KeyOn returns the key of the projection of t onto the given column
 // positions, without materializing the projected tuple.
 func (t Tuple) KeyOn(cols []int) string {
-	buf := make([]byte, 0, 16*len(cols))
+	return string(t.AppendKeyOn(make([]byte, 0, 16*len(cols)), cols))
+}
+
+// AppendKeyOn appends the key of the projection of t onto cols to dst,
+// without materializing the projected tuple or a key string.
+func (t Tuple) AppendKeyOn(dst []byte, cols []int) []byte {
 	for _, c := range cols {
-		buf = t[c].appendKey(buf)
+		dst = t[c].AppendKey(dst)
 	}
-	return string(buf)
+	return dst
 }
 
 // Project returns a new tuple holding the values at the given positions.

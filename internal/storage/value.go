@@ -212,10 +212,12 @@ func ParseValue(s string) Value {
 	return Str(s)
 }
 
-// appendKey appends a self-delimiting binary encoding of v to dst. The
+// AppendKey appends a self-delimiting binary encoding of v to dst. The
 // encoding is injective across values (kind byte + length-prefixed payload),
-// so concatenated keys of tuples never collide.
-func (v Value) appendKey(dst []byte) []byte {
+// so concatenated keys of tuples never collide. Hot paths reuse one
+// destination buffer per worker and look keys up without materializing a
+// string (see Index.LookupBytes, Relation.ContainsKey).
+func (v Value) AppendKey(dst []byte) []byte {
 	dst = append(dst, byte(v.kind))
 	switch v.kind {
 	case KindNull:

@@ -164,8 +164,8 @@ func TestValueKeyInjective(t *testing.T) {
 	f := func(seedA, seedB int64) bool {
 		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
 		a, b := randomValue(ra), randomValue(rb)
-		ka := string(a.appendKey(nil))
-		kb := string(b.appendKey(nil))
+		ka := string(a.AppendKey(nil))
+		kb := string(b.AppendKey(nil))
 		if a == b && ka != kb {
 			return false
 		}

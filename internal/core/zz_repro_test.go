@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+func TestReproSumNegParallel(t *testing.T) {
+	spec := datalog.FilterSpec{Agg: datalog.AggSum, Target: "V", Op: datalog.Ge, Threshold: storage.Int(10)}
+	head := &datalog.Atom{Pred: "a", Args: []datalog.Term{datalog.Var("P"), datalog.Var("V")}}
+	f, err := NewFilter(spec, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("monotone=%v", f.Monotone())
+
+	ext := storage.NewRelation("ext", "P", "V")
+	ext.InsertValues(storage.Str("g"), storage.Int(-100))
+	for i := 0; i < 300; i++ {
+		ext.InsertValues(storage.Int(int64(i)), storage.Int(1))
+	}
+	ext.InsertValues(storage.Str("g"), storage.Int(12))
+
+	seq := GroupAndFilterWorkers(ext, 1, f, "out", 1)
+	par := GroupAndFilterWorkers(ext, 1, f, "out", 2)
+	t.Logf("seq contains g: %v, par(2) contains g: %v",
+		seq.Contains(storage.Tuple{storage.Str("g")}), par.Contains(storage.Tuple{storage.Str("g")}))
+	if seq.Len() != par.Len() {
+		t.Fatalf("divergence: seq=%d rows, par=%d rows", seq.Len(), par.Len())
+	}
+}

@@ -1,0 +1,148 @@
+// Command benchcheck validates flockbench -json output read from stdin:
+// the table array must parse, and every embedded op_report must satisfy
+// the metrics schema invariants (a strategy name, positive wall time, a
+// non-empty step list, max_rows <= total_rows, non-negative
+// cardinalities). It is the CI smoke check that keeps the observability
+// layer's JSON contract honest.
+//
+// Usage:
+//
+//	flockbench -exp E3 -json | benchcheck [-require-ops join,group] [-min-reports 1]
+//
+// -require-ops lists operator kinds that must appear somewhere across the
+// reports; -min-reports is the minimum number of op_reports expected in
+// total. Violations print to stderr and exit non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"queryflocks/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// table is the slice of the flockbench JSON schema benchcheck inspects.
+type table struct {
+	ID        string           `json:"id"`
+	Title     string           `json:"title"`
+	OpReports []*obs.RunReport `json:"op_reports"`
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	requireOps := fs.String("require-ops", "", "comma-separated operator kinds that must appear (e.g. join,group,step)")
+	minReports := fs.Int("min-reports", 1, "minimum total op_reports across all tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tables []table
+	if err := json.NewDecoder(in).Decode(&tables); err != nil {
+		return fmt.Errorf("invalid flockbench JSON: %w", err)
+	}
+	if len(tables) == 0 {
+		return fmt.Errorf("no tables in input")
+	}
+
+	seenOps := map[obs.Op]bool{}
+	reports := 0
+	for _, t := range tables {
+		if t.ID == "" {
+			return fmt.Errorf("table with empty id")
+		}
+		for i, r := range t.OpReports {
+			reports++
+			if err := checkReport(r); err != nil {
+				return fmt.Errorf("%s op_reports[%d]: %w", t.ID, i, err)
+			}
+			for _, s := range r.Steps {
+				seenOps[s.Op] = true
+			}
+		}
+	}
+	if reports < *minReports {
+		return fmt.Errorf("%d op_reports, want at least %d (run an instrumented experiment with -json)", reports, *minReports)
+	}
+	for _, op := range splitOps(*requireOps) {
+		if !seenOps[op] {
+			return fmt.Errorf("no %q events in any report (have %s)", op, opList(seenOps))
+		}
+	}
+
+	fmt.Fprintf(out, "benchcheck: %d table(s), %d op_report(s), ops %s\n", len(tables), reports, opList(seenOps))
+	return nil
+}
+
+// checkReport enforces the per-report invariants of the metrics schema.
+func checkReport(r *obs.RunReport) error {
+	if r == nil {
+		return fmt.Errorf("null report")
+	}
+	if r.Strategy == "" {
+		return fmt.Errorf("missing strategy")
+	}
+	if r.WallNs <= 0 {
+		return fmt.Errorf("%s: wall_ns %d, want > 0", r.Strategy, r.WallNs)
+	}
+	if len(r.Steps) == 0 {
+		return fmt.Errorf("%s: empty step list", r.Strategy)
+	}
+	if r.MaxRows > r.TotalRows {
+		return fmt.Errorf("%s: max_rows %d > total_rows %d", r.Strategy, r.MaxRows, r.TotalRows)
+	}
+	if r.AnswerRows < 0 {
+		return fmt.Errorf("%s: negative answer_rows", r.Strategy)
+	}
+	maxRows, totalRows := 0, 0
+	for i, s := range r.Steps {
+		if s.Op == "" {
+			return fmt.Errorf("%s steps[%d]: missing op", r.Strategy, i)
+		}
+		if s.RowsOut < 0 || s.RowsIn < 0 {
+			return fmt.Errorf("%s steps[%d]: negative cardinality", r.Strategy, i)
+		}
+		totalRows += s.RowsOut
+		if s.RowsOut > maxRows {
+			maxRows = s.RowsOut
+		}
+	}
+	if maxRows != r.MaxRows || totalRows != r.TotalRows {
+		return fmt.Errorf("%s: aggregates (max %d, total %d) disagree with steps (max %d, total %d)",
+			r.Strategy, r.MaxRows, r.TotalRows, maxRows, totalRows)
+	}
+	return nil
+}
+
+func splitOps(s string) []obs.Op {
+	var out []obs.Op
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, obs.Op(part))
+		}
+	}
+	return out
+}
+
+func opList(seen map[obs.Op]bool) string {
+	var names []string
+	for op := range seen {
+		names = append(names, string(op))
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/obs"
+)
+
+// goodInput builds a minimal flockbench -json document with one valid
+// instrumented report.
+func goodInput(t *testing.T) string {
+	t.Helper()
+	c := obs.NewCollector()
+	c.Record(obs.Event{Op: obs.OpJoin, Desc: "r(A,B)", RowsIn: 10, RowsOut: 20})
+	c.Record(obs.Event{Op: obs.OpGroup, Desc: "answer [COUNT >= 2]", RowsIn: 20, RowsOut: 5, Groups: 5})
+	r := c.Report("direct", 1, 5)
+	doc := []map[string]any{{"id": "E3", "title": "t", "op_reports": []*obs.RunReport{r}}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestBenchcheckAccepts(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-require-ops", "join,group", "-min-reports", "1"},
+		strings.NewReader(goodInput(t)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 op_report(s)") {
+		t.Errorf("summary: %s", out.String())
+	}
+}
+
+func TestBenchcheckRejects(t *testing.T) {
+	good := goodInput(t)
+	cases := []struct {
+		name  string
+		args  []string
+		input string
+	}{
+		{"bad json", nil, "{not json"},
+		{"empty array", nil, "[]"},
+		{"missing op", []string{"-require-ops", "antijoin"}, good},
+		{"too few reports", []string{"-min-reports", "2"}, good},
+		{"no reports at all", nil, `[{"id":"E1","title":"t"}]`},
+		{"empty id", nil, strings.Replace(good, `"id":"E3"`, `"id":""`, 1)},
+		{"empty steps", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":0,"total_rows":0,"steps":[]}]}]`},
+		{"no wall time", nil, `[{"id":"E3","op_reports":[{"strategy":"s","answer_rows":1,"max_rows":1,"total_rows":1,"steps":[{"op":"join","rows_out":1}]}]}]`},
+		{"aggregate mismatch", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":9,"total_rows":9,"steps":[{"op":"join","rows_out":1}]}]}]`},
+		{"bad flag", []string{"-bogus"}, good},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if err := run(c.args, strings.NewReader(c.input), &out); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

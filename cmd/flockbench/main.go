@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json]
+//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr]
 //
 // Without -exp, the whole suite (E1–E11) runs in order; -json emits the
 // tables as a JSON array. E11 sweeps the parallel worker knob and, under
 // -json, reports machine-readable ns/op plus the speedup over workers=1
 // in each table's "metrics" field; -workers sets the worker count the
 // other experiments evaluate with (0 = one per CPU, 1 = sequential).
+//
+// -json additionally turns on per-operator observability: instrumented
+// experiments attach one "op_reports" entry per strategy run (joins,
+// anti-joins, group-bys, filter decisions, with rows in/out and wall
+// time). -pprof serves net/http/pprof and expvar on the given address for
+// live profiling of long runs; the last completed experiment's reports are
+// published under the expvar key "flock_last_report".
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"queryflocks/internal/experiments"
+	"queryflocks/internal/obs"
 )
 
 func main() {
@@ -39,13 +47,22 @@ func run(args []string, out io.Writer) error {
 		scale   = fs.Float64("scale", 1.0, "workload scale factor (1.0 = EXPERIMENTS.md reference)")
 		seed    = fs.Int64("seed", 1998, "generator seed")
 		workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
-		asJSON  = fs.Bool("json", false, "emit results as a JSON array instead of tables")
+		asJSON  = fs.Bool("json", false, "emit results as a JSON array (with per-operator op_reports) instead of tables")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	if *pprof != "" {
+		addr, err := obs.StartDebugServer(*pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flockbench: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Metrics: *asJSON || *pprof != ""}
 	suite := experiments.Suite()
 	if *exp != "" {
 		e, err := experiments.ByID(*exp)
@@ -61,6 +78,9 @@ func run(args []string, out io.Writer) error {
 			tab, err := e.Run(cfg)
 			if err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			for _, r := range tab.OpReports {
+				obs.PublishReport(r)
 			}
 			tables = append(tables, tab)
 		}
@@ -78,6 +98,9 @@ func run(args []string, out io.Writer) error {
 			failed++
 			fmt.Fprintf(out, "%s FAILED: %v\n\n", e.ID, err)
 			continue
+		}
+		for _, r := range tab.OpReports {
+			obs.PublishReport(r)
 		}
 		fmt.Fprintln(out, tab)
 		fmt.Fprintf(out, "(%s total %.1fs)\n\n", e.ID, time.Since(start).Seconds())

@@ -42,3 +42,62 @@ func TestRunJSON(t *testing.T) {
 		t.Errorf("JSON tables = %v", tables)
 	}
 }
+
+// TestRunJSONOperatorMetrics validates the op_reports schema on an
+// instrumented experiment: -json must attach one report per strategy run,
+// each with the aggregate fields and a non-empty typed step list whose
+// events carry operator kinds and cardinalities.
+func TestRunJSONOperatorMetrics(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E3", "-scale", "0.05", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID        string `json:"id"`
+		OpReports []struct {
+			Strategy   string `json:"strategy"`
+			AnswerRows int    `json:"answer_rows"`
+			WallNs     int64  `json:"wall_ns"`
+			MaxRows    int    `json:"max_rows"`
+			TotalRows  int    `json:"total_rows"`
+			Steps      []struct {
+				Op      string `json:"op"`
+				Desc    string `json:"desc"`
+				RowsOut int    `json:"rows_out"`
+			} `json:"steps"`
+		} `json:"op_reports"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &tables); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E3" {
+		t.Fatalf("expected one E3 table, got %+v", tables)
+	}
+	reports := tables[0].OpReports
+	if len(reports) != 6 {
+		t.Fatalf("E3 runs 6 plan variants, got %d op_reports", len(reports))
+	}
+	ops := map[string]bool{}
+	for _, r := range reports {
+		if r.Strategy == "" || r.WallNs <= 0 {
+			t.Errorf("report missing strategy/wall time: %+v", r)
+		}
+		if len(r.Steps) == 0 {
+			t.Errorf("report %q has no steps", r.Strategy)
+		}
+		if r.MaxRows > r.TotalRows {
+			t.Errorf("report %q: max_rows %d > total_rows %d", r.Strategy, r.MaxRows, r.TotalRows)
+		}
+		for _, s := range r.Steps {
+			if s.Op == "" || s.Desc == "" {
+				t.Errorf("report %q: step missing op/desc: %+v", r.Strategy, s)
+			}
+			ops[s.Op] = true
+		}
+	}
+	for _, want := range []string{"join", "group", "step"} {
+		if !ops[want] {
+			t.Errorf("no %q events recorded across E3 plans", want)
+		}
+	}
+}

@@ -12,6 +12,9 @@
 //
 //	flockmine -data baskets.csv [-support 20] [-engine flocks|classic]
 //	          [-maxk 0] [-rules] [-min-confidence 0.5] [-out rules.csv]
+//
+// -pprof ADDR serves net/http/pprof and expvar on ADDR for live profiling
+// of long mining runs.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"queryflocks/internal/apriori"
 	"queryflocks/internal/core"
 	"queryflocks/internal/mining"
+	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
 
@@ -44,12 +48,20 @@ func run(args []string) error {
 		out     = fs.String("out", "", "write rules as CSV to this file (with -rules)")
 		top     = fs.Int("top", 10, "rules to print (by confidence)")
 		workers = fs.Int("workers", 0, "join/group-by worker count for the flocks engine (0 = one per CPU, 1 = sequential)")
+		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("-data FILE is required")
+	}
+	if *pprof != "" {
+		addr, err := obs.StartDebugServer(*pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "flockmine: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 	rel, err := storage.ReadCSVFile(*data)
 	if err != nil {

@@ -49,6 +49,17 @@ func TestMineRulesAndCSVExport(t *testing.T) {
 	}
 }
 
+func TestMinePprofServer(t *testing.T) {
+	path := basketsCSV(t)
+	if err := run([]string{"-data", path, "-support", "10", "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unbindable address errors out before mining.
+	if err := run([]string{"-data", path, "-pprof", "256.0.0.1:1"}); err == nil {
+		t.Error("bad -pprof address should error")
+	}
+}
+
 func TestMineErrors(t *testing.T) {
 	path := basketsCSV(t)
 	cases := [][]string{

@@ -26,16 +26,30 @@
 //
 // Other modes: -sql prints the SQL translation and exits; -explain prints
 // safe subqueries, the chosen plan, and (for dynamic) the decisions.
+//
+// A flock source may begin with EXPLAIN or EXPLAIN ANALYZE:
+//
+//	EXPLAIN          print the candidate subqueries, the chosen join
+//	                 order, and the chosen plan — without executing
+//	EXPLAIN ANALYZE  execute, then render the observed operator tree
+//	                 (per-step cardinalities, workers, wall time)
+//
+// -metrics json prints the run's machine-readable operator report (the
+// same obs.RunReport schema flockbench -json embeds) to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"queryflocks/internal/core"
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
 	"queryflocks/internal/planner"
 	"queryflocks/internal/sqlgen"
 	"queryflocks/internal/storage"
@@ -60,9 +74,13 @@ func run(args []string) error {
 		quiet       = fs.Bool("quiet", false, "suppress the answer listing (timing only)")
 		interactive = fs.Bool("i", false, "interactive shell over the loaded relations")
 		workers     = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
+		metrics     = fs.String("metrics", "", `"json" prints the run's operator report (obs.RunReport) to stdout`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" && *metrics != "json" {
+		return fmt.Errorf("unknown -metrics format %q (only \"json\")", *metrics)
 	}
 	if *interactive {
 		db, err := storage.LoadDir(*dataDir)
@@ -79,7 +97,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	flock, err := core.Parse(string(src))
+	mode, text := splitExplain(string(src))
+	flock, err := core.Parse(text)
 	if err != nil {
 		return err
 	}
@@ -101,25 +120,128 @@ func run(args []string) error {
 		return err
 	}
 	if *explain {
-		explainFlock(flock)
+		explainFlock(os.Stdout, flock)
+	}
+	if mode == modeExplain {
+		// EXPLAIN: show what would run — subqueries, join order, plan —
+		// without executing.
+		if !*explain {
+			explainFlock(os.Stdout, flock)
+		}
+		return explainStatic(os.Stdout, flock, db, *strategy, *depth)
+	}
+
+	var tr *eval.Trace
+	if mode == modeAnalyze || *metrics == "json" {
+		tr = &eval.Trace{}
+		tr.Collector() // anchor the wall-clock/alloc baseline before evaluation
 	}
 
 	start := time.Now()
-	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain, *workers)
+	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain, *workers, tr)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
-	if !*quiet {
+	if mode == modeAnalyze {
+		fmt.Println(tr.Report(*strategy, *workers, answer.Len()).Tree())
+	} else if !*quiet {
 		printAnswer(answer)
+	}
+	if *metrics == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tr.Report(*strategy, *workers, answer.Len())); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(os.Stderr, "%d answers in %v (%s strategy)\n", answer.Len(), elapsed.Round(time.Millisecond), *strategy)
 	return nil
 }
 
-func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool, workers int) (*storage.Relation, error) {
-	ev := &core.EvalOptions{Workers: workers}
+// Explain modes recognised as a source prefix on the flock text.
+const (
+	modeNone    = ""
+	modeExplain = "explain"
+	modeAnalyze = "analyze"
+)
+
+// splitExplain strips a leading EXPLAIN or EXPLAIN ANALYZE keyword off a
+// flock source, returning the mode and the remaining text. The keywords
+// are case-insensitive and must precede the QUERY: section.
+func splitExplain(src string) (string, string) {
+	rest := strings.TrimLeft(src, " \t\r\n")
+	word, tail := nextWord(rest)
+	if !strings.EqualFold(word, "EXPLAIN") {
+		return modeNone, src
+	}
+	word2, tail2 := nextWord(tail)
+	if strings.EqualFold(word2, "ANALYZE") {
+		return modeAnalyze, tail2
+	}
+	return modeExplain, tail
+}
+
+func nextWord(s string) (word, rest string) {
+	s = strings.TrimLeft(s, " \t\r\n")
+	i := strings.IndexFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\r' || r == '\n'
+	})
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i:]
+}
+
+// explainStatic prints the plan-side view of a flock without executing it:
+// the greedy join order each rule would use and, for the plan-producing
+// strategies, the chosen FILTER-step plan.
+func explainStatic(w io.Writer, flock *core.Flock, db *storage.Database, strategy string, depth int) error {
+	// Views participate in join ordering by their materialized size, so
+	// materialize them first (cheap relative to the main query).
+	vdb, err := flock.MaterializeViews(db, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "join order (greedy, smallest relation first):")
+	for ri, r := range flock.Query {
+		order, err := eval.JoinOrder(vdb, r, eval.OrderGreedy)
+		if err != nil {
+			return err
+		}
+		atoms := r.PositiveAtoms()
+		parts := make([]string, len(order))
+		for i, idx := range order {
+			parts[i] = atoms[idx].String()
+		}
+		fmt.Fprintf(w, "  rule %d: %s\n", ri+1, strings.Join(parts, " ⋈ "))
+	}
+	fmt.Fprintln(w)
+
+	var plan *core.Plan
+	switch strategy {
+	case "static":
+		plan, err = planner.PlanStatic(flock, planner.NewEstimator(db), nil)
+	case "exhaustive":
+		plan, err = planner.PlanExhaustive(flock, planner.NewEstimator(db), nil)
+	case "levelwise":
+		plan, err = planner.PlanLevelwise(flock, 0)
+	case "cascade":
+		plan, err = planner.PlanCascade(flock, depth)
+	default:
+		fmt.Fprintf(w, "strategy %q decides at run time; use EXPLAIN ANALYZE to observe it\n", strategy)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "chosen %s plan:\n%s\n", strategy, plan)
+	return nil
+}
+
+func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool, workers int, tr *eval.Trace) (*storage.Relation, error) {
+	ev := &core.EvalOptions{Workers: workers, Trace: tr}
 	switch strategy {
 	case "direct":
 		return flock.Eval(db, ev)
@@ -178,7 +300,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		}
 		return res.Answer, nil
 	case "dynamic":
-		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{Workers: workers})
+		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{Workers: workers, Trace: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -218,18 +340,18 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 	}
 }
 
-func explainFlock(flock *core.Flock) {
-	fmt.Printf("flock:\n%s\n\n", flock)
-	fmt.Println("safe subqueries (candidate pre-filters, §3):")
+func explainFlock(w io.Writer, flock *core.Flock) {
+	fmt.Fprintf(w, "flock:\n%s\n\n", flock)
+	fmt.Fprintln(w, "safe subqueries (candidate pre-filters, §3):")
 	for ri, r := range flock.Query {
 		if len(flock.Query) > 1 {
-			fmt.Printf("rule %d:\n", ri+1)
+			fmt.Fprintf(w, "rule %d:\n", ri+1)
 		}
 		for _, s := range core.EnumerateSubqueries(r) {
-			fmt.Printf("  params %-12v %s\n", s.Params, s.Rule)
+			fmt.Fprintf(w, "  params %-12v %s\n", s.Params, s.Rule)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func printAnswer(answer *storage.Relation) {

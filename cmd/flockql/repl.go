@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
 	"queryflocks/internal/planner"
 	"queryflocks/internal/sqlgen"
 	"queryflocks/internal/storage"
@@ -16,7 +17,9 @@ import (
 
 // repl runs the interactive mode: flock definitions are accumulated until
 // a blank line after the FILTER: section, then evaluated with the current
-// strategy. Backslash commands control the session:
+// strategy. A flock may begin with EXPLAIN (print subqueries, join order,
+// and plan without executing) or EXPLAIN ANALYZE (execute and render the
+// observed operator tree). Backslash commands control the session:
 //
 //	\rels              list loaded relations
 //	\strategy NAME     switch evaluation strategy
@@ -48,13 +51,25 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 		case trimmed == "" && strings.Contains(buf.String(), "FILTER:"):
 			src := buf.String()
 			buf.Reset()
-			flock, err := core.Parse(src)
+			mode, text := splitExplain(src)
+			flock, err := core.Parse(text)
 			if err != nil {
 				fmt.Fprintln(out, "parse error:", err)
 				break
 			}
 			lastFlock = flock
-			if err := replEval(out, db, flock, strategy, explain); err != nil {
+			if mode == modeExplain {
+				if err := flock.CheckDatabase(db); err != nil {
+					fmt.Fprintln(out, "error:", err)
+					break
+				}
+				explainFlock(out, flock)
+				if err := explainStatic(out, flock, db, strategy, 2); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				}
+				break
+			}
+			if err := replEval(out, db, flock, strategy, explain, mode == modeAnalyze); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			}
 		case trimmed == "":
@@ -85,7 +100,10 @@ func replCommand(out io.Writer, cmd string, db *storage.Database, strategy *stri
   \sql               SQL translation of the last flock
   \plan              chosen static plan for the last flock
   \quit              exit
-end a flock definition (QUERY:/FILTER: sections) with a blank line to run it`)
+end a flock definition (QUERY:/FILTER: sections) with a blank line to run it
+prefix a flock with EXPLAIN to see its subqueries, join order, and plan
+without running it, or EXPLAIN ANALYZE to run it and print the observed
+operator tree (per-step cardinalities and wall time)`)
 	case "\\rels":
 		names := append([]string(nil), db.Names()...)
 		sort.Strings(names)
@@ -135,17 +153,24 @@ end a flock definition (QUERY:/FILTER: sections) with a blank line to run it`)
 	return false
 }
 
-// replEval runs one flock with the session strategy and prints the answer.
-func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy string, explain bool) error {
+// replEval runs one flock with the session strategy and prints the answer;
+// with analyze set it instead renders the observed operator tree.
+func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy string, explain, analyze bool) error {
 	if err := flock.CheckDatabase(db); err != nil {
 		return err
 	}
+	var tr *eval.Trace
+	if analyze {
+		tr = &eval.Trace{}
+		tr.Collector() // anchor the wall-clock/alloc baseline before evaluation
+	}
+	ev := &core.EvalOptions{Trace: tr}
 	start := time.Now()
 	var answer *storage.Relation
 	var err error
 	switch strategy {
 	case "direct":
-		answer, err = flock.Eval(db, nil)
+		answer, err = flock.Eval(db, ev)
 	case "naive":
 		answer, err = flock.EvalNaive(db)
 	case "static":
@@ -156,7 +181,7 @@ func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy s
 				fmt.Fprintf(out, "%s\n", plan)
 			}
 			var res *core.PlanResult
-			res, err = plan.Execute(db, nil)
+			res, err = plan.Execute(db, ev)
 			if err == nil {
 				answer = res.Answer
 			}
@@ -169,7 +194,7 @@ func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy s
 				fmt.Fprintf(out, "%s\n", plan)
 			}
 			var res *core.PlanResult
-			res, err = plan.Execute(db, nil)
+			res, err = plan.Execute(db, ev)
 			if err == nil {
 				answer = res.Answer
 			}
@@ -179,14 +204,14 @@ func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy s
 		plan, err = planner.PlanLevelwise(flock, 0)
 		if err == nil {
 			var res *core.PlanResult
-			res, err = plan.Execute(db, nil)
+			res, err = plan.Execute(db, ev)
 			if err == nil {
 				answer = res.Answer
 			}
 		}
 	case "dynamic":
 		var res *planner.DynamicResult
-		res, err = planner.EvalDynamic(db, flock, nil)
+		res, err = planner.EvalDynamic(db, flock, &planner.DynamicOptions{Trace: tr})
 		if err == nil {
 			if explain {
 				for _, d := range res.Decisions {
@@ -202,6 +227,10 @@ func replEval(out io.Writer, db *storage.Database, flock *core.Flock, strategy s
 		return err
 	}
 
+	if analyze {
+		fmt.Fprintln(out, tr.Report(strategy, 0, answer.Len()).Tree())
+		return nil
+	}
 	header := strings.Join(answer.Columns(), "\t")
 	fmt.Fprintln(out, header)
 	const maxRows = 25

@@ -116,6 +116,44 @@ COUNT(answer.B) >= 5
 	}
 }
 
+func TestREPLExplainPrefix(t *testing.T) {
+	script := `EXPLAIN
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	for _, want := range []string{"safe subqueries", "join order (greedy", "decides at run time"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL EXPLAIN missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "answers in") {
+		t.Errorf("REPL EXPLAIN must not execute:\n%s", got)
+	}
+}
+
+func TestREPLExplainAnalyze(t *testing.T) {
+	script := `\strategy dynamic
+EXPLAIN ANALYZE
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	for _, want := range []string{"dynamic: ", "answers", "decide", "rows"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL EXPLAIN ANALYZE missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestREPLEOFWithoutQuit(t *testing.T) {
 	got := runREPL(t, replDB(t), "\\rels\n")
 	if !strings.Contains(got, "baskets") {

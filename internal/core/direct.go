@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
 	"queryflocks/internal/par"
 	"queryflocks/internal/storage"
 )
@@ -73,9 +75,21 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 	if err != nil {
 		return nil, err
 	}
-	res := GroupAndFilterWorkers(ext, len(params), filter, name, opts.workers())
+	var start time.Time
 	if opts != nil && opts.Trace != nil {
-		opts.Trace.Add(fmt.Sprintf("filter %s [%s]", name, filter), res.Len())
+		start = time.Now()
+	}
+	res, groups, used := groupAndFilter(ext, len(params), filter, name, opts.workers())
+	if opts != nil && opts.Trace != nil {
+		opts.Trace.Collector().Record(obs.Event{
+			Op:      obs.OpGroup,
+			Desc:    fmt.Sprintf("%s [%s]", name, filter),
+			RowsIn:  ext.Len(),
+			RowsOut: res.Len(),
+			Groups:  groups,
+			Workers: used,
+			Wall:    time.Since(start),
+		})
 	}
 	return res, nil
 }
@@ -101,6 +115,15 @@ func GroupAndFilter(ext *storage.Relation, nParams int, filter Filter, name stri
 // cannot un-pass — or the combined aggregate passes; both decisions equal
 // the sequential ones, so the answer is identical for every worker count.
 func GroupAndFilterWorkers(ext *storage.Relation, nParams int, filter Filter, name string, workers int) *storage.Relation {
+	rel, _, _ := groupAndFilter(ext, nParams, filter, name, workers)
+	return rel
+}
+
+// groupAndFilter is the shared implementation behind GroupAndFilterWorkers;
+// alongside the passing parameter tuples it reports the number of distinct
+// parameter groups observed and the worker count actually used, which the
+// observability layer records per operator.
+func groupAndFilter(ext *storage.Relation, nParams int, filter Filter, name string, workers int) (*storage.Relation, int, int) {
 	paramPos := make([]int, nParams)
 	for i := range paramPos {
 		paramPos[i] = i
@@ -146,12 +169,13 @@ func GroupAndFilterWorkers(ext *storage.Relation, nParams int, filter Filter, na
 		w = 1
 	}
 	if w <= 1 {
-		for _, g := range aggregate(0, len(tuples)) {
+		groups := aggregate(0, len(tuples))
+		for _, g := range groups {
 			if g.done || g.acc.Passes() {
 				out.Insert(g.params)
 			}
 		}
-		return out
+		return out, len(groups), 1
 	}
 
 	parts := make([]map[string]*group, par.Chunks(len(tuples), w))
@@ -182,5 +206,5 @@ func GroupAndFilterWorkers(ext *storage.Relation, nParams int, filter Filter, na
 			out.Insert(g.params)
 		}
 	}
-	return out
+	return out, len(merged), w
 }

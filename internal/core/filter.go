@@ -128,14 +128,16 @@ func (a *countAcc) Merge(other GroupAcc) {
 }
 
 // countDistinctAcc implements COUNT(answer.Col): distinct values of one
-// head column.
+// head column. Values are normalized before keying so the count respects
+// semantic equality — Int(1) and Float(1) are one value, not two (they
+// compare Equal and share a join key everywhere else in the engine).
 type countDistinctAcc struct {
 	filter Filter
 	seen   map[storage.Value]struct{}
 }
 
 func (a *countDistinctAcc) Add(head storage.Tuple) {
-	a.seen[head[a.filter.headPos]] = struct{}{}
+	a.seen[head[a.filter.headPos].Normalize()] = struct{}{}
 }
 func (a *countDistinctAcc) Passes() bool {
 	return a.filter.compare(storage.Int(int64(len(a.seen))))
@@ -148,8 +150,13 @@ func (a *countDistinctAcc) Merge(other GroupAcc) {
 }
 
 // sumAcc implements SUM(answer.Col) over the distinct head tuples. The §5
-// monotonicity argument assumes non-negative weights; negative weights make
-// the condition non-monotone, so Done never fires once one is seen.
+// monotonicity argument assumes non-negative weights. Done never fires for
+// SUM: a short-circuit decision taken mid-stream is unsound because a
+// negative weight arriving later — or sitting in another worker's partition
+// of the same group — can drag the sum back below the threshold, making the
+// verdict depend on tuple order and worker count. (COUNT/MIN/MAX do not
+// have this failure mode: their aggregates move in one direction no matter
+// what arrives next.)
 type sumAcc struct {
 	filter   Filter
 	sum      float64
@@ -172,7 +179,7 @@ func (a *sumAcc) Passes() bool {
 	}
 	return a.filter.compare(storage.Float(a.sum))
 }
-func (a *sumAcc) Done() bool { return a.filter.Monotone() && !a.sawNeg && a.Passes() }
+func (a *sumAcc) Done() bool { return false }
 func (a *sumAcc) Merge(other GroupAcc) {
 	o := other.(*sumAcc)
 	a.sum += o.sum

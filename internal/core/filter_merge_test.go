@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// Tests for GroupAcc.Merge: the parallel group-by splits each group's head
+// tuples across workers, aggregates partials independently (with the
+// monotone Done short-circuit live in every partial), and folds them with
+// Merge. Merged accumulators must decide exactly like one accumulator fed
+// the whole stream, for every aggregate kind.
+
+// mergeFilter builds a Filter over head answer(P, V); the target column V
+// sits at head position 1.
+func mergeFilter(t *testing.T, agg datalog.AggKind, target string, op datalog.CmpOp, threshold storage.Value) Filter {
+	t.Helper()
+	head := &datalog.Atom{Pred: "answer", Args: []datalog.Term{datalog.Var("P"), datalog.Var("V")}}
+	f, err := NewFilter(datalog.FilterSpec{Agg: agg, Target: target, Op: op, Threshold: threshold}, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// splitAndMerge feeds heads through nParts accumulators (round-robin, with
+// per-partial Done short-circuiting exactly as the parallel group-by does)
+// and folds them with Merge, mirroring the merge loop in groupAndFilter.
+func splitAndMerge(f Filter, heads []storage.Tuple, nParts int) (passes, done bool) {
+	accs := make([]GroupAcc, nParts)
+	dones := make([]bool, nParts)
+	for i := range accs {
+		accs[i] = f.NewGroup()
+	}
+	for i, h := range heads {
+		p := i % nParts
+		if dones[p] {
+			continue
+		}
+		accs[p].Add(h)
+		if accs[p].Done() {
+			dones[p] = true
+		}
+	}
+	acc, accDone := accs[0], dones[0]
+	for p := 1; p < nParts; p++ {
+		if accDone {
+			break
+		}
+		if dones[p] {
+			accDone = true
+			break
+		}
+		acc.Merge(accs[p])
+		if acc.Done() {
+			accDone = true
+		}
+	}
+	return accDone || acc.Passes(), accDone
+}
+
+// sequential feeds all heads through one accumulator with the same
+// short-circuit the sequential group-by applies.
+func sequential(f Filter, heads []storage.Tuple) (passes, done bool) {
+	acc := f.NewGroup()
+	for _, h := range heads {
+		if acc.Done() {
+			return true, true
+		}
+		acc.Add(h)
+	}
+	return acc.Done() || acc.Passes(), acc.Done()
+}
+
+func head(p string, v int64) storage.Tuple {
+	return storage.Tuple{storage.Str(p), storage.Int(v)}
+}
+
+func TestMergeMatchesSequentialPerAggregate(t *testing.T) {
+	cases := []struct {
+		name   string
+		filter Filter
+		heads  []storage.Tuple
+		want   bool
+	}{
+		{"count pass", mergeFilter(t, datalog.AggCount, "", datalog.Ge, storage.Int(3)),
+			[]storage.Tuple{head("a", 1), head("b", 2), head("c", 3), head("d", 4)}, true},
+		{"count fail", mergeFilter(t, datalog.AggCount, "", datalog.Ge, storage.Int(5)),
+			[]storage.Tuple{head("a", 1), head("b", 2)}, false},
+		{"count distinct dedups across partials", mergeFilter(t, datalog.AggCount, "V", datalog.Ge, storage.Int(3)),
+			// Five tuples but only two distinct V values: partials that each
+			// see both values must not double-count after Merge.
+			[]storage.Tuple{head("a", 1), head("b", 2), head("c", 1), head("d", 2), head("e", 1)}, false},
+		{"count distinct pass", mergeFilter(t, datalog.AggCount, "V", datalog.Ge, storage.Int(3)),
+			[]storage.Tuple{head("a", 1), head("b", 2), head("c", 3), head("d", 1)}, true},
+		{"sum pass", mergeFilter(t, datalog.AggSum, "V", datalog.Ge, storage.Int(10)),
+			[]storage.Tuple{head("a", 4), head("b", 4), head("c", 4)}, true},
+		{"sum with negative weight", mergeFilter(t, datalog.AggSum, "V", datalog.Ge, storage.Int(10)),
+			// The early +12 would short-circuit a naive monotone check; the
+			// -100 in another partial must still drag the merged sum down.
+			[]storage.Tuple{head("a", 12), head("b", -100), head("c", 1)}, false},
+		{"min pass", mergeFilter(t, datalog.AggMin, "V", datalog.Le, storage.Int(2)),
+			[]storage.Tuple{head("a", 9), head("b", 1), head("c", 7)}, true},
+		{"min fail", mergeFilter(t, datalog.AggMin, "V", datalog.Le, storage.Int(0)),
+			[]storage.Tuple{head("a", 9), head("b", 1)}, false},
+		{"max pass", mergeFilter(t, datalog.AggMax, "V", datalog.Ge, storage.Int(8)),
+			[]storage.Tuple{head("a", 2), head("b", 9), head("c", 1)}, true},
+		{"max fail", mergeFilter(t, datalog.AggMax, "V", datalog.Ge, storage.Int(10)),
+			[]storage.Tuple{head("a", 2), head("b", 9)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seqPass, _ := sequential(tc.filter, tc.heads)
+			if seqPass != tc.want {
+				t.Fatalf("sequential: passes=%v, want %v", seqPass, tc.want)
+			}
+			for parts := 2; parts <= 4; parts++ {
+				mergedPass, _ := splitAndMerge(tc.filter, tc.heads, parts)
+				if mergedPass != tc.want {
+					t.Errorf("%d partials: passes=%v, want %v", parts, mergedPass, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeDoneShortCircuit pins the Done interaction: once any partial
+// short-circuits on a monotone condition, the merged group passes without
+// consulting the other partials (more tuples cannot un-pass it), and Merge
+// into a Done accumulator is never required to be meaningful.
+func TestMergeDoneShortCircuit(t *testing.T) {
+	f := mergeFilter(t, datalog.AggCount, "", datalog.Ge, storage.Int(2))
+	heads := []storage.Tuple{head("a", 1), head("b", 2), head("c", 3), head("d", 4)}
+
+	seqPass, seqDone := sequential(f, heads)
+	if !seqPass || !seqDone {
+		t.Fatalf("sequential: passes=%v done=%v, want both true", seqPass, seqDone)
+	}
+	for parts := 2; parts <= 4; parts++ {
+		pass, done := splitAndMerge(f, heads, parts)
+		if !pass || !done {
+			t.Errorf("%d partials: passes=%v done=%v, want both true", parts, pass, done)
+		}
+	}
+
+	// SUM must never short-circuit: a negative weight later in the stream
+	// (or in another worker's partition) can drag the sum back below the
+	// threshold, so a mid-stream Done verdict would depend on tuple order
+	// and worker count.
+	sum := mergeFilter(t, datalog.AggSum, "V", datalog.Ge, storage.Int(5))
+	acc := sum.NewGroup()
+	acc.Add(head("a", 10))
+	if acc.Done() {
+		t.Error("SUM must not report Done: a later negative weight could still fail it")
+	}
+	acc2 := sum.NewGroup()
+	acc2.Add(head("b", -1))
+	acc2.Add(head("c", 20))
+	if acc2.Done() {
+		t.Error("SUM with a negative weight must not report Done")
+	}
+	acc2.Merge(acc)
+	if !acc2.Passes() {
+		t.Error("merged sum 29 >= 5 should pass")
+	}
+}
+
+// TestSumOrderAndWorkerInvariance is the regression for the unsound SUM
+// short-circuit: a group whose early tuples pass the threshold but whose
+// full sum fails must be rejected regardless of tuple order or worker
+// count. Before the fix, sequential evaluation short-circuited on the
+// early +12 and accepted the group, and with the negative weight ordered
+// first, 2-worker evaluation disagreed with sequential.
+func TestSumOrderAndWorkerInvariance(t *testing.T) {
+	f := mergeFilter(t, datalog.AggSum, "V", datalog.Ge, storage.Int(10))
+	orders := [][]storage.Tuple{
+		{head("a", 12), head("b", -100), head("c", 1)},
+		{head("b", -100), head("a", 12), head("c", 1)},
+		{head("c", 1), head("a", 12), head("b", -100)},
+	}
+	for oi, heads := range orders {
+		// Interleave filler groups (each passing on its own) so the relation
+		// crosses minParallelGroupRows and group "g"'s tuples land in
+		// different worker partitions.
+		ext := storage.NewRelation("ext", "P", "HP", "V")
+		for i, h := range heads {
+			for j := 0; j < 200; j++ {
+				p := storage.Int(int64(i*200 + j))
+				ext.Insert(storage.Tuple{p, p, storage.Int(50)})
+			}
+			ext.Insert(storage.Tuple{storage.Str("g"), h[0], h[1]})
+		}
+		for _, w := range []int{1, 2, 3} {
+			got := GroupAndFilterWorkers(ext, 1, f, "out", w)
+			if got.Contains(storage.Tuple{storage.Str("g")}) {
+				t.Errorf("order %d workers=%d: group with true sum -87 accepted", oi, w)
+			}
+			if got.Len() != 600 {
+				t.Errorf("order %d workers=%d: %d filler groups pass, want 600", oi, w, got.Len())
+			}
+		}
+	}
+}
+
+// TestGroupAndFilterWorkersMergeEquivalence drives the full parallel
+// group-by on randomized extended results, for all four aggregates, and
+// checks every worker count agrees with sequential — the end-to-end
+// property the Merge contract exists to serve. The extended relation has
+// shape (P | P V): one parameter column, then the two head columns of
+// answer(P, V).
+func TestGroupAndFilterWorkersMergeEquivalence(t *testing.T) {
+	filters := []Filter{
+		mergeFilter(t, datalog.AggCount, "", datalog.Ge, storage.Int(4)),
+		mergeFilter(t, datalog.AggCount, "V", datalog.Ge, storage.Int(3)),
+		mergeFilter(t, datalog.AggSum, "V", datalog.Ge, storage.Int(40)),
+		mergeFilter(t, datalog.AggMin, "V", datalog.Le, storage.Int(2)),
+		mergeFilter(t, datalog.AggMax, "V", datalog.Ge, storage.Int(18)),
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ext := storage.NewRelation("ext", "P", "HP", "V")
+		for i := 0; i < 3_000; i++ {
+			p := storage.Int(int64(rng.Intn(50)))
+			v := int64(rng.Intn(20))
+			if rng.Intn(40) == 0 {
+				v = -v // occasional negative weights exercise the SUM taint
+			}
+			ext.Insert(storage.Tuple{p, p, storage.Int(v)})
+		}
+		for fi, f := range filters {
+			want := GroupAndFilterWorkers(ext, 1, f, "out", 1)
+			for _, w := range []int{2, 3, 8} {
+				got := GroupAndFilterWorkers(ext, 1, f, "out", w)
+				if !got.Equal(want) {
+					t.Fatalf("seed %d filter %d [%s] workers=%d: %d groups pass, want %d",
+						seed, fi, f, w, got.Len(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt available for debugging edits

@@ -92,8 +92,11 @@ func TestSumAccumulator(t *testing.T) {
 		t.Error("15 < 20")
 	}
 	feed(acc, storage.Tuple{storage.Int(2), storage.Float(5.5)})
-	if !acc.Passes() || !acc.Done() {
-		t.Error("20.5 >= 20 should pass and short-circuit")
+	if !acc.Passes() {
+		t.Error("20.5 >= 20 should pass")
+	}
+	if acc.Done() {
+		t.Error("SUM must never short-circuit: a later negative weight could fail it")
 	}
 
 	// Negative weights break monotonicity: Done must stay false.

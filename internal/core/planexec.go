@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
 
@@ -51,6 +53,10 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 	scratch := mat.Clone()
 	res := &PlanResult{}
 	for _, step := range p.Steps {
+		var start time.Time
+		if opts != nil && opts.Trace != nil {
+			start = time.Now()
+		}
 		rel, err := evalFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: executing step %q: %w", step.Name, err)
@@ -58,6 +64,14 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 		scratch.Add(rel)
 		res.Steps = append(res.Steps, StepStats{Name: step.Name, Rows: rel.Len()})
 		res.Answer = rel
+		if opts != nil && opts.Trace != nil {
+			opts.Trace.Collector().Record(obs.Event{
+				Op:      obs.OpStep,
+				Desc:    step.Name,
+				RowsOut: rel.Len(),
+				Wall:    time.Since(start),
+			})
+		}
 	}
 	// A plan may declare the final step's parameters in any order (e.g.
 	// Fig. 5 writes ok($s,$m)); normalize the answer to the flock's

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
 
@@ -75,6 +77,10 @@ func (f *Flock) MaterializeViews(db *storage.Database, opts *EvalOptions) (*stor
 	out := db.Clone()
 	rels := make(map[string]*storage.Relation)
 	for _, v := range f.Views {
+		var start time.Time
+		if opts != nil && opts.Trace != nil {
+			start = time.Now()
+		}
 		if db.Has(v.Head.Pred) {
 			return nil, fmt.Errorf("core: view %q collides with an existing relation", v.Head.Pred)
 		}
@@ -100,7 +106,13 @@ func (f *Flock) MaterializeViews(db *storage.Database, opts *EvalOptions) (*stor
 			rel.Insert(t)
 		}
 		if opts != nil && opts.Trace != nil {
-			opts.Trace.Add(fmt.Sprintf("view %s", v.Head), rel.Len())
+			opts.Trace.Collector().Record(obs.Event{
+				Op:      obs.OpView,
+				Desc:    v.Head.String(),
+				RowsIn:  part.Len(),
+				RowsOut: rel.Len(),
+				Wall:    time.Since(start),
+			})
 		}
 	}
 	return out, nil

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// TestCrossKindJoin is the regression for the kind-sensitive join keys:
+// Compare/Equal treat Int(1) and Float(1) as the same value, but the hash
+// keys used to tag kinds, so a join between an int column and a float
+// column silently dropped the matches that a comparison subgoal (which
+// goes through Compare) would have admitted. The key encoding now
+// normalizes integral floats onto the int encoding, so joins agree with
+// Compare.
+func TestCrossKindJoin(t *testing.T) {
+	db := storage.NewDatabase()
+	r := storage.NewRelation("r", "A", "B")
+	r.InsertValues(storage.Int(1), storage.Str("int1"))
+	r.InsertValues(storage.Int(2), storage.Str("int2"))
+	r.InsertValues(storage.Float(2.5), storage.Str("half"))
+	s := storage.NewRelation("s", "A", "C")
+	s.InsertValues(storage.Float(1), storage.Str("float1"))
+	s.InsertValues(storage.Int(2), storage.Str("alsoint"))
+	s.InsertValues(storage.Float(2.5), storage.Str("halfc"))
+	db.Add(r)
+	db.Add(s)
+
+	rule, err := datalog.ParseRule(`answer(B,C) :- r(A,B) AND s(A,C)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalRule(db, rule, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"int1", "float1"}, {"int2", "alsoint"}, {"half", "halfc"}}
+	if got.Len() != len(want) {
+		t.Fatalf("cross-kind join produced %d tuples, want %d:\n%v", got.Len(), len(want), got.Tuples())
+	}
+	for _, w := range want {
+		if !got.Contains(storage.Tuple{storage.Str(w[0]), storage.Str(w[1])}) {
+			t.Errorf("missing join result %v", w)
+		}
+	}
+
+	// Set semantics must also collapse Equal cross-kind tuples: inserting
+	// Float(3) after Int(3) is a duplicate, not a new row.
+	dup := storage.NewRelation("dup", "X")
+	dup.InsertValues(storage.Int(3))
+	dup.InsertValues(storage.Float(3))
+	if dup.Len() != 1 {
+		t.Errorf("Int(3) and Float(3) should collapse under set semantics, got %d rows", dup.Len())
+	}
+}

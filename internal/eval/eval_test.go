@@ -355,13 +355,14 @@ func TestTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two joins; the $1 < $2 comparison is absorbed into the second scan.
-	if len(tr.Steps) != 2 {
-		t.Fatalf("trace steps = %d: %s", len(tr.Steps), tr)
+	steps := tr.Steps()
+	if len(steps) != 2 {
+		t.Fatalf("trace steps = %d: %s", len(steps), tr)
 	}
-	if !strings.Contains(tr.Steps[1].Desc, "absorbed") {
-		t.Errorf("second step should note the absorbed comparison: %q", tr.Steps[1].Desc)
+	if !strings.Contains(steps[1].Desc, "absorbed") {
+		t.Errorf("second step should note the absorbed comparison: %q", steps[1].Desc)
 	}
-	if tr.MaxRows() < tr.Steps[len(tr.Steps)-1].Rows {
+	if tr.MaxRows() < steps[len(steps)-1].Rows {
 		t.Error("MaxRows below final size")
 	}
 	if tr.TotalRows() <= 0 {

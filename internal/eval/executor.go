@@ -12,8 +12,10 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/obs"
 	"queryflocks/internal/par"
 	"queryflocks/internal/storage"
 )
@@ -52,8 +54,8 @@ type Executor struct {
 	pendingCmp []*datalog.Comparison
 	pendingNeg []*datalog.Atom
 
-	workers int // join/anti-join worker count; see SetWorkers
-	trace   *Trace
+	workers int            // join/anti-join worker count; see SetWorkers
+	col     *obs.Collector // typed event sink; nil when not tracing
 	steps   int
 }
 
@@ -91,7 +93,7 @@ func NewExecutor(db *storage.Database, r *datalog.Rule, trace *Trace) (*Executor
 		joined:     make([]bool, len(r.PositiveAtoms())),
 		pendingCmp: r.Comparisons(),
 		pendingNeg: r.NegatedAtoms(),
-		trace:      trace,
+		col:        trace.Collector(),
 	}
 	// Constant-only comparisons (and any already-applicable subgoals)
 	// resolve immediately.
@@ -170,18 +172,28 @@ func (e *Executor) JoinNext(i int) error {
 	if err != nil {
 		return err
 	}
-	next, err := joinAtom(e.db, e.cur, atoms[i], e.stepName(), checks, e.workers)
+	var start time.Time
+	rowsIn := 0
+	if e.col != nil { // skip all metric work entirely when not tracing
+		rowsIn = e.cur.Len()
+		start = time.Now()
+	}
+	next, used, err := joinAtom(e.db, e.cur, atoms[i], e.stepName(), checks, e.workers)
 	if err != nil {
 		return err
 	}
 	e.joined[i] = true
 	e.cur = next
-	if e.trace != nil { // skip the Sprintf entirely when not tracing
-		desc := fmt.Sprintf("join %s", atoms[i])
-		if absorbed > 0 {
-			desc = fmt.Sprintf("join %s (+%d absorbed)", atoms[i], absorbed)
-		}
-		e.traceStep(desc)
+	if e.col != nil {
+		e.col.Record(obs.Event{
+			Op:       obs.OpJoin,
+			Desc:     atoms[i].String(),
+			RowsIn:   rowsIn,
+			RowsOut:  next.Len(),
+			Absorbed: absorbed,
+			Workers:  used,
+			Wall:     time.Since(start),
+		})
 	}
 	return e.applyPending()
 }
@@ -334,12 +346,6 @@ func (e *Executor) stepName() string {
 	return fmt.Sprintf("bind%d", e.steps)
 }
 
-func (e *Executor) traceStep(desc string) {
-	if e.trace != nil {
-		e.trace.add(desc, e.cur.Len())
-	}
-}
-
 // applyPending applies comparisons and negations whose terms are all bound.
 func (e *Executor) applyPending() error {
 	bound := make(map[string]int, e.cur.Arity())
@@ -361,9 +367,21 @@ func (e *Executor) applyPending() error {
 			keepCmp = append(keepCmp, c)
 			continue
 		}
+		var start time.Time
+		rowsIn := 0
+		if e.col != nil { // skip all metric work entirely when not tracing
+			rowsIn = e.cur.Len()
+			start = time.Now()
+		}
 		e.cur = applyComparison(e.cur, c, e.stepName())
-		if e.trace != nil { // skip the Sprintf entirely when not tracing
-			e.traceStep(fmt.Sprintf("select %s", c))
+		if e.col != nil {
+			e.col.Record(obs.Event{
+				Op:      obs.OpSelect,
+				Desc:    c.String(),
+				RowsIn:  rowsIn,
+				RowsOut: e.cur.Len(),
+				Wall:    time.Since(start),
+			})
 		}
 	}
 	e.pendingCmp = keepCmp
@@ -381,13 +399,26 @@ func (e *Executor) applyPending() error {
 			keepNeg = append(keepNeg, a)
 			continue
 		}
-		next, err := antiJoin(e.db, e.cur, a, e.stepName(), e.workers)
+		var start time.Time
+		rowsIn := 0
+		if e.col != nil {
+			rowsIn = e.cur.Len()
+			start = time.Now()
+		}
+		next, used, err := antiJoin(e.db, e.cur, a, e.stepName(), e.workers)
 		if err != nil {
 			return err
 		}
 		e.cur = next
-		if e.trace != nil { // skip the Sprintf entirely when not tracing
-			e.traceStep(fmt.Sprintf("antijoin %s", a))
+		if e.col != nil {
+			e.col.Record(obs.Event{
+				Op:      obs.OpAntiJoin,
+				Desc:    a.String(),
+				RowsIn:  rowsIn,
+				RowsOut: e.cur.Len(),
+				Workers: used,
+				Wall:    time.Since(start),
+			})
 		}
 	}
 	e.pendingNeg = keepNeg
@@ -444,13 +475,14 @@ func ProjectTerms(rel *storage.Relation, out []datalog.Term, name string) (*stor
 // output row embeds its distinct binding tuple, two workers can never
 // produce the same row, and the worker-order merge reproduces exactly the
 // sequential insertion order.
-func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, checks []rowCheckFactory, workers int) (*storage.Relation, error) {
+// It additionally reports the worker count the scan actually ran with.
+func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, checks []rowCheckFactory, workers int) (*storage.Relation, int, error) {
 	base, err := db.Relation(atom.Pred)
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, 0, fmt.Errorf("eval: %w", err)
 	}
 	if base.Arity() != len(atom.Args) {
-		return nil, fmt.Errorf("eval: atom %s arity %d vs relation arity %d", atom, len(atom.Args), base.Arity())
+		return nil, 0, fmt.Errorf("eval: atom %s arity %d vs relation arity %d", atom, len(atom.Args), base.Arity())
 	}
 
 	curCols := make(map[string]int, cur.Arity())
@@ -552,7 +584,7 @@ func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 
 	if workers <= 1 {
 		scan(0, len(curTuples), instantiateChecks(checks), func(row storage.Tuple) { out.Insert(row) })
-		return out, nil
+		return out, 1, nil
 	}
 
 	builders := make([]*storage.Builder, par.Chunks(len(curTuples), workers))
@@ -564,21 +596,22 @@ func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 	for _, b := range builders {
 		out.AbsorbBuilder(b)
 	}
-	return out, nil
+	return out, workers, nil
 }
 
 // antiJoin removes bindings for which the (fully bound) negated atom holds.
 // Like joinAtom, with workers > 1 the binding relation is range-partitioned
 // into per-worker Builders merged in worker order; surviving rows are the
 // (distinct) binding tuples themselves, so partitions cannot collide and
-// the merged order equals the sequential one.
-func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, workers int) (*storage.Relation, error) {
+// the merged order equals the sequential one. It additionally reports the
+// worker count the scan actually ran with.
+func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, name string, workers int) (*storage.Relation, int, error) {
 	base, err := db.Relation(atom.Pred)
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, 0, fmt.Errorf("eval: %w", err)
 	}
 	if base.Arity() != len(atom.Args) {
-		return nil, fmt.Errorf("eval: atom %s arity %d vs relation arity %d", atom, len(atom.Args), base.Arity())
+		return nil, 0, fmt.Errorf("eval: atom %s arity %d vs relation arity %d", atom, len(atom.Args), base.Arity())
 	}
 	curCols := make(map[string]int, cur.Arity())
 	for i, c := range cur.Columns() {
@@ -598,7 +631,7 @@ func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 		col, _ := termColumn(t)
 		p, bound := curCols[col]
 		if !bound {
-			return nil, fmt.Errorf("eval: negated atom %s has unbound term %s", atom, t)
+			return nil, 0, fmt.Errorf("eval: negated atom %s has unbound term %s", atom, t)
 		}
 		srcPos[i] = p
 	}
@@ -630,7 +663,7 @@ func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 
 	if workers <= 1 {
 		scan(0, len(curTuples), func(ct storage.Tuple) { out.Insert(ct) })
-		return out, nil
+		return out, 1, nil
 	}
 
 	builders := make([]*storage.Builder, par.Chunks(len(curTuples), workers))
@@ -642,7 +675,7 @@ func antiJoin(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 	for _, b := range builders {
 		out.AbsorbBuilder(b)
 	}
-	return out, nil
+	return out, workers, nil
 }
 
 // applyComparison filters bindings by a fully bound comparison.

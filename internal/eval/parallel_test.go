@@ -44,7 +44,7 @@ func TestParallelUnionMatchesSequential(t *testing.T) {
 	if !par.Equal(seq) {
 		t.Fatalf("parallel union differs: %d vs %d tuples", par.Len(), seq.Len())
 	}
-	if len(tr.Steps) == 0 {
+	if len(tr.Steps()) == 0 {
 		t.Error("trace should record steps from all branches")
 	}
 }

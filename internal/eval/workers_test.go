@@ -97,7 +97,7 @@ func TestParallelAntiJoinDirect(t *testing.T) {
 	}
 	atom := &datalog.Atom{Pred: "ban", Args: []datalog.Term{datalog.Var("A"), datalog.Var("B")}}
 
-	want, err := antiJoin(db, cur, atom, "out", 1)
+	want, _, err := antiJoin(db, cur, atom, "out", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestParallelAntiJoinDirect(t *testing.T) {
 		t.Fatalf("degenerate anti-join: %d of %d survive", want.Len(), cur.Len())
 	}
 	for _, w := range workerSweep[1:] {
-		got, err := antiJoin(db, cur, atom, "out", w)
+		got, _, err := antiJoin(db, cur, atom, "out", w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestJoinAtomDirectWorkers(t *testing.T) {
 		datalog.Var("B"), datalog.Const{Val: storage.Int(3)}, datalog.Var("B"),
 	}}
 
-	want, err := joinAtom(db, cur, atom, "out", nil, 1)
+	want, _, err := joinAtom(db, cur, atom, "out", nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestJoinAtomDirectWorkers(t *testing.T) {
 		t.Fatal("degenerate join: no matches")
 	}
 	for _, w := range workerSweep[1:] {
-		got, err := joinAtom(db, cur, atom, "out", nil, w)
+		got, _, err := joinAtom(db, cur, atom, "out", nil, w)
 		if err != nil {
 			t.Fatal(err)
 		}

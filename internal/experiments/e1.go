@@ -41,22 +41,25 @@ func E1(cfg Config) (*Table, error) {
 	for _, support := range supports {
 		f := paper.MarketBasket(support)
 		var direct, rewritten *storage.Relation
+		directTrace := cfg.Instrument()
 		directTime, err := timed(func() error {
 			var err error
-			direct, err = f.Eval(db, cfg.EvalOpts())
+			direct, err = f.Eval(db, cfg.TracedOpts(directTrace))
 			return err
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E1 direct (support %d): %w", support, err)
 		}
+		t.AddReport(directTrace, fmt.Sprintf("direct support=%d", support), cfg.Workers, direct.Len())
 		// The symmetric plan of §3.1: one item-filter relation referenced
 		// for both $1 and $2 (footnote 3's symmetry exploitation).
 		plan, err := planner.PlanSharedFilter(f, "1")
 		if err != nil {
 			return nil, fmt.Errorf("E1 plan: %w", err)
 		}
+		rewriteTrace := cfg.Instrument()
 		rewriteTime, err := timed(func() error {
-			res, err := plan.Execute(db, cfg.EvalOpts())
+			res, err := plan.Execute(db, cfg.TracedOpts(rewriteTrace))
 			if err == nil {
 				rewritten = res.Answer
 			}
@@ -68,6 +71,7 @@ func E1(cfg Config) (*Table, error) {
 		if !direct.Equal(rewritten) {
 			return nil, fmt.Errorf("E1: rewrite changed the answer at support %d", support)
 		}
+		t.AddReport(rewriteTrace, fmt.Sprintf("a-priori rewrite support=%d", support), cfg.Workers, rewritten.Len())
 		t.AddRow(fmt.Sprintf("%d", support), ms(directTime), ms(rewriteTime),
 			speedup(directTime, rewriteTime), fmt.Sprintf("%d", direct.Len()))
 	}

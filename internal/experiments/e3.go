@@ -68,8 +68,9 @@ func E3(cfg Config) (*Table, error) {
 			answer *storage.Relation
 			steps  string
 		}
+		tr := cfg.Instrument()
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, cfg.EvalOpts())
+			r, err := plan.Execute(db, cfg.TracedOpts(tr))
 			if err != nil {
 				return err
 			}
@@ -90,6 +91,7 @@ func E3(cfg Config) (*Table, error) {
 			res.steps = "-"
 		}
 		t.AddRow(v.name, ms(d), res.steps, fmt.Sprintf("%d", res.answer.Len()))
+		t.AddReport(tr, v.name, cfg.Workers, res.answer.Len())
 		if reference == nil {
 			reference = res.answer
 			base = float64(d)

@@ -49,8 +49,9 @@ func E6(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		var answer *storage.Relation
+		tr := cfg.Instrument()
 		d, err := timed(func() error {
-			r, err := plan.Execute(db, cfg.EvalOpts())
+			r, err := plan.Execute(db, cfg.TracedOpts(tr))
 			if err == nil {
 				answer = r.Answer
 			}
@@ -60,6 +61,7 @@ func E6(cfg Config) (*Table, error) {
 			return 0, err
 		}
 		t.AddRow(name, ms(d), fmt.Sprintf("%d (static)", len(sets)), fmt.Sprintf("%d", answer.Len()))
+		t.AddReport(tr, name, cfg.Workers, answer.Len())
 		if reference == nil {
 			reference = answer
 		} else if !answer.Equal(reference) {
@@ -78,10 +80,13 @@ func E6(cfg Config) (*Table, error) {
 	}
 
 	var dres *planner.DynamicResult
+	dynTrace := cfg.Instrument()
 	dynTime, err := timed(func() error {
 		var err error
 		// Fig. 8 join order: exhibits, treatments, diagnoses.
-		dres, err = planner.EvalDynamic(db, f, &planner.DynamicOptions{FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers})
+		dres, err = planner.EvalDynamic(db, f, &planner.DynamicOptions{
+			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: dynTrace,
+		})
 		return err
 	})
 	if err != nil {
@@ -89,6 +94,7 @@ func E6(cfg Config) (*Table, error) {
 	}
 	t.AddRow("dynamic (§4.4, Fig. 8 order)", ms(dynTime),
 		fmt.Sprintf("%d (decided at run time)", dres.FilterCount()), fmt.Sprintf("%d", dres.Answer.Len()))
+	t.AddReport(dynTrace, "dynamic (§4.4, Fig. 8 order)", cfg.Workers, dres.Answer.Len())
 	if !dres.Answer.Equal(reference) {
 		return nil, fmt.Errorf("E6: dynamic changed the answer")
 	}

@@ -8,10 +8,12 @@ package experiments
 import (
 	"fmt"
 	"runtime"
-
-	"queryflocks/internal/core"
 	"strings"
 	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
 )
 
 // Table is a rendered experiment result. The struct marshals directly to
@@ -30,6 +32,10 @@ type Table struct {
 	// Metrics carries machine-readable measurements (flockbench -json);
 	// the parallel-scaling experiment fills one entry per worker count.
 	Metrics []Metric `json:"metrics,omitempty"`
+	// OpReports carries per-operator observability reports, one per
+	// instrumented strategy run, when the configuration enables metrics
+	// collection (flockbench -json).
+	OpReports []*obs.RunReport `json:"op_reports,omitempty"`
 }
 
 // Metric is one machine-readable measurement of a named workload at a
@@ -44,6 +50,16 @@ type Metric struct {
 
 // AddRow appends a row of already-formatted cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddReport aggregates an instrumented run's trace into an operator report
+// and appends it. A nil trace (metrics collection off) is a no-op, so
+// experiments thread Config.Instrument results through unconditionally.
+func (t *Table) AddReport(tr *eval.Trace, strategy string, workers, answerRows int) {
+	if tr == nil {
+		return
+	}
+	t.OpReports = append(t.OpReports, tr.Report(strategy, workers, answerRows))
+}
 
 // AddNote appends a note line.
 func (t *Table) AddNote(format string, args ...any) {
@@ -102,6 +118,10 @@ type Config struct {
 	// test (0 = one per CPU, 1 = sequential). Answers are identical for
 	// every worker count; E11 sweeps this knob explicitly.
 	Workers int
+	// Metrics enables per-operator observability collection: instrumented
+	// experiments attach one obs.RunReport per strategy run to the table
+	// (flockbench -json sets this).
+	Metrics bool
 }
 
 // DefaultConfig is the reference configuration used for EXPERIMENTS.md.
@@ -110,6 +130,23 @@ func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1998} }
 // EvalOpts returns the evaluation options the configuration implies.
 func (c Config) EvalOpts() *core.EvalOptions {
 	return &core.EvalOptions{Workers: c.Workers}
+}
+
+// Instrument returns a fresh trace for one strategy run when metrics
+// collection is enabled, nil otherwise. A nil *eval.Trace threads through
+// every evaluator as a no-op, so callers need not branch.
+func (c Config) Instrument() *eval.Trace {
+	if !c.Metrics {
+		return nil
+	}
+	return &eval.Trace{}
+}
+
+// TracedOpts is EvalOpts with the given trace attached.
+func (c Config) TracedOpts(tr *eval.Trace) *core.EvalOptions {
+	opts := c.EvalOpts()
+	opts.Trace = tr
+	return opts
 }
 
 func (c Config) scaled(n int) int {

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"sync"
+)
+
+// StartDebugServer starts an HTTP server on addr (e.g. "localhost:6060";
+// port 0 picks a free port) serving the standard net/http/pprof profiling
+// endpoints under /debug/pprof/ and the expvar metric dump under
+// /debug/vars, so long mining runs can be profiled live. It returns the
+// bound address. The server runs until the process exits.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, http.DefaultServeMux) //nolint:errcheck // serves for process lifetime
+	return ln.Addr().String(), nil
+}
+
+var (
+	publishOnce sync.Once
+	publishMu   sync.Mutex
+	lastReport  *RunReport
+	runCount    *expvar.Int
+)
+
+// PublishReport exposes r as the expvar variable "flock_last_report" and
+// increments the "flock_runs" counter, making the most recent run's
+// metrics visible on /debug/vars. Nil reports only bump the counter.
+func PublishReport(r *RunReport) {
+	publishOnce.Do(func() {
+		runCount = expvar.NewInt("flock_runs")
+		expvar.Publish("flock_last_report", expvar.Func(func() any {
+			publishMu.Lock()
+			defer publishMu.Unlock()
+			if lastReport == nil {
+				return nil
+			}
+			// Re-marshal so expvar renders the JSON object, not a string.
+			var v any
+			b, err := json.Marshal(lastReport)
+			if err != nil {
+				return nil
+			}
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil
+			}
+			return v
+		}))
+	})
+	runCount.Add(1)
+	if r != nil {
+		publishMu.Lock()
+		lastReport = r
+		publishMu.Unlock()
+	}
+}

@@ -1,0 +1,305 @@
+// Package obs is the execution observability layer: typed per-operator
+// events collected during flock evaluation, aggregated into a
+// machine-readable RunReport that the CLIs render as an EXPLAIN ANALYZE
+// tree or emit as JSON (flockql -metrics, flockbench -json).
+//
+// The paper's dynamic strategy (§4.4) is defined entirely in terms of
+// observed intermediate-result sizes, and its empirical claims are
+// measurements; this package makes those observations first-class instead
+// of ad-hoc strings. Collection is strictly opt-in: every producer guards
+// on a nil *Collector, so a run without one pays nothing.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op identifies the operator an Event describes. The values are the
+// machine-readable "op" strings of the metrics JSON schema.
+type Op string
+
+// The operator kinds emitted by the engine.
+const (
+	// OpJoin is one hash-join of a positive atom into the bindings.
+	OpJoin Op = "join"
+	// OpAntiJoin removes bindings matching a negated atom.
+	OpAntiJoin Op = "antijoin"
+	// OpSelect applies a fully bound arithmetic comparison.
+	OpSelect Op = "select"
+	// OpGroup is a group-by-parameters + filter evaluation (one FILTER
+	// computation, §4.1).
+	OpGroup Op = "group"
+	// OpStep is one completed FILTER step of a query plan (§4.2).
+	OpStep Op = "step"
+	// OpDecision is one §4.4 dynamic filter/don't-filter decision.
+	OpDecision Op = "decision"
+	// OpView is one materialized view.
+	OpView Op = "view"
+	// OpNote is an untyped annotation (the legacy Trace.Add surface).
+	OpNote Op = "note"
+)
+
+// Event is one recorded operator application. Desc carries only the
+// operand (the atom, comparison, or step name); renderers add the
+// op-specific prefix.
+type Event struct {
+	Op   Op     `json:"op"`
+	Desc string `json:"desc"`
+	// RowsIn is the input (binding-relation) cardinality, when meaningful.
+	RowsIn int `json:"rows_in,omitempty"`
+	// RowsOut is the observed output cardinality.
+	RowsOut int `json:"rows_out"`
+	// Groups is the number of distinct parameter groups seen (group/
+	// decision events).
+	Groups int `json:"groups,omitempty"`
+	// Absorbed counts pending subgoals folded into this operator's scan.
+	Absorbed int `json:"absorbed,omitempty"`
+	// Workers is the worker count the operator actually ran with.
+	Workers int `json:"workers,omitempty"`
+	// Wall is the operator's wall-clock time in nanoseconds.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// Filtered reports, for decision events, that the FILTER fired.
+	Filtered bool `json:"filtered,omitempty"`
+}
+
+// String renders the event one-line, prefix included.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Label())
+	fmt.Fprintf(&b, "  %s", e.cardinalities())
+	return b.String()
+}
+
+// Label returns the operator rendering with its op-specific prefix but
+// without the observed cardinalities (see String for the full line).
+func (e Event) Label() string {
+	switch e.Op {
+	case OpJoin:
+		if e.Absorbed > 0 {
+			return fmt.Sprintf("join %s (+%d absorbed)", e.Desc, e.Absorbed)
+		}
+		return "join " + e.Desc
+	case OpAntiJoin:
+		return "antijoin " + e.Desc
+	case OpSelect:
+		return "select " + e.Desc
+	case OpGroup:
+		return "filter " + e.Desc
+	case OpStep:
+		return "step " + e.Desc
+	case OpDecision:
+		verdict := "skip"
+		if e.Filtered {
+			verdict = "FILTER"
+		}
+		return fmt.Sprintf("decide %s: %s", e.Desc, verdict)
+	case OpView:
+		return "view " + e.Desc
+	default:
+		return e.Desc
+	}
+}
+
+// cardinalities renders the observed sizes and timing.
+func (e Event) cardinalities() string {
+	var parts []string
+	if e.RowsIn > 0 || e.Op == OpJoin || e.Op == OpAntiJoin || e.Op == OpSelect {
+		parts = append(parts, fmt.Sprintf("%d -> %d rows", e.RowsIn, e.RowsOut))
+	} else {
+		parts = append(parts, fmt.Sprintf("%d rows", e.RowsOut))
+	}
+	if e.Groups > 0 {
+		parts = append(parts, fmt.Sprintf("%d groups", e.Groups))
+	}
+	if e.Workers > 1 {
+		parts = append(parts, fmt.Sprintf("w=%d", e.Workers))
+	}
+	if e.Wall > 0 {
+		parts = append(parts, e.Wall.Round(time.Microsecond).String())
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Collector accumulates events. Recording is safe from concurrent
+// branches (parallel union evaluation); event order across branches is
+// then nondeterministic. All methods are nil-safe so producers can hold a
+// possibly-nil *Collector and call it unconditionally on cold paths; hot
+// paths still guard with a nil check to skip argument construction.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+
+	start       time.Time
+	startAllocs uint64
+	startBytes  uint64
+}
+
+// NewCollector returns a collector with the wall clock and allocation
+// baseline started. The zero value also works; its report then omits wall
+// time and allocation deltas.
+func NewCollector() *Collector {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Collector{start: time.Now(), startAllocs: ms.Mallocs, startBytes: ms.TotalAlloc}
+}
+
+// Record appends one event. Nil-safe.
+func (c *Collector) Record(e Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Report aggregates the collected events into a RunReport. AnswerRows is
+// the final answer cardinality; strategy and workers describe the run
+// configuration. Nil-safe: a nil collector yields nil.
+func (c *Collector) Report(strategy string, workers, answerRows int) *RunReport {
+	if c == nil {
+		return nil
+	}
+	r := &RunReport{
+		Strategy:   strategy,
+		Workers:    workers,
+		AnswerRows: answerRows,
+		Steps:      c.Events(),
+	}
+	if !c.start.IsZero() {
+		r.WallNs = time.Since(c.start).Nanoseconds()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.Allocs = ms.Mallocs - c.startAllocs
+		r.AllocBytes = ms.TotalAlloc - c.startBytes
+	}
+	for _, e := range r.Steps {
+		r.TotalRows += e.RowsOut
+		if e.RowsOut > r.MaxRows {
+			r.MaxRows = e.RowsOut
+		}
+	}
+	return r
+}
+
+// RunReport is the machine-readable outcome of one instrumented
+// evaluation: run-level aggregates plus the per-operator event list. It
+// marshals directly to the metrics JSON schema documented in
+// docs/LANGUAGE.md.
+type RunReport struct {
+	// Strategy names the evaluation strategy ("direct", "dynamic", ...).
+	Strategy string `json:"strategy,omitempty"`
+	// Workers is the configured worker knob (0 = one per CPU).
+	Workers int `json:"workers,omitempty"`
+	// AnswerRows is the answer cardinality.
+	AnswerRows int `json:"answer_rows"`
+	// WallNs is the run's wall-clock time in nanoseconds.
+	WallNs int64 `json:"wall_ns,omitempty"`
+	// Allocs and AllocBytes are the heap allocation deltas over the run
+	// (process-wide; approximate under concurrency).
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	// MaxRows is the largest intermediate size observed — the memory
+	// high-water proxy of a join pipeline.
+	MaxRows int `json:"max_rows"`
+	// TotalRows sums all intermediate sizes — the cost proxy the planner's
+	// estimates are calibrated against.
+	TotalRows int `json:"total_rows"`
+	// Steps is the per-operator event list, in execution order.
+	Steps []Event `json:"steps"`
+}
+
+// Tree renders the report as an execution tree: pipeline operators (join,
+// antijoin, select) indent one level per stage — the shape of the
+// left-deep join tree — and boundary operators (group, step, view, note)
+// close the pipeline. Decisions print at the current pipeline depth.
+func (r *RunReport) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d answers", headline(r.Strategy), r.AnswerRows)
+	if r.WallNs > 0 {
+		fmt.Fprintf(&b, " in %s", time.Duration(r.WallNs).Round(time.Microsecond))
+	}
+	if r.Workers != 1 {
+		fmt.Fprintf(&b, " (workers=%s)", workersLabel(r.Workers))
+	}
+	if r.Allocs > 0 {
+		fmt.Fprintf(&b, "  [%d allocs, %s]", r.Allocs, byteSize(r.AllocBytes))
+	}
+	b.WriteByte('\n')
+	depth := 0
+	for _, e := range r.Steps {
+		switch e.Op {
+		case OpJoin, OpAntiJoin, OpSelect:
+			writeTreeLine(&b, depth, e)
+			depth++
+		case OpDecision:
+			writeTreeLine(&b, depth, e)
+		default: // group, step, view, note: pipeline boundary
+			writeTreeLine(&b, depth, e)
+			depth = 0
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func headline(strategy string) string {
+	if strategy == "" {
+		return "run"
+	}
+	return strategy
+}
+
+func workersLabel(w int) string {
+	if w == 0 {
+		return "per-CPU"
+	}
+	return fmt.Sprintf("%d", w)
+}
+
+func writeTreeLine(b *strings.Builder, depth int, e Event) {
+	if depth == 0 {
+		fmt.Fprintf(b, "%s\n", e)
+		return
+	}
+	b.WriteString(strings.Repeat("   ", depth-1))
+	fmt.Fprintf(b, "└─ %s\n", e)
+}
+
+// byteSize renders a byte count with a binary unit.
+func byteSize(n uint64) string {
+	const kib, mib, gib = 1 << 10, 1 << 20, 1 << 30
+	switch {
+	case n >= gib:
+		return fmt.Sprintf("%.1fGiB", float64(n)/gib)
+	case n >= mib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/mib)
+	case n >= kib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/kib)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

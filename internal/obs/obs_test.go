@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Record(Event{Op: OpJoin, Desc: "x"})
+	if c.Len() != 0 || c.Events() != nil {
+		t.Error("nil collector should record nothing")
+	}
+	if c.Report("direct", 0, 1) != nil {
+		t.Error("nil collector should report nil")
+	}
+}
+
+func TestCollectorConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Record(Event{Op: OpJoin, Desc: fmt.Sprintf("g%d", i), RowsOut: j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Errorf("events = %d, want 800", c.Len())
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Op: OpJoin, Desc: "r(A,$x)", RowsIn: 1, RowsOut: 100, Workers: 4, Wall: time.Millisecond})
+	c.Record(Event{Op: OpSelect, Desc: "$x < $y", RowsIn: 100, RowsOut: 40})
+	c.Record(Event{Op: OpGroup, Desc: "flock [COUNT(answer.B) >= 20]", RowsIn: 40, RowsOut: 7, Groups: 12})
+	r := c.Report("direct", 4, 7)
+	if r.Strategy != "direct" || r.Workers != 4 || r.AnswerRows != 7 {
+		t.Errorf("header fields wrong: %+v", r)
+	}
+	if r.MaxRows != 100 {
+		t.Errorf("MaxRows = %d, want 100", r.MaxRows)
+	}
+	if r.TotalRows != 147 {
+		t.Errorf("TotalRows = %d, want 147", r.TotalRows)
+	}
+	if r.WallNs <= 0 {
+		t.Error("WallNs should be positive for a started collector")
+	}
+	if len(r.Steps) != 3 {
+		t.Fatalf("steps = %d", len(r.Steps))
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Op: OpJoin, Desc: "r(A,$x)", RowsOut: 5, Workers: 2})
+	b, err := json.Marshal(c.Report("dynamic", 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"strategy", "answer_rows", "max_rows", "total_rows", "steps"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, b)
+		}
+	}
+	steps := m["steps"].([]any)
+	step := steps[0].(map[string]any)
+	if step["op"] != "join" || step["desc"] != "r(A,$x)" {
+		t.Errorf("step JSON = %v", step)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Op: OpJoin, Desc: "baskets(B,$1)", RowsIn: 1, RowsOut: 999, Workers: 8, Wall: 2 * time.Millisecond})
+	c.Record(Event{Op: OpJoin, Desc: "baskets(B,$2)", RowsIn: 999, RowsOut: 1234, Absorbed: 1})
+	c.Record(Event{Op: OpDecision, Desc: "after baskets(B,$2) on [$1 $2]", RowsIn: 1234, RowsOut: 900, Groups: 80, Filtered: true})
+	c.Record(Event{Op: OpGroup, Desc: "flock [COUNT(answer.B) >= 20]", RowsIn: 900, RowsOut: 42, Groups: 80})
+	c.Record(Event{Op: OpNote, Desc: "post-run note", RowsOut: 42})
+	tree := c.Report("direct", 8, 42).Tree()
+	for _, want := range []string{
+		"direct: 42 answers",
+		"join baskets(B,$1)",
+		"└─ join baskets(B,$2) (+1 absorbed)",
+		"FILTER",
+		"filter flock [COUNT(answer.B) >= 20]",
+		"80 groups",
+		"w=8",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// The second join is nested one level under the first.
+	if !strings.Contains(tree, "\n└─ join baskets(B,$2)") {
+		t.Errorf("second join should indent:\n%s", tree)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Op: OpJoin, Desc: "r(A)", RowsIn: 2, RowsOut: 4}, "join r(A)"},
+		{Event{Op: OpAntiJoin, Desc: "s(A)", RowsOut: 3}, "antijoin s(A)"},
+		{Event{Op: OpSelect, Desc: "$1 < $2", RowsOut: 3}, "select $1 < $2"},
+		{Event{Op: OpStep, Desc: "okS", RowsOut: 3}, "step okS"},
+		{Event{Op: OpView, Desc: "v(A)", RowsOut: 3}, "view v(A)"},
+		{Event{Op: OpDecision, Desc: "after r(A)", RowsOut: 3}, "skip"},
+		{Event{Op: OpNote, Desc: "free text", RowsOut: 3}, "free text"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); !strings.Contains(got, c.want) {
+			t.Errorf("Event.String() = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{512, "512B"},
+		{4 << 10, "4.0KiB"},
+		{3 << 20, "3.0MiB"},
+		{2 << 30, "2.0GiB"},
+	}
+	for _, c := range cases {
+		if got := byteSize(c.n); got != c.want {
+			t.Errorf("byteSize(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDebugServerServesVarsAndPprof(t *testing.T) {
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	PublishReport(&RunReport{Strategy: "direct", AnswerRows: 3})
+	PublishReport(nil) // counter-only publish must not clear the report
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"flock_runs", "flock_last_report", `"strategy"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"queryflocks/internal/core"
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
 
@@ -255,12 +256,28 @@ func evalRuleDynamic(db *storage.Database, f *core.Flock, r *datalog.Rule,
 			}
 			d.Filtered = true
 			d.RowsAfter = reduced.Len()
-			if o.Trace != nil {
-				o.Trace.Add(fmt.Sprintf("dynamic filter on %v", boundParams), reduced.Len())
+			// The pipeline continues from the reduced relation, so the §4.4
+			// "as it was at any previous step" baseline for this parameter
+			// set is the post-filter average. Remembering the pre-filter
+			// average would compare later steps against a state that no
+			// longer exists and refilter too eagerly.
+			avg = 0
+			if n := distinctOn(reduced, paramPos); n > 0 {
+				avg = float64(reduced.Len()) / float64(n)
 			}
 		}
 		if !seen || avg < prev {
 			bestAvg[key] = avg
+		}
+		if o.Trace != nil {
+			o.Trace.Collector().Record(obs.Event{
+				Op:       obs.OpDecision,
+				Desc:     fmt.Sprintf("after %s on %v", atoms[i], boundParams),
+				RowsIn:   d.RowsBefore,
+				RowsOut:  d.RowsAfter,
+				Groups:   assigns,
+				Filtered: d.Filtered,
+			})
 		}
 		res.Decisions = append(res.Decisions, d)
 	}

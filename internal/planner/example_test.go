@@ -59,8 +59,12 @@ func ExampleEvalDynamic() {
 		fmt.Println(d)
 	}
 	fmt.Println("answers:", res.Answer.Len())
+	// The second decision re-filters: after the first FILTER the pipeline
+	// continues from the reduced relation (avg 27.50 per assignment), and
+	// the drop to avg 10.00 is "significantly lower" than that baseline.
+	//
 	// Output:
 	// after arc($1,X): params [$1] avg 5.42: FILTER 65 -> 55 rows
-	// after arc(X,Y1): params [$1] avg 10.00: skip
+	// after arc(X,Y1): params [$1] avg 10.00: FILTER 10 -> 10 rows
 	// answers: 1
 }

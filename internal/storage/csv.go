@@ -10,8 +10,9 @@ import (
 )
 
 // ReadCSV loads a relation from CSV. The first record is the header giving
-// column names; every field is converted with ParseValue (ints, then
-// floats, then strings). Duplicate rows collapse under set semantics.
+// column names; every field is converted with ParseValue (NULL, then ints,
+// then floats, then strings; a quoted field is always a string). Duplicate
+// rows collapse under set semantics.
 func ReadCSV(name string, r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // validate arity ourselves for a better message
@@ -56,7 +57,10 @@ func ReadCSVFile(path string) (*Relation, error) {
 	return ReadCSV(name, f)
 }
 
-// WriteCSV writes the relation (header + sorted tuples) as CSV.
+// WriteCSV writes the relation (header + sorted tuples) as CSV. Fields are
+// rendered with Value.Literal so the export re-imports type-stably: string
+// values are quoted (Str("123") comes back a string, not an int, and
+// Str("NULL") comes back a string, not a null), numbers and NULL are bare.
 func WriteCSV(rel *Relation, w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(rel.Columns()); err != nil {
@@ -65,7 +69,7 @@ func WriteCSV(rel *Relation, w io.Writer) error {
 	rec := make([]string, rel.Arity())
 	for _, t := range rel.Sorted() {
 		for i, v := range t {
-			rec[i] = v.String()
+			rec[i] = v.Literal()
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("storage: writing CSV for %q: %w", rel.Name(), err)

@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -191,17 +192,54 @@ func (v Value) rank() int {
 // Float(1) are Equal even though they differ under ==.
 func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
 
+// minInt64Float and maxInt64Float bound the float64s whose truncation is
+// exactly representable as int64. The upper bound is 2^63, which float64
+// represents exactly; a float must be strictly below it (int64 tops out at
+// 2^63-1, which float64 cannot represent). The lower bound -2^63 is itself
+// representable and included.
+const (
+	minInt64Float = -9223372036854775808.0
+	maxInt64Float = 9223372036854775808.0
+)
+
+// Normalize returns the canonical representative of the value's semantic
+// equality class: a float that is integral and within int64 range becomes
+// the Equal int (Float(1) -> Int(1)); everything else is returned
+// unchanged. Normalized values of Equal numerics are identical under ==,
+// so Normalize is the right key for Go maps that must respect Equal (see
+// the COUNT-distinct accumulator).
+func (v Value) Normalize() Value {
+	if v.kind == KindFloat {
+		f := v.f
+		if f == math.Trunc(f) && f >= minInt64Float && f < maxInt64Float {
+			return Int(int64(f))
+		}
+	}
+	return v
+}
+
 // ParseValue converts a text field into a Value using the cheapest type
-// that round-trips: int, then float, then string. Quoted strings are
-// unquoted and always treated as strings.
+// that round-trips: NULL, then int, then float, then string. A field
+// starting with a double quote is always a string: well-formed quotes are
+// unquoted, and a malformed quoted field (e.g. `"a"b`) keeps its interior
+// verbatim with the outer quotes stripped — it never re-enters numeric
+// parsing.
 func ParseValue(s string) Value {
 	if s == "" {
 		return Str("")
 	}
-	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+	if s == "NULL" {
+		return Null()
+	}
+	if s[0] == '"' {
 		if u, err := strconv.Unquote(s); err == nil {
 			return Str(u)
 		}
+		t := s[1:]
+		if n := len(t); n > 0 && t[n-1] == '"' {
+			t = t[:n-1]
+		}
+		return Str(t)
 	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return Int(i)
@@ -212,12 +250,18 @@ func ParseValue(s string) Value {
 	return Str(s)
 }
 
-// AppendKey appends a self-delimiting binary encoding of v to dst. The
-// encoding is injective across values (kind byte + length-prefixed payload),
-// so concatenated keys of tuples never collide. Hot paths reuse one
+// AppendKey appends a self-delimiting binary encoding of v to dst. Two
+// values produce the same key exactly when they are Equal: distinct values
+// never collide (kind byte + length-prefixed payload), and the Equal
+// cross-kind numerics share one encoding — an integral in-range float is
+// keyed as its Equal int (see Normalize), so Int(1) and Float(1) hash and
+// join together just as Compare says they should. Hot paths reuse one
 // destination buffer per worker and look keys up without materializing a
 // string (see Index.LookupBytes, Relation.ContainsKey).
 func (v Value) AppendKey(dst []byte) []byte {
+	if v.kind == KindFloat {
+		v = v.Normalize()
+	}
 	dst = append(dst, byte(v.kind))
 	switch v.kind {
 	case KindNull:

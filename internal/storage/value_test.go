@@ -159,23 +159,87 @@ func randomValue(r *rand.Rand) Value {
 }
 
 func TestValueKeyInjective(t *testing.T) {
-	// Property: identical keys imply Equal values, and == values imply
-	// identical keys.
+	// Property: keys coincide exactly when the values are Equal. This is
+	// deliberately kind-insensitive — Int(1) and Float(1) compare Equal, so
+	// they must share a key (hash joins and distinct-counting are keyed on
+	// this encoding and must agree with Compare).
 	f := func(seedA, seedB int64) bool {
 		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
 		a, b := randomValue(ra), randomValue(rb)
 		ka := string(a.AppendKey(nil))
 		kb := string(b.AppendKey(nil))
-		if a == b && ka != kb {
-			return false
-		}
-		if ka == kb && !(a.Kind() == b.Kind() && a.Equal(b)) {
-			return false
-		}
-		return true
+		return (ka == kb) == a.Equal(b)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestValueKeyCrossKind is the regression for the kind-sensitive key
+// encoding: Equal/Compare treat Int(n) and Float(n) as the same value, but
+// AppendKey used to tag them with different kind bytes, so semantically
+// equal numerics missed each other in hash joins and were double-counted
+// by COUNT-distinct.
+func TestValueKeyCrossKind(t *testing.T) {
+	pairs := []struct{ a, b Value }{
+		{Int(1), Float(1)},
+		{Int(0), Float(math.Copysign(0, -1))},
+		{Int(-7), Float(-7.0)},
+		{Int(1 << 40), Float(float64(int64(1) << 40))},
+		{Int(-9223372036854775808), Float(-9223372036854775808.0)},
+	}
+	for _, p := range pairs {
+		ka := string(p.a.AppendKey(nil))
+		kb := string(p.b.AppendKey(nil))
+		if !p.a.Equal(p.b) {
+			t.Fatalf("%v and %v should be Equal", p.a, p.b)
+		}
+		if ka != kb {
+			t.Errorf("%v and %v are Equal but key differently", p.a, p.b)
+		}
+	}
+	// Non-Equal values must keep distinct keys.
+	distinct := []struct{ a, b Value }{
+		{Float(1.5), Int(1)},
+		{Float(1.5), Int(2)},
+		{Float(math.NaN()), Int(0)},
+		{Float(math.Inf(1)), Int(1)},
+		{Str("1"), Int(1)},
+		{Null(), Int(0)},
+	}
+	for _, p := range distinct {
+		ka := string(p.a.AppendKey(nil))
+		kb := string(p.b.AppendKey(nil))
+		if ka == kb {
+			t.Errorf("%v and %v are not Equal but share a key", p.a, p.b)
+		}
+	}
+}
+
+func TestValueNormalize(t *testing.T) {
+	cases := []struct{ in, want Value }{
+		{Float(3), Int(3)},
+		{Float(-0.0), Int(0)},
+		{Float(1.5), Float(1.5)},
+		{Float(math.NaN()), Float(math.NaN())},
+		{Float(math.Inf(1)), Float(math.Inf(1))},
+		// 2^63 is integral but above int64 range: must stay a float.
+		{Float(9223372036854775808.0), Float(9223372036854775808.0)},
+		{Float(-9223372036854775808.0), Int(-9223372036854775808)},
+		{Int(5), Int(5)},
+		{Str("5"), Str("5")},
+		{Null(), Null()},
+	}
+	for _, c := range cases {
+		got := c.in.Normalize()
+		if got.Kind() != c.want.Kind() {
+			t.Errorf("Normalize(%v): kind %v, want %v", c.in, got.Kind(), c.want.Kind())
+			continue
+		}
+		// NaN != NaN, so compare keys rather than values.
+		if string(got.AppendKey(nil)) != string(c.want.AppendKey(nil)) {
+			t.Errorf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+		}
 	}
 }
 

@@ -85,6 +85,27 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	return nil
 }
 
+// knownOps is the closed set of operator kinds the metrics schema
+// admits: the physical operators (internal/physical.Kind values double
+// as obs.Op strings) plus the strategy-level step, decision, view, and
+// note events. A kind outside this set means a producer and the schema
+// have drifted, which must fail CI rather than pass silently.
+var knownOps = map[obs.Op]bool{
+	obs.OpScan:        true,
+	obs.OpBuild:       true,
+	obs.OpJoin:        true,
+	obs.OpAntiJoin:    true,
+	obs.OpSelect:      true,
+	obs.OpProject:     true,
+	obs.OpUnion:       true,
+	obs.OpGroup:       true,
+	obs.OpMaterialize: true,
+	obs.OpStep:        true,
+	obs.OpDecision:    true,
+	obs.OpView:        true,
+	obs.OpNote:        true,
+}
+
 // checkReport enforces the per-report invariants of the metrics schema.
 func checkReport(r *obs.RunReport) error {
 	if r == nil {
@@ -105,10 +126,19 @@ func checkReport(r *obs.RunReport) error {
 	if r.AnswerRows < 0 {
 		return fmt.Errorf("%s: negative answer_rows", r.Strategy)
 	}
+	if r.PeakTuples < 0 {
+		return fmt.Errorf("%s: negative peak_tuples", r.Strategy)
+	}
 	maxRows, totalRows := 0, 0
 	for i, s := range r.Steps {
 		if s.Op == "" {
 			return fmt.Errorf("%s steps[%d]: missing op", r.Strategy, i)
+		}
+		if !knownOps[s.Op] {
+			return fmt.Errorf("%s steps[%d]: unknown operator kind %q", r.Strategy, i, s.Op)
+		}
+		if s.ID < 0 {
+			return fmt.Errorf("%s steps[%d]: negative plan-node id %d", r.Strategy, i, s.ID)
 		}
 		if s.RowsOut < 0 || s.RowsIn < 0 {
 			return fmt.Errorf("%s steps[%d]: negative cardinality", r.Strategy, i)

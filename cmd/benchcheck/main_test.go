@@ -36,6 +36,32 @@ func TestBenchcheckAccepts(t *testing.T) {
 	}
 }
 
+// TestBenchcheckAcceptsPhysicalOps feeds a report whose steps use every
+// physical operator kind (with plan-node ids) and checks the closed-set
+// validation admits them all.
+func TestBenchcheckAcceptsPhysicalOps(t *testing.T) {
+	c := obs.NewCollector()
+	kinds := []obs.Op{
+		obs.OpScan, obs.OpBuild, obs.OpJoin, obs.OpAntiJoin, obs.OpSelect,
+		obs.OpProject, obs.OpUnion, obs.OpGroup, obs.OpMaterialize,
+		obs.OpStep, obs.OpDecision, obs.OpView, obs.OpNote,
+	}
+	for i, op := range kinds {
+		c.Record(obs.Event{Op: op, ID: i + 1, Desc: "d", RowsIn: 1, RowsOut: 1})
+	}
+	r := c.Report("direct", 1, 1)
+	doc := []map[string]any{{"id": "E1", "title": "t", "op_reports": []*obs.RunReport{r}}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-require-ops", "scan,build,join,project,union,materialize"},
+		strings.NewReader(string(b)), &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBenchcheckRejects(t *testing.T) {
 	good := goodInput(t)
 	cases := []struct {
@@ -52,6 +78,9 @@ func TestBenchcheckRejects(t *testing.T) {
 		{"empty steps", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":0,"total_rows":0,"steps":[]}]}]`},
 		{"no wall time", nil, `[{"id":"E3","op_reports":[{"strategy":"s","answer_rows":1,"max_rows":1,"total_rows":1,"steps":[{"op":"join","rows_out":1}]}]}]`},
 		{"aggregate mismatch", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":9,"total_rows":9,"steps":[{"op":"join","rows_out":1}]}]}]`},
+		{"unknown op kind", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":1,"total_rows":1,"steps":[{"op":"mystery","rows_out":1}]}]}]`},
+		{"negative node id", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":1,"total_rows":1,"steps":[{"op":"join","id":-2,"rows_out":1}]}]}]`},
+		{"negative peak", nil, `[{"id":"E3","op_reports":[{"strategy":"s","wall_ns":5,"answer_rows":1,"max_rows":1,"total_rows":1,"peak_tuples":-1,"steps":[{"op":"join","rows_out":1}]}]}]`},
 		{"bad flag", []string{"-bogus"}, good},
 	}
 	for _, c := range cases {

@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	flockbench [-exp E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr]
+//	flockbench [-exp E1,E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr]
 //
-// Without -exp, the whole suite (E1–E11) runs in order; -json emits the
-// tables as a JSON array. E11 sweeps the parallel worker knob and, under
+// Without -exp, the whole suite (E1–E11) runs in order; -exp selects a
+// comma-separated subset; -json emits the tables as a JSON array. E11 sweeps the parallel worker knob and, under
 // -json, reports machine-readable ns/op plus the speedup over workers=1
 // in each table's "metrics" field; -workers sets the worker count the
 // other experiments evaluate with (0 = one per CPU, 1 = sequential).
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"queryflocks/internal/experiments"
@@ -43,7 +44,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("flockbench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "", "experiment to run (E1..E11); empty runs all")
+		exp     = fs.String("exp", "", "experiments to run, comma-separated (e.g. E1,E3,E6); empty runs all")
 		scale   = fs.Float64("scale", 1.0, "workload scale factor (1.0 = EXPERIMENTS.md reference)")
 		seed    = fs.Int64("seed", 1998, "generator seed")
 		workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
@@ -65,11 +66,14 @@ func run(args []string, out io.Writer) error {
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Metrics: *asJSON || *pprof != ""}
 	suite := experiments.Suite()
 	if *exp != "" {
-		e, err := experiments.ByID(*exp)
-		if err != nil {
-			return err
+		suite = suite[:0:0]
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			suite = append(suite, e)
 		}
-		suite = []experiments.Experiment{e}
 	}
 
 	if *asJSON {

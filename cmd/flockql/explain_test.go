@@ -99,11 +99,25 @@ func TestExplainDoesNotExecute(t *testing.T) {
 	if !strings.Contains(out, "chosen static plan:") {
 		t.Errorf("EXPLAIN static missing plan:\n%s", out)
 	}
+	if !strings.Contains(out, "physical plans per FILTER step") {
+		t.Errorf("EXPLAIN static missing physical step plans:\n%s", out)
+	}
 	out = captureStdout(t, func() error {
 		return run([]string{"-data", dataDir, "-strategy", "dynamic", flockFile})
 	})
-	if !strings.Contains(out, "decides at run time") {
-		t.Errorf("EXPLAIN dynamic should defer to ANALYZE:\n%s", out)
+	if !strings.Contains(out, "materialize barrier decides at run time") {
+		t.Errorf("EXPLAIN dynamic should render the barrier plan:\n%s", out)
+	}
+	if !strings.Contains(out, "materialize#") {
+		t.Errorf("EXPLAIN dynamic missing materialize barrier nodes:\n%s", out)
+	}
+	out = captureStdout(t, func() error {
+		return run([]string{"-data", dataDir, "-strategy", "direct", flockFile})
+	})
+	for _, want := range []string{"physical plan (direct):", "group#", "scan#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN direct missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -229,6 +229,20 @@ func explainStatic(w io.Writer, flock *core.Flock, db *storage.Database, strateg
 		plan, err = planner.PlanLevelwise(flock, 0)
 	case "cascade":
 		plan, err = planner.PlanCascade(flock, depth)
+	case "direct":
+		phys, err := core.CompileDirect(vdb, flock, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "physical plan (direct):\n%s\n", phys.Explain())
+		return nil
+	case "dynamic":
+		phys, err := planner.CompileDynamic(vdb, flock, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "physical plan (dynamic; each materialize barrier decides at run time whether to FILTER):\n%s\n", phys.Explain())
+		return nil
 	default:
 		fmt.Fprintf(w, "strategy %q decides at run time; use EXPLAIN ANALYZE to observe it\n", strategy)
 		return nil
@@ -237,6 +251,14 @@ func explainStatic(w io.Writer, flock *core.Flock, db *storage.Database, strateg
 		return err
 	}
 	fmt.Fprintf(w, "chosen %s plan:\n%s\n", strategy, plan)
+	steps, err := plan.CompileSteps(vdb, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nphysical plans per FILTER step (join orders re-resolve at run time against actual step sizes):")
+	for _, st := range steps {
+		fmt.Fprintf(w, "step %s:\n%s\n", st.Name, st.Plan.Explain())
+	}
 	return nil
 }
 

@@ -126,7 +126,7 @@ COUNT(answer.B) >= 5
 \quit
 `
 	got := runREPL(t, replDB(t), script)
-	for _, want := range []string{"safe subqueries", "join order (greedy", "decides at run time"} {
+	for _, want := range []string{"safe subqueries", "join order (greedy", "physical plan (direct):", "scan#"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("REPL EXPLAIN missing %q:\n%s", want, got)
 		}

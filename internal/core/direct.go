@@ -30,13 +30,25 @@ type EvalOptions struct {
 	// 1 forces the sequential paths, larger values are used as given.
 	// Results are identical for every worker count.
 	Workers int
+	// Exec selects the streaming physical-plan executor (default) or the
+	// legacy materializing executor (eval.ExecMaterialize). Answers are
+	// identical; only intermediate buffering differs.
+	Exec eval.ExecMode
 }
 
 func (o *EvalOptions) evalOpts() *eval.Options {
 	if o == nil {
 		return nil
 	}
-	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel, Workers: o.Workers}
+	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel, Workers: o.Workers, Exec: o.Exec}
+}
+
+// execMode returns the configured executor mode (streaming by default).
+func (o *EvalOptions) execMode() eval.ExecMode {
+	if o == nil {
+		return eval.ExecStream
+	}
+	return o.Exec
 }
 
 // workers returns the configured worker knob (0 when opts is nil, meaning
@@ -69,6 +81,13 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 	if filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
 	}
+	if opts.execMode() == eval.ExecStream {
+		plan, err := compileFiltered(db, params, query, filter, name, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		return eval.RunPlan(db, plan, opts.evalOpts())
+	}
 	ext, err := eval.EvalUnion(db, query, func(r *datalog.Rule) []datalog.Term {
 		return extendedOut(params, r)
 	}, opts.evalOpts())
@@ -90,6 +109,10 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 			Workers: used,
 			Wall:    time.Since(start),
 		})
+		// The materializing group-by holds the full extended relation, one
+		// accumulator per group, and the passing tuples at once; record
+		// that through the shared peak gauge for streaming comparisons.
+		opts.Trace.Collector().ObservePeak(ext.Len() + groups + res.Len())
 	}
 	return res, nil
 }

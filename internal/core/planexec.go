@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"queryflocks/internal/eval"
 	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
@@ -57,11 +58,10 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 		if opts != nil && opts.Trace != nil {
 			start = time.Now()
 		}
-		rel, err := evalFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
+		rel, err := executeStep(scratch, p, step, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: executing step %q: %w", step.Name, err)
 		}
-		scratch.Add(rel)
 		res.Steps = append(res.Steps, StepStats{Name: step.Name, Rows: rel.Len()})
 		res.Answer = rel
 		if opts != nil && opts.Trace != nil {
@@ -78,6 +78,32 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 	// canonical (sorted) parameter order.
 	res.Answer = reorderToFlockParams(res.Answer, p.Flock)
 	return res, nil
+}
+
+// executeStep runs one FILTER step against the scratch database. In
+// streaming mode the step compiles to a physical plan whose Materialize
+// sink registers the step relation in scratch (later steps reference
+// it); the materializing mode evaluates and registers explicitly. The
+// step is compiled at execution time so the join order sees the actual
+// sizes of earlier step relations.
+func executeStep(scratch *storage.Database, p *Plan, step FilterStep, opts *EvalOptions) (*storage.Relation, error) {
+	if opts.execMode() == eval.ExecStream {
+		register := func(rel *storage.Relation) error {
+			scratch.Add(rel)
+			return nil
+		}
+		plan, err := compileFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts, register)
+		if err != nil {
+			return nil, err
+		}
+		return eval.RunPlan(scratch, plan, opts.evalOpts())
+	}
+	rel, err := evalFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
+	if err != nil {
+		return nil, err
+	}
+	scratch.Add(rel)
+	return rel, nil
 }
 
 // reorderToFlockParams projects the final step's relation onto the flock's

@@ -5,8 +5,31 @@ import (
 	"sync"
 
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/physical"
 	"queryflocks/internal/storage"
 )
+
+// ExecMode selects how compiled queries execute.
+type ExecMode int
+
+const (
+	// ExecStream (the default) compiles rules to internal/physical plans
+	// and streams batches through the operator pipeline; intermediates
+	// materialize only at pipeline breakers.
+	ExecStream ExecMode = iota
+	// ExecMaterialize runs the legacy relation-at-a-time executor, which
+	// materializes every intermediate binding relation. Kept as the
+	// bit-identical oracle baseline and for peak-memory comparisons.
+	ExecMaterialize
+)
+
+// String names the mode ("stream" / "materialize").
+func (m ExecMode) String() string {
+	if m == ExecMaterialize {
+		return "materialize"
+	}
+	return "stream"
+}
 
 // Options configures rule evaluation.
 type Options struct {
@@ -19,13 +42,18 @@ type Options struct {
 	Trace *Trace
 	// Parallel evaluates the branches of a union concurrently. Base
 	// relations are shared read-only (lazy index builds are locked);
-	// results merge deterministically.
+	// results merge deterministically. Only the materializing mode
+	// branches concurrently; the streaming executor interleaves branches
+	// in one pipeline (its joins still parallelize per batch).
 	Parallel bool
 	// Workers is the worker count for the partitioned hash-join and
 	// anti-join operators inside each rule: 0 (the default) means one
 	// worker per CPU, 1 forces the sequential paths, larger values are
 	// used as given. Results are identical for every worker count.
 	Workers int
+	// Exec selects the streaming physical-plan executor (default) or the
+	// legacy materializing executor. Answers are identical.
+	Exec ExecMode
 }
 
 func (o *Options) orDefault() Options {
@@ -43,13 +71,29 @@ func EvalRule(db *storage.Database, r *datalog.Rule, out []datalog.Term, opts *O
 	if out == nil {
 		out = r.Head.Args
 	}
-	ex, err := NewExecutor(db, r, o.Trace)
+	if o.Exec == ExecMaterialize {
+		return evalRuleMaterialized(db, r, out, &o)
+	}
+	order, err := ResolveOrder(db, r, &o)
 	if err != nil {
 		return nil, err
 	}
-	ex.SetWorkers(o.Workers)
+	node, err := physical.CompileRule(db, r, physical.RuleOpts{Order: order, Out: out, Dedup: true})
+	if err != nil {
+		return nil, err
+	}
+	plan := physical.NewPlan(physical.NewMaterialize("answer", node, nil, "", nil))
+	return RunPlan(db, plan, &o)
+}
+
+// ResolveOrder returns the join order the options imply for r: the
+// FixedOrder when set (it must cover every positive atom), the Order
+// strategy's choice otherwise. A nil opts uses the defaults.
+func ResolveOrder(db *storage.Database, r *datalog.Rule, opts *Options) ([]int, error) {
+	o := opts.orDefault()
 	order := o.FixedOrder
 	if order == nil {
+		var err error
 		order, err = JoinOrder(db, r, o.Order)
 		if err != nil {
 			return nil, err
@@ -57,6 +101,31 @@ func EvalRule(db *storage.Database, r *datalog.Rule, out []datalog.Term, opts *O
 	}
 	if len(order) != len(r.PositiveAtoms()) {
 		return nil, fmt.Errorf("eval: join order covers %d of %d atoms", len(order), len(r.PositiveAtoms()))
+	}
+	return order, nil
+}
+
+// RunPlan executes a compiled physical plan against db under the
+// options' worker knob, recording operator events into the trace.
+// A nil opts uses the defaults.
+func RunPlan(db *storage.Database, plan *physical.Plan, opts *Options) (*storage.Relation, error) {
+	o := opts.orDefault()
+	ctx := &physical.Ctx{DB: db, Workers: o.Workers, Col: o.Trace.Collector()}
+	return plan.Run(ctx)
+}
+
+// evalRuleMaterialized is the legacy relation-at-a-time path (the
+// ExecMaterialize baseline): every join step materializes its binding
+// relation via the step Executor.
+func evalRuleMaterialized(db *storage.Database, r *datalog.Rule, out []datalog.Term, o *Options) (*storage.Relation, error) {
+	ex, err := NewExecutor(db, r, o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	ex.SetWorkers(o.Workers)
+	order, err := ResolveOrder(db, r, o)
+	if err != nil {
+		return nil, err
 	}
 	for _, i := range order {
 		if ex.Joined(i) { // absorbed into an earlier scan as a semi-join
@@ -77,6 +146,34 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 		return nil, err
 	}
 	o := opts.orDefault()
+	if o.Exec == ExecStream && !(o.Parallel && len(u) > 1) {
+		// Compile the whole union to one fused plan: per-branch pipelines
+		// (deduplicated projections) concatenated by a union operator into
+		// one sink. Branch order and per-branch emission order match the
+		// materializing merge exactly.
+		branches := make([]physical.Node, len(u))
+		for i, r := range u {
+			order, err := ResolveOrder(db, r, &o)
+			if err != nil {
+				return nil, err
+			}
+			node, err := physical.CompileRule(db, r, physical.RuleOpts{Order: order, Out: outFor(r), Dedup: true})
+			if err != nil {
+				return nil, err
+			}
+			branches[i] = node
+		}
+		in := branches[0]
+		if len(branches) > 1 {
+			un, err := physical.NewUnion(branches)
+			if err != nil {
+				return nil, err
+			}
+			in = un
+		}
+		plan := physical.NewPlan(physical.NewMaterialize("answer", in, nil, "", nil))
+		return RunPlan(db, plan, &o)
+	}
 	parts := make([]*storage.Relation, len(u))
 	if o.Parallel && len(u) > 1 {
 		var wg sync.WaitGroup

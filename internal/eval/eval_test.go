@@ -354,13 +354,15 @@ func TestTrace(t *testing.T) {
 	if _, err := EvalRule(db, r, out, &Options{Trace: tr}); err != nil {
 		t.Fatal(err)
 	}
-	// Two joins; the $1 < $2 comparison is absorbed into the second scan.
+	// The streaming executor records every physical operator: scan, index
+	// build, join, projection, and the answer sink. The $1 < $2 comparison
+	// is absorbed into the join of the second atom.
 	steps := tr.Steps()
-	if len(steps) != 2 {
+	if len(steps) != 5 {
 		t.Fatalf("trace steps = %d: %s", len(steps), tr)
 	}
-	if !strings.Contains(steps[1].Desc, "absorbed") {
-		t.Errorf("second step should note the absorbed comparison: %q", steps[1].Desc)
+	if !strings.Contains(steps[2].Desc, "absorbed") {
+		t.Errorf("join step should note the absorbed comparison: %q", steps[2].Desc)
 	}
 	if tr.MaxRows() < steps[len(steps)-1].Rows {
 		t.Error("MaxRows below final size")

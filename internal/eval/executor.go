@@ -194,6 +194,11 @@ func (e *Executor) JoinNext(i int) error {
 			Workers:  used,
 			Wall:     time.Since(start),
 		})
+		// Relation-at-a-time evaluation keeps the probe-side bindings and
+		// the joined result fully materialized at once; feed that into the
+		// same peak gauge the streaming executor maintains so the two modes
+		// are comparable.
+		e.col.ObservePeak(rowsIn + next.Len())
 	}
 	return e.applyPending()
 }
@@ -437,7 +442,12 @@ func (e *Executor) Finish(out []datalog.Term) (*storage.Relation, error) {
 		return nil, fmt.Errorf("eval: %d comparisons and %d negations never became applicable",
 			len(e.pendingCmp), len(e.pendingNeg))
 	}
-	return ProjectTerms(e.cur, out, "answer")
+	res, err := ProjectTerms(e.cur, out, "answer")
+	if err == nil && e.col != nil {
+		// The final binding relation and its projection are live together.
+		e.col.ObservePeak(e.cur.Len() + res.Len())
+	}
+	return res, err
 }
 
 // ProjectTerms projects a binding relation onto the given variable or

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
 	"queryflocks/internal/paper"
 	"queryflocks/internal/planner"
 	"queryflocks/internal/storage"
@@ -74,6 +76,12 @@ func E1(cfg Config) (*Table, error) {
 		t.AddReport(rewriteTrace, fmt.Sprintf("a-priori rewrite support=%d", support), cfg.Workers, rewritten.Len())
 		t.AddRow(fmt.Sprintf("%d", support), ms(directTime), ms(rewriteTime),
 			speedup(directTime, rewriteTime), fmt.Sprintf("%d", direct.Len()))
+	}
+	if err := t.AddPipeline(cfg, "direct support=20", func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error) {
+		f := paper.MarketBasket(20)
+		return f.Eval(db, &core.EvalOptions{Workers: cfg.Workers, Trace: tr, Exec: exec})
+	}); err != nil {
+		return nil, fmt.Errorf("E1: %w", err)
 	}
 	t.AddNote("paper claim: rewrite ~20x faster at its (newspaper-corpus) threshold of 20; " +
 		"our set-oriented engine compresses the factor at support 20, and it grows toward the " +

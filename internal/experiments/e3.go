@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"queryflocks/internal/core"
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
 	"queryflocks/internal/paper"
 	"queryflocks/internal/planner"
 	"queryflocks/internal/storage"
@@ -103,6 +105,19 @@ func E3(cfg Config) (*Table, error) {
 			fig5 = float64(d)
 			fig5Time = ms(d)
 		}
+	}
+	if err := t.AddPipeline(cfg, "no pre-filter", func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error) {
+		plan, err := planner.PlanWithParamSets(f, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Execute(db, &core.EvalOptions{Workers: cfg.Workers, Trace: tr, Exec: exec})
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	}); err != nil {
+		return nil, fmt.Errorf("E3: %w", err)
 	}
 	t.AddNote("all plans return the same answer (verified)")
 	t.AddNote("Fig. 5 plan %s vs unfiltered %s: %.1fx", fig5Time, baseTime, base/fig5)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
 	"queryflocks/internal/paper"
 	"queryflocks/internal/planner"
 	"queryflocks/internal/storage"
@@ -97,6 +98,18 @@ func E6(cfg Config) (*Table, error) {
 	t.AddReport(dynTrace, "dynamic (§4.4, Fig. 8 order)", cfg.Workers, dres.Answer.Len())
 	if !dres.Answer.Equal(reference) {
 		return nil, fmt.Errorf("E6: dynamic changed the answer")
+	}
+
+	if err := t.AddPipeline(cfg, "dynamic (Fig. 8 order)", func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error) {
+		r, err := planner.EvalDynamic(db, f, &planner.DynamicOptions{
+			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: tr, Exec: exec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Answer, nil
+	}); err != nil {
+		return nil, fmt.Errorf("E6: %w", err)
 	}
 
 	for _, d := range dres.Decisions {

@@ -14,6 +14,7 @@ import (
 	"queryflocks/internal/core"
 	"queryflocks/internal/eval"
 	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
 )
 
 // Table is a rendered experiment result. The struct marshals directly to
@@ -36,6 +37,27 @@ type Table struct {
 	// instrumented strategy run, when the configuration enables metrics
 	// collection (flockbench -json).
 	OpReports []*obs.RunReport `json:"op_reports,omitempty"`
+	// Pipeline compares the streaming executor against the materializing
+	// baseline (peak buffered tuples, allocation) per workload, when
+	// metrics collection is enabled.
+	Pipeline []PipelineMetric `json:"pipeline,omitempty"`
+}
+
+// PipelineMetric is one streaming-vs-materializing comparison: the
+// streaming executor's peak buffered-tuples gauge against the
+// materializing baseline's peak live intermediate tuples, plus the
+// total bytes each mode allocated for the same evaluation. Both modes
+// report through the same obs gauge: the streaming executor tracks
+// retained operator state (group accumulators, dedup sets, sink
+// inserts), the materializing baseline tracks the relations a
+// relation-at-a-time operator holds live simultaneously (probe bindings
+// plus join output; extended relation plus group map plus answer).
+type PipelineMetric struct {
+	Name             string `json:"name"`
+	PeakStream       int    `json:"peak_stream_tuples"`
+	PeakMaterialize  int    `json:"peak_materialize_tuples"`
+	AllocStream      int64  `json:"alloc_stream_bytes"`
+	AllocMaterialize int64  `json:"alloc_materialize_bytes"`
 }
 
 // Metric is one machine-readable measurement of a named workload at a
@@ -155,6 +177,66 @@ func (c Config) scaled(n int) int {
 		return 1
 	}
 	return s
+}
+
+// AddPipeline runs one workload under both executors — streaming and
+// the legacy materializing baseline — and records the peak intermediate
+// buffering and allocation of each. The two answers must be equal (the
+// executor-oracle contract); a mismatch is returned as an error. A
+// disabled-metrics configuration skips the comparison entirely.
+func (t *Table) AddPipeline(cfg Config, name string,
+	run func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error)) error {
+
+	if !cfg.Metrics {
+		return nil
+	}
+	measure := func(exec eval.ExecMode) (*storage.Relation, *obs.RunReport, int64, error) {
+		tr := &eval.Trace{}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		rel, err := run(exec, tr)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return rel, tr.Report(name+" ["+exec.String()+"]", cfg.Workers, rel.Len()),
+			int64(after.TotalAlloc - before.TotalAlloc), nil
+	}
+	streamRel, streamRep, streamAlloc, err := measure(eval.ExecStream)
+	if err != nil {
+		return fmt.Errorf("pipeline %s (stream): %w", name, err)
+	}
+	matRel, matRep, matAlloc, err := measure(eval.ExecMaterialize)
+	if err != nil {
+		return fmt.Errorf("pipeline %s (materialize): %w", name, err)
+	}
+	if !streamRel.Equal(matRel) {
+		return fmt.Errorf("pipeline %s: streaming and materializing answers differ", name)
+	}
+	t.Pipeline = append(t.Pipeline, PipelineMetric{
+		Name:             name,
+		PeakStream:       streamRep.PeakTuples,
+		PeakMaterialize:  materializedPeak(matRep),
+		AllocStream:      streamAlloc,
+		AllocMaterialize: matAlloc,
+	})
+	return nil
+}
+
+// materializedPeak reads the materializing baseline's peak live
+// intermediate tuples. The legacy operators feed the same gauge the
+// streaming executor uses (see Executor.JoinNext, Finish, and the
+// group-by call sites); the event-derived max(rows_in + rows_out) is a
+// floor for traces from operators that predate the gauge.
+func materializedPeak(r *obs.RunReport) int {
+	peak := r.PeakTuples
+	for _, s := range r.Steps {
+		if n := s.RowsIn + s.RowsOut; n > peak {
+			peak = n
+		}
+	}
+	return peak
 }
 
 // timed measures one evaluation and returns its duration. A garbage

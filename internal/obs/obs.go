@@ -24,6 +24,11 @@ type Op string
 
 // The operator kinds emitted by the engine.
 const (
+	// OpScan is a streaming base-relation scan — the source of a
+	// physical pipeline.
+	OpScan Op = "scan"
+	// OpBuild is the hash-index build on a join's base relation.
+	OpBuild Op = "build"
 	// OpJoin is one hash-join of a positive atom into the bindings.
 	OpJoin Op = "join"
 	// OpAntiJoin removes bindings matching a negated atom.
@@ -33,6 +38,14 @@ const (
 	// OpGroup is a group-by-parameters + filter evaluation (one FILTER
 	// computation, §4.1).
 	OpGroup Op = "group"
+	// OpProject is a projection onto output columns (optionally
+	// deduplicating).
+	OpProject Op = "project"
+	// OpUnion concatenates the branch pipelines of a union query.
+	OpUnion Op = "union"
+	// OpMaterialize collects a stream into a relation: the plan sink, a
+	// FILTER-step result, or a dynamic decision barrier.
+	OpMaterialize Op = "materialize"
 	// OpStep is one completed FILTER step of a query plan (§4.2).
 	OpStep Op = "step"
 	// OpDecision is one §4.4 dynamic filter/don't-filter decision.
@@ -49,6 +62,9 @@ const (
 type Event struct {
 	Op   Op     `json:"op"`
 	Desc string `json:"desc"`
+	// ID is the emitting physical-plan node's preorder ID (1-based);
+	// zero for events not produced by a compiled plan.
+	ID int `json:"id,omitempty"`
 	// RowsIn is the input (binding-relation) cardinality, when meaningful.
 	RowsIn int `json:"rows_in,omitempty"`
 	// RowsOut is the observed output cardinality.
@@ -78,6 +94,19 @@ func (e Event) String() string {
 // without the observed cardinalities (see String for the full line).
 func (e Event) Label() string {
 	switch e.Op {
+	case OpScan:
+		if e.Absorbed > 0 {
+			return fmt.Sprintf("scan %s (+%d absorbed)", e.Desc, e.Absorbed)
+		}
+		return "scan " + e.Desc
+	case OpBuild:
+		return "build " + e.Desc
+	case OpProject:
+		return "project " + e.Desc
+	case OpUnion:
+		return "union " + e.Desc
+	case OpMaterialize:
+		return "materialize " + e.Desc
 	case OpJoin:
 		if e.Absorbed > 0 {
 			return fmt.Sprintf("join %s (+%d absorbed)", e.Desc, e.Absorbed)
@@ -132,6 +161,7 @@ func (e Event) cardinalities() string {
 type Collector struct {
 	mu     sync.Mutex
 	events []Event
+	peak   int
 
 	start       time.Time
 	startAllocs uint64
@@ -154,6 +184,20 @@ func (c *Collector) Record(e Event) {
 	}
 	c.mu.Lock()
 	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// ObservePeak records the high-water count of tuples buffered in
+// pipeline-breaker state during a plan execution (max-merged across
+// executions, e.g. one per FILTER step). Nil-safe.
+func (c *Collector) ObservePeak(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if n > c.peak {
+		c.peak = n
+	}
 	c.mu.Unlock()
 }
 
@@ -190,6 +234,9 @@ func (c *Collector) Report(strategy string, workers, answerRows int) *RunReport 
 		AnswerRows: answerRows,
 		Steps:      c.Events(),
 	}
+	c.mu.Lock()
+	r.PeakTuples = c.peak
+	c.mu.Unlock()
 	if !c.start.IsZero() {
 		r.WallNs = time.Since(c.start).Nanoseconds()
 		var ms runtime.MemStats
@@ -226,6 +273,10 @@ type RunReport struct {
 	// MaxRows is the largest intermediate size observed — the memory
 	// high-water proxy of a join pipeline.
 	MaxRows int `json:"max_rows"`
+	// PeakTuples is the streaming executor's high-water count of tuples
+	// buffered in pipeline-breaker state (group maps, barriers, the
+	// sink); zero when the run did not execute a compiled physical plan.
+	PeakTuples int `json:"peak_tuples,omitempty"`
 	// TotalRows sums all intermediate sizes — the cost proxy the planner's
 	// estimates are calibrated against.
 	TotalRows int `json:"total_rows"`
@@ -246,6 +297,9 @@ func (r *RunReport) Tree() string {
 	if r.Workers != 1 {
 		fmt.Fprintf(&b, " (workers=%s)", workersLabel(r.Workers))
 	}
+	if r.PeakTuples > 0 {
+		fmt.Fprintf(&b, "  peak=%d tuples", r.PeakTuples)
+	}
 	if r.Allocs > 0 {
 		fmt.Fprintf(&b, "  [%d allocs, %s]", r.Allocs, byteSize(r.AllocBytes))
 	}
@@ -253,12 +307,20 @@ func (r *RunReport) Tree() string {
 	depth := 0
 	for _, e := range r.Steps {
 		switch e.Op {
-		case OpJoin, OpAntiJoin, OpSelect:
+		case OpScan:
+			// A scan starts a fresh pipeline (streaming events arrive in
+			// leaf-to-root order).
+			depth = 0
+			writeTreeLine(&b, depth, e)
+			depth++
+		case OpBuild:
+			writeTreeLine(&b, depth, e)
+		case OpJoin, OpAntiJoin, OpSelect, OpProject:
 			writeTreeLine(&b, depth, e)
 			depth++
 		case OpDecision:
 			writeTreeLine(&b, depth, e)
-		default: // group, step, view, note: pipeline boundary
+		default: // group, union, materialize, step, view, note: boundary
 			writeTreeLine(&b, depth, e)
 			depth = 0
 		}

@@ -1,0 +1,80 @@
+package physical
+
+import (
+	"fmt"
+
+	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
+)
+
+// batchSize is the number of binding tuples pulled per Next call. Large
+// enough to amortize per-batch overhead and give the partitioned join
+// workers useful chunks, small enough that in-flight batches stay cheap.
+const batchSize = 1024
+
+// minParallelRows mirrors the eval package's knob: probe batches below
+// this size stay sequential, where goroutine startup dominates.
+const minParallelRows = 256
+
+// Ctx carries one execution's environment and its high-water gauge of
+// tuples buffered in pipeline-breaker state (group maps, materialized
+// barriers, the sink) — the streaming analogue of the materializing
+// path's largest-intermediate measure.
+type Ctx struct {
+	// DB resolves base relations at operator open.
+	DB *storage.Database
+	// Workers is the partitioned-operator worker knob (0 = one per CPU,
+	// 1 = sequential). Answers are identical at every worker count.
+	Workers int
+	// Col, when non-nil, receives one typed event per operator.
+	Col *obs.Collector
+
+	buffered int
+	peak     int
+}
+
+// track adjusts the buffered-tuple gauge.
+func (c *Ctx) track(delta int) {
+	c.buffered += delta
+	if c.buffered > c.peak {
+		c.peak = c.buffered
+	}
+}
+
+// Peak returns the high-water count of buffered tuples observed so far.
+func (c *Ctx) Peak() int { return c.peak }
+
+// operator is one node's runtime state: a pull iterator over tuple
+// batches. next returns ok=false at end-of-stream; a returned batch may
+// be empty while the stream is still live. close releases state and
+// records the operator's event (children first, so events arrive in
+// leaf-to-root pipeline order).
+type operator interface {
+	open(ctx *Ctx) error
+	next(ctx *Ctx) (batch []storage.Tuple, ok bool, err error)
+	close(ctx *Ctx)
+}
+
+// Run executes the plan against ctx. The root must be a Materialize
+// sink; its relation is returned. Each Run instantiates fresh operator
+// state, so a compiled plan may run repeatedly (even concurrently, with
+// separate Ctx values).
+func (p *Plan) Run(ctx *Ctx) (*storage.Relation, error) {
+	root, ok := p.Root.(*MaterializeNode)
+	if !ok {
+		return nil, fmt.Errorf("physical: plan root is %s, want materialize", p.Root.Kind())
+	}
+	op := root.newOp(p).(*materializeOp)
+	err := op.open(ctx)
+	if err == nil {
+		err = op.materialize(ctx)
+	}
+	op.close(ctx)
+	if ctx.Col != nil {
+		ctx.Col.ObservePeak(ctx.peak)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return op.rel, nil
+}

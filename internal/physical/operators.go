@@ -1,0 +1,820 @@
+package physical
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"queryflocks/internal/obs"
+	"queryflocks/internal/par"
+	"queryflocks/internal/storage"
+)
+
+// record sends one event if collection is on.
+func record(ctx *Ctx, e obs.Event) {
+	if ctx.Col != nil {
+		ctx.Col.Record(e)
+	}
+}
+
+// --- scan ---
+
+func (n *ScanNode) newOp(p *Plan) operator { return &scanOp{n: n, id: p.ids[n]} }
+
+type scanOp struct {
+	n  *ScanNode
+	id int
+
+	tuples    []storage.Tuple
+	pos       int
+	checks    []func(ct, bt storage.Tuple) bool
+	constKeys [][]byte
+	keyBuf    []byte
+
+	rowsOut int
+	wall    time.Duration
+}
+
+var unitCt = storage.Tuple{}
+
+func (o *scanOp) open(ctx *Ctx) error {
+	rel, err := ctx.DB.Relation(o.n.Pred)
+	if err != nil {
+		return fmt.Errorf("physical: %w", err)
+	}
+	if rel.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	}
+	for _, c := range o.n.checks {
+		if err := c.bind(ctx.DB); err != nil {
+			return err
+		}
+	}
+	o.checks = instantiateAll(o.n.checks)
+	o.constKeys = make([][]byte, len(o.n.consts))
+	for i, c := range o.n.consts {
+		o.constKeys[i] = c.val.AppendKey(nil)
+	}
+	o.tuples = rel.Tuples()
+	return nil
+}
+
+func (o *scanOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	if o.pos >= len(o.tuples) {
+		return nil, false, nil
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	var out []storage.Tuple
+scan:
+	for o.pos < len(o.tuples) && len(out) < batchSize {
+		bt := o.tuples[o.pos]
+		o.pos++
+		for i, c := range o.n.consts {
+			o.keyBuf = bt[c.pos].AppendKey(o.keyBuf[:0])
+			if !bytes.Equal(o.keyBuf, o.constKeys[i]) {
+				continue scan
+			}
+		}
+		for _, d := range o.n.dup {
+			if bt[d[0]] != bt[d[1]] {
+				continue scan
+			}
+		}
+		for _, check := range o.checks {
+			if !check(unitCt, bt) {
+				continue scan
+			}
+		}
+		row := make(storage.Tuple, 0, len(o.n.newPos))
+		for _, p := range o.n.newPos {
+			row = append(row, bt[p])
+		}
+		out = append(out, row)
+	}
+	o.rowsOut += len(out)
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	return out, true, nil
+}
+
+func (o *scanOp) close(ctx *Ctx) {
+	record(ctx, obs.Event{
+		Op: obs.OpScan, ID: o.id, Desc: o.n.atom,
+		RowsIn: len(o.tuples), RowsOut: o.rowsOut,
+		Absorbed: len(o.n.checks), Workers: 1, Wall: o.wall,
+	})
+}
+
+// --- unit ---
+
+func (n *UnitNode) newOp(p *Plan) operator { return &unitOp{id: p.ids[n]} }
+
+type unitOp struct {
+	id   int
+	done bool
+}
+
+func (o *unitOp) open(*Ctx) error { return nil }
+
+func (o *unitOp) next(*Ctx) ([]storage.Tuple, bool, error) {
+	if o.done {
+		return nil, false, nil
+	}
+	o.done = true
+	return []storage.Tuple{{}}, true, nil
+}
+
+func (o *unitOp) close(ctx *Ctx) {
+	record(ctx, obs.Event{Op: obs.OpScan, ID: o.id, Desc: "unit", RowsIn: 1, RowsOut: 1, Workers: 1})
+}
+
+// --- hash join (with its build side) ---
+
+func (n *JoinNode) newOp(p *Plan) operator {
+	return &joinOp{n: n, id: p.ids[n], buildID: p.ids[n.Input], input: n.Probe.newOp(p)}
+}
+
+type joinOp struct {
+	n       *JoinNode
+	id      int
+	buildID int
+	input   operator
+
+	rel       *storage.Relation
+	idx       *storage.Index
+	prefix    []byte
+	seqChecks []func(ct, bt storage.Tuple) bool
+	seqBuf    []byte
+
+	buildWall    time.Duration
+	buildWorkers int
+	rowsIn       int
+	rowsOut      int
+	used         int
+	wall         time.Duration
+}
+
+func (o *joinOp) open(ctx *Ctx) error {
+	if err := o.input.open(ctx); err != nil {
+		return err
+	}
+	rel, err := ctx.DB.Relation(o.n.Pred)
+	if err != nil {
+		return fmt.Errorf("physical: %w", err)
+	}
+	if rel.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	}
+	for _, c := range o.n.checks {
+		if err := c.bind(ctx.DB); err != nil {
+			return err
+		}
+	}
+	o.rel = rel
+	o.seqChecks = instantiateAll(o.n.checks)
+	o.used = 1
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	o.buildWorkers = par.Resolve(ctx.Workers)
+	o.idx = rel.IndexParallel(o.n.Input.idxCols, o.buildWorkers)
+	if ctx.Col != nil {
+		o.buildWall = time.Since(start)
+	}
+	for _, c := range o.n.consts {
+		o.prefix = c.val.AppendKey(o.prefix)
+	}
+	return nil
+}
+
+// probe scans the binding tuples in [lo, hi) against the hash index,
+// appending surviving joined rows to out. Callers supply private checks
+// and a private key buffer, so concurrent probes share only read-only
+// state; the possibly grown buffer is returned for reuse.
+func (o *joinOp) probe(batch []storage.Tuple, lo, hi int, cks []func(ct, bt storage.Tuple) bool, buf []byte, out []storage.Tuple) ([]storage.Tuple, []byte) {
+	n := o.n
+	for i := lo; i < hi; i++ {
+		ct := batch[i]
+		buf = append(buf[:0], o.prefix...)
+		for _, p := range n.probeCur {
+			buf = ct[p].AppendKey(buf)
+		}
+		matches := o.idx.LookupBytes(buf)
+	match:
+		for _, bt := range matches {
+			for _, d := range n.dup {
+				if bt[d[0]] != bt[d[1]] {
+					continue match
+				}
+			}
+			for _, check := range cks {
+				if !check(ct, bt) {
+					continue match
+				}
+			}
+			row := make(storage.Tuple, 0, len(n.cols))
+			row = append(row, ct...)
+			for _, p := range n.newPos {
+				row = append(row, bt[p])
+			}
+			out = append(out, row)
+		}
+	}
+	return out, buf
+}
+
+func (o *joinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	batch, ok, err := o.input.next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	w := par.Resolve(ctx.Workers)
+	if len(batch) < minParallelRows {
+		w = 1
+	}
+	var out []storage.Tuple
+	if w <= 1 {
+		out, o.seqBuf = o.probe(batch, 0, len(batch), o.seqChecks, o.seqBuf, nil)
+	} else {
+		// Range-partitioned probe: per-worker output slices concatenated
+		// in worker order reproduce the sequential emission order exactly
+		// (each output row embeds its binding tuple, so partitions cannot
+		// collide).
+		outs := make([][]storage.Tuple, par.Chunks(len(batch), w))
+		par.Run(len(batch), w, func(wi, lo, hi int) {
+			outs[wi], _ = o.probe(batch, lo, hi, instantiateAll(o.n.checks), nil, nil)
+		})
+		total := 0
+		for _, part := range outs {
+			total += len(part)
+		}
+		out = make([]storage.Tuple, 0, total)
+		for _, part := range outs {
+			out = append(out, part...)
+		}
+		if w > o.used {
+			o.used = w
+		}
+	}
+	o.rowsIn += len(batch)
+	o.rowsOut += len(out)
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	return out, true, nil
+}
+
+func (o *joinOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	buildRows := 0
+	if o.rel != nil {
+		buildRows = o.rel.Len()
+	}
+	record(ctx, obs.Event{
+		Op: obs.OpBuild, ID: o.buildID, Desc: o.n.Input.Desc(),
+		RowsIn: buildRows, RowsOut: buildRows, Workers: o.buildWorkers, Wall: o.buildWall,
+	})
+	record(ctx, obs.Event{
+		Op: obs.OpJoin, ID: o.id, Desc: o.n.atom,
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut,
+		Absorbed: len(o.n.checks), Workers: o.used, Wall: o.wall,
+	})
+}
+
+// --- anti-join ---
+
+func (n *AntiJoinNode) newOp(p *Plan) operator {
+	return &antiJoinOp{n: n, id: p.ids[n], input: n.Probe.newOp(p)}
+}
+
+type antiJoinOp struct {
+	n     *AntiJoinNode
+	id    int
+	input operator
+
+	rel    *storage.Relation
+	seqBuf []byte
+
+	rowsIn  int
+	rowsOut int
+	used    int
+	wall    time.Duration
+}
+
+func (o *antiJoinOp) open(ctx *Ctx) error {
+	if err := o.input.open(ctx); err != nil {
+		return err
+	}
+	rel, err := ctx.DB.Relation(o.n.Pred)
+	if err != nil {
+		return fmt.Errorf("physical: %w", err)
+	}
+	if rel.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	}
+	o.rel = rel
+	o.used = 1
+	return nil
+}
+
+// filter keeps the binding tuples of [lo, hi) that do NOT match the
+// negated atom, probing with a private key buffer.
+func (o *antiJoinOp) filter(batch []storage.Tuple, lo, hi int, buf []byte, out []storage.Tuple) ([]storage.Tuple, []byte) {
+	n := o.n
+	for i := lo; i < hi; i++ {
+		ct := batch[i]
+		buf = buf[:0]
+		for j, p := range n.srcPos {
+			if p < 0 {
+				buf = n.constVal[j].AppendKey(buf)
+			} else {
+				buf = ct[p].AppendKey(buf)
+			}
+		}
+		if !o.rel.ContainsKey(buf) {
+			out = append(out, ct)
+		}
+	}
+	return out, buf
+}
+
+func (o *antiJoinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	batch, ok, err := o.input.next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	w := par.Resolve(ctx.Workers)
+	if len(batch) < minParallelRows {
+		w = 1
+	}
+	var out []storage.Tuple
+	if w <= 1 {
+		out, o.seqBuf = o.filter(batch, 0, len(batch), o.seqBuf, nil)
+	} else {
+		outs := make([][]storage.Tuple, par.Chunks(len(batch), w))
+		par.Run(len(batch), w, func(wi, lo, hi int) {
+			outs[wi], _ = o.filter(batch, lo, hi, nil, nil)
+		})
+		for _, part := range outs {
+			out = append(out, part...)
+		}
+		if w > o.used {
+			o.used = w
+		}
+	}
+	o.rowsIn += len(batch)
+	o.rowsOut += len(out)
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	return out, true, nil
+}
+
+func (o *antiJoinOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	record(ctx, obs.Event{
+		Op: obs.OpAntiJoin, ID: o.id, Desc: o.n.atom,
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Workers: o.used, Wall: o.wall,
+	})
+}
+
+// --- select ---
+
+func (n *SelectNode) newOp(p *Plan) operator {
+	return &selectOp{n: n, id: p.ids[n], input: n.Probe.newOp(p)}
+}
+
+type selectOp struct {
+	n     *SelectNode
+	id    int
+	input operator
+
+	rowsIn  int
+	rowsOut int
+	wall    time.Duration
+}
+
+func (o *selectOp) open(ctx *Ctx) error { return o.input.open(ctx) }
+
+func (o *selectOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	batch, ok, err := o.input.next(ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	n := o.n
+	var out []storage.Tuple
+	for _, ct := range batch {
+		if n.op.Eval(n.left.value(ct, nil), n.right.value(ct, nil)) {
+			out = append(out, ct)
+		}
+	}
+	o.rowsIn += len(batch)
+	o.rowsOut += len(out)
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	return out, true, nil
+}
+
+func (o *selectOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	record(ctx, obs.Event{
+		Op: obs.OpSelect, ID: o.id, Desc: o.n.desc,
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Wall: o.wall,
+	})
+}
+
+// --- project ---
+
+func (n *ProjectNode) newOp(p *Plan) operator {
+	op := &projectOp{n: n, id: p.ids[n], input: n.Probe.newOp(p)}
+	if n.Dedup {
+		op.seen = make(map[string]struct{})
+	}
+	return op
+}
+
+type projectOp struct {
+	n     *ProjectNode
+	id    int
+	input operator
+
+	seen     map[string]struct{}
+	keyBuf   []byte
+	released bool
+
+	rowsIn  int
+	rowsOut int
+	wall    time.Duration
+}
+
+func (o *projectOp) open(ctx *Ctx) error { return o.input.open(ctx) }
+
+func (o *projectOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	batch, ok, err := o.input.next(ctx)
+	if err != nil || !ok {
+		// The dedup seen-set dies with the stream; release it from the
+		// buffered-tuples gauge.
+		if o.seen != nil && !o.released {
+			ctx.track(-len(o.seen))
+			o.released = true
+		}
+		return nil, false, err
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	var out []storage.Tuple
+	for _, ct := range batch {
+		row := ct.Project(o.n.pos)
+		if o.seen != nil {
+			o.keyBuf = row.AppendKey(o.keyBuf[:0])
+			if _, dup := o.seen[string(o.keyBuf)]; dup {
+				continue
+			}
+			o.seen[string(o.keyBuf)] = struct{}{}
+			ctx.track(1)
+		}
+		out = append(out, row)
+	}
+	o.rowsIn += len(batch)
+	o.rowsOut += len(out)
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	return out, true, nil
+}
+
+func (o *projectOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	record(ctx, obs.Event{
+		Op: obs.OpProject, ID: o.id, Desc: o.n.Desc(),
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Wall: o.wall,
+	})
+}
+
+// --- union ---
+
+func (n *UnionNode) newOp(p *Plan) operator {
+	ops := make([]operator, len(n.Branches))
+	for i, br := range n.Branches {
+		ops[i] = br.newOp(p)
+	}
+	return &unionOp{n: n, id: p.ids[n], branches: ops}
+}
+
+type unionOp struct {
+	n        *UnionNode
+	id       int
+	branches []operator
+	cur      int
+
+	rowsOut int
+}
+
+func (o *unionOp) open(ctx *Ctx) error {
+	for _, br := range o.branches {
+		if err := br.open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *unionOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	for o.cur < len(o.branches) {
+		batch, ok, err := o.branches[o.cur].next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			o.rowsOut += len(batch)
+			return batch, true, nil
+		}
+		o.cur++
+	}
+	return nil, false, nil
+}
+
+func (o *unionOp) close(ctx *Ctx) {
+	for _, br := range o.branches {
+		br.close(ctx)
+	}
+	record(ctx, obs.Event{
+		Op: obs.OpUnion, ID: o.id, Desc: o.n.Desc(),
+		RowsIn: o.rowsOut, RowsOut: o.rowsOut,
+	})
+}
+
+// --- group-filter ---
+
+func (n *GroupNode) newOp(p *Plan) operator {
+	return &groupOp{n: n, id: p.ids[n], input: n.Probe.newOp(p)}
+}
+
+type grp struct {
+	params storage.Tuple
+	acc    GroupAcc
+	done   bool
+}
+
+type groupOp struct {
+	n     *GroupNode
+	id    int
+	input operator
+
+	paramPos []int
+	headPos  []int
+
+	built   bool
+	passing []storage.Tuple
+	emitPos int
+
+	groupsN int
+	rowsIn  int
+	rowsOut int
+	wall    time.Duration
+}
+
+func (o *groupOp) open(ctx *Ctx) error {
+	if err := o.input.open(ctx); err != nil {
+		return err
+	}
+	arity := len(o.n.Probe.Columns())
+	o.paramPos = make([]int, o.n.NParams)
+	for i := range o.paramPos {
+		o.paramPos[i] = i
+	}
+	o.headPos = make([]int, arity-o.n.NParams)
+	for i := range o.headPos {
+		o.headPos[i] = o.n.NParams + i
+	}
+	return nil
+}
+
+// build drains the input, aggregating incrementally: one accumulator per
+// parameter group, fed the group's distinct head tuples in arrival order
+// (duplicates from the un-deduplicated upstream are dropped by full-key,
+// exactly reproducing the materializing path's distinct extended
+// tuples). Once a monotone accumulator reports Done, its group stops
+// retaining keys — this is where streaming beats materializing: large
+// passing groups hold threshold-many entries instead of all their rows.
+func (o *groupOp) build(ctx *Ctx) error {
+	groups := make(map[string]*grp)
+	var order []*grp
+	seen := make(map[string]struct{})
+	var buf []byte
+	retained := 0
+	for {
+		batch, ok, err := o.input.next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var start time.Time
+		if ctx.Col != nil {
+			start = time.Now()
+		}
+		for _, t := range batch {
+			buf = t.AppendKeyOn(buf[:0], o.paramPos)
+			glen := len(buf)
+			buf = t.AppendKeyOn(buf, o.headPos)
+			g, ok := groups[string(buf[:glen])]
+			if !ok {
+				g = &grp{params: t.Project(o.paramPos), acc: o.n.Grouper.NewGroup()}
+				groups[string(buf[:glen])] = g
+				order = append(order, g)
+				ctx.track(1)
+			}
+			if g.done {
+				continue
+			}
+			if _, dup := seen[string(buf)]; dup {
+				continue
+			}
+			seen[string(buf)] = struct{}{}
+			ctx.track(1)
+			retained++
+			g.acc.Add(t.Project(o.headPos))
+			if g.acc.Done() {
+				g.done = true
+			}
+		}
+		o.rowsIn += len(batch)
+		if ctx.Col != nil {
+			o.wall += time.Since(start)
+		}
+	}
+	var start time.Time
+	if ctx.Col != nil {
+		start = time.Now()
+	}
+	for _, g := range order {
+		if g.done || g.acc.Passes() {
+			o.passing = append(o.passing, g.params)
+		}
+	}
+	o.groupsN = len(order)
+	o.rowsOut = len(o.passing)
+	// The group state is released here; only the passing parameter
+	// tuples stream on.
+	ctx.track(-(len(order) + retained))
+	if ctx.Col != nil {
+		o.wall += time.Since(start)
+	}
+	o.built = true
+	return nil
+}
+
+func (o *groupOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	if !o.built {
+		if err := o.build(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+	if o.emitPos >= len(o.passing) {
+		return nil, false, nil
+	}
+	end := o.emitPos + batchSize
+	if end > len(o.passing) {
+		end = len(o.passing)
+	}
+	batch := o.passing[o.emitPos:end]
+	o.emitPos = end
+	return batch, true, nil
+}
+
+func (o *groupOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	record(ctx, obs.Event{
+		Op: obs.OpGroup, ID: o.id, Desc: o.n.Desc(),
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut,
+		Groups: o.groupsN, Workers: 1, Wall: o.wall,
+	})
+}
+
+// --- materialize ---
+
+func (n *MaterializeNode) newOp(p *Plan) operator {
+	return &materializeOp{n: n, id: p.ids[n], input: n.Probe.newOp(p)}
+}
+
+type materializeOp struct {
+	n     *MaterializeNode
+	id    int
+	input operator
+
+	rel      *storage.Relation
+	done     bool
+	emitPos  int
+	released bool
+
+	rowsIn int
+	wall   time.Duration
+}
+
+func (o *materializeOp) open(ctx *Ctx) error { return o.input.open(ctx) }
+
+// materialize drains the input into a fresh relation (set semantics,
+// arrival order — identical to the materializing evaluator's insertion
+// order), then runs the Hook (§4.4 decision) and Register callbacks.
+func (o *materializeOp) materialize(ctx *Ctx) error {
+	rel := storage.NewRelation(o.n.Name, o.n.cols...)
+	for {
+		batch, ok, err := o.input.next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var start time.Time
+		if ctx.Col != nil {
+			start = time.Now()
+		}
+		for _, t := range batch {
+			if rel.Insert(t) {
+				ctx.track(1)
+			}
+		}
+		o.rowsIn += len(batch)
+		if ctx.Col != nil {
+			o.wall += time.Since(start)
+		}
+	}
+	if o.n.Hook != nil {
+		reduced, err := o.n.Hook(rel)
+		if err != nil {
+			return err
+		}
+		if reduced != rel {
+			ctx.track(reduced.Len() - rel.Len())
+			rel = reduced
+		}
+	}
+	if o.n.Register != nil {
+		if err := o.n.Register(rel); err != nil {
+			return err
+		}
+	}
+	o.rel = rel
+	o.done = true
+	return nil
+}
+
+func (o *materializeOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	if !o.done {
+		if err := o.materialize(ctx); err != nil {
+			return nil, false, err
+		}
+	}
+	tuples := o.rel.Tuples()
+	if o.emitPos >= len(tuples) {
+		// Mid-pipeline barrier: the buffered relation is no longer
+		// referenced once fully re-streamed.
+		if !o.released {
+			ctx.track(-len(tuples))
+			o.released = true
+		}
+		return nil, false, nil
+	}
+	end := o.emitPos + batchSize
+	if end > len(tuples) {
+		end = len(tuples)
+	}
+	batch := tuples[o.emitPos:end]
+	o.emitPos = end
+	return batch, true, nil
+}
+
+func (o *materializeOp) close(ctx *Ctx) {
+	o.input.close(ctx)
+	rows := 0
+	if o.rel != nil {
+		rows = o.rel.Len()
+	}
+	record(ctx, obs.Event{
+		Op: obs.OpMaterialize, ID: o.id, Desc: o.n.Desc(),
+		RowsIn: o.rowsIn, RowsOut: rows, Wall: o.wall,
+	})
+}

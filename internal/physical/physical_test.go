@@ -1,0 +1,304 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
+)
+
+// testDB builds a small database: edges e(1..n source, target), node
+// labels l(node, label), and a blocked(node) set for negation tests.
+func testDB() *storage.Database {
+	db := storage.NewDatabase()
+	e := storage.NewRelation("e", "src", "dst")
+	for _, p := range [][2]int64{{1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 1}, {2, 4}} {
+		e.InsertValues(storage.Int(p[0]), storage.Int(p[1]))
+	}
+	db.Add(e)
+	l := storage.NewRelation("l", "node", "label")
+	for _, p := range []struct {
+		n int64
+		s string
+	}{{1, "a"}, {2, "b"}, {3, "a"}, {4, "b"}} {
+		l.InsertValues(storage.Int(p.n), storage.Str(p.s))
+	}
+	db.Add(l)
+	blocked := storage.NewRelation("blocked", "node")
+	blocked.InsertValues(storage.Int(4))
+	db.Add(blocked)
+	return db
+}
+
+func mustRule(t *testing.T, src string) *datalog.Rule {
+	t.Helper()
+	r, err := datalog.ParseRule(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return r
+}
+
+// compileRun compiles the rule over the given join order and runs the
+// plan to a materialized answer.
+func compileRun(t *testing.T, db *storage.Database, r *datalog.Rule, order []int, workers int) *storage.Relation {
+	t.Helper()
+	node, err := CompileRule(db, r, RuleOpts{Order: order, Out: r.Head.Args, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(NewMaterialize("answer", node, nil, "", nil))
+	rel, err := plan.Run(&Ctx{DB: db, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestCompileRuleJoinChain(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z)")
+	got := compileRun(t, db, r, []int{0, 1}, 1)
+	want := storage.NewRelation("answer", "X", "Z")
+	// Two-step paths over the edge set above.
+	for _, p := range [][2]int64{{1, 3}, {1, 4}, {2, 4}, {2, 1}, {3, 1}, {4, 2}, {4, 3}} {
+		want.InsertValues(storage.Int(p[0]), storage.Int(p[1]))
+	}
+	if !got.Equal(want) {
+		t.Fatalf("answer:\n%s\nwant:\n%s", got.Dump(), want.Dump())
+	}
+}
+
+func TestCompileRuleNegationAndComparison(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Y) :- e(X,Y) AND NOT blocked(Y) AND X < Y")
+	got := compileRun(t, db, r, []int{0}, 1)
+	want := storage.NewRelation("answer", "X", "Y")
+	for _, p := range [][2]int64{{1, 2}, {1, 3}, {2, 3}} {
+		want.InsertValues(storage.Int(p[0]), storage.Int(p[1]))
+	}
+	if !got.Equal(want) {
+		t.Fatalf("answer:\n%s\nwant:\n%s", got.Dump(), want.Dump())
+	}
+}
+
+// TestWorkerCountInvariance checks the core parallelism contract: the
+// materialized answer is identical — including tuple order — at every
+// worker count.
+func TestWorkerCountInvariance(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z) AND l(Z,L) AND NOT blocked(Z)")
+	base := compileRun(t, db, r, []int{0, 1, 2}, 1)
+	for _, w := range []int{2, 3, 8} {
+		got := compileRun(t, db, r, []int{0, 1, 2}, w)
+		if got.Dump() != base.Dump() {
+			t.Fatalf("workers=%d answer order differs\ngot:\n%s\nwant:\n%s", w, got.Dump(), base.Dump())
+		}
+	}
+}
+
+func TestUnionArityMismatch(t *testing.T) {
+	db := testDB()
+	r1 := mustRule(t, "a(X,Y) :- e(X,Y)")
+	r2 := mustRule(t, "a(X) :- l(X,L)")
+	n1, err := CompileRule(db, r1, RuleOpts{Order: []int{0}, Out: r1.Head.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := CompileRule(db, r2, RuleOpts{Order: []int{0}, Out: r2.Head.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUnion([]Node{n1, n2}); err == nil {
+		t.Fatal("union of 2-column and 1-column branches should fail")
+	}
+}
+
+func TestCompileRuleErrors(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z)")
+	if _, err := CompileRule(db, r, RuleOpts{Order: []int{0, 7}, Out: r.Head.Args}); err == nil {
+		t.Error("out-of-range order index should fail")
+	}
+	if _, err := CompileRule(db, r, RuleOpts{Order: []int{0}, Out: r.Head.Args}); err == nil {
+		t.Error("incomplete join order should fail")
+	}
+	unsafe := mustRule(t, "answer(X,W) :- e(X,Y)")
+	if _, err := CompileRule(db, unsafe, RuleOpts{Order: []int{0}, Out: unsafe.Head.Args}); err == nil {
+		t.Error("unsafe rule should fail")
+	}
+	if _, err := CompileRule(db, r, RuleOpts{Order: []int{0, 1}, Out: []datalog.Term{datalog.Var("Q")}}); err == nil {
+		t.Error("projecting an unbound term should fail")
+	}
+}
+
+// TestBarrierHook checks the dynamic-strategy surface: a Materialize
+// barrier sees the exact intermediate relation and its replacement flows
+// into downstream operators.
+func TestBarrierHook(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z)")
+	var sawRows int
+	barrier := func(atomIdx int, atom string, cols []string) (Hook, string) {
+		if atomIdx != 0 {
+			return nil, ""
+		}
+		hook := func(rel *storage.Relation) (*storage.Relation, error) {
+			sawRows = rel.Len()
+			// Keep only edges out of node 1.
+			out := storage.NewRelation(rel.Name(), rel.Columns()...)
+			for _, t := range rel.Tuples() {
+				if t[0].Equal(storage.Int(1)) {
+					out.Insert(t)
+				}
+			}
+			return out, nil
+		}
+		return hook, "keep src=1"
+	}
+	node, err := CompileRule(db, r, RuleOpts{Order: []int{0, 1}, Out: r.Head.Args, Dedup: true, Barrier: barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(NewMaterialize("answer", node, nil, "", nil))
+	if !strings.Contains(plan.Explain(), "keep src=1") {
+		t.Errorf("explain missing barrier desc:\n%s", plan.Explain())
+	}
+	got, err := plan.Run(&Ctx{DB: db, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawRows != 6 {
+		t.Errorf("barrier saw %d rows, want all 6 edges", sawRows)
+	}
+	want := storage.NewRelation("answer", "X", "Z")
+	for _, p := range [][2]int64{{1, 3}, {1, 4}} {
+		want.InsertValues(storage.Int(p[0]), storage.Int(p[1]))
+	}
+	if !got.Equal(want) {
+		t.Fatalf("answer after barrier:\n%s\nwant:\n%s", got.Dump(), want.Dump())
+	}
+}
+
+// countAcc counts distinct head tuples (the group operator dedups);
+// pass when count >= 2, short-circuiting as soon as the bound is hit.
+type countAcc struct{ n int }
+
+func (a *countAcc) Add(storage.Tuple) { a.n++ }
+func (a *countAcc) Passes() bool      { return a.n >= 2 }
+func (a *countAcc) Done() bool        { return a.n >= 2 }
+
+type countGrouper struct{}
+
+func (countGrouper) NewGroup() GroupAcc { return &countAcc{} }
+
+func TestGroupOperator(t *testing.T) {
+	db := testDB()
+	// Group edges by source; sources with >= 2 distinct targets pass.
+	r := mustRule(t, "answer(X,Y) :- e(X,Y)")
+	node, err := CompileRule(db, r, RuleOpts{Order: []int{0}, Out: r.Head.Args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := NewGroup("grp", 1, countGrouper{}, "count >= 2", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(NewMaterialize("grp", grp, nil, "", nil))
+	col := obs.NewCollector()
+	got, err := plan.Run(&Ctx{DB: db, Workers: 1, Col: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := storage.NewRelation("grp", "X")
+	want.InsertValues(storage.Int(1))
+	want.InsertValues(storage.Int(2))
+	if !got.Equal(want) {
+		t.Fatalf("groups:\n%s\nwant:\n%s", got.Dump(), want.Dump())
+	}
+	rep := col.Report("test", 1, got.Len())
+	if rep.PeakTuples <= 0 {
+		t.Errorf("peak_tuples = %d, want > 0", rep.PeakTuples)
+	}
+}
+
+// TestSelectAndAntiJoinOperators drives the standalone Select and
+// AntiJoin operators (normally preempted by scan-time absorption) with a
+// hand-built pipeline: scan e, keep X < Y, drop blocked targets.
+func TestSelectAndAntiJoinOperators(t *testing.T) {
+	db := testDB()
+	scan := &ScanNode{Pred: "e", atom: "e(X,Y)", arity: 2, newPos: []int{0, 1}, cols: []string{"X", "Y"}}
+	sel := &SelectNode{Probe: scan, desc: "X < Y", op: datalog.Lt,
+		left: argRef{src: srcCur, pos: 0}, right: argRef{src: srcCur, pos: 1}, cols: scan.cols}
+	anti := &AntiJoinNode{Probe: sel, Pred: "blocked", atom: "NOT blocked(Y)", arity: 1,
+		srcPos: []int{1}, constVal: make([]storage.Value, 1), cols: sel.cols}
+	for _, w := range []int{1, 4} {
+		plan := NewPlan(NewMaterialize("answer", anti, nil, "", nil))
+		got, err := plan.Run(&Ctx{DB: db, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := storage.NewRelation("answer", "X", "Y")
+		for _, p := range [][2]int64{{1, 2}, {1, 3}, {2, 3}} {
+			want.InsertValues(storage.Int(p[0]), storage.Int(p[1]))
+		}
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d:\n%s\nwant:\n%s", w, got.Dump(), want.Dump())
+		}
+	}
+}
+
+func TestExplainTreeShape(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z) AND NOT blocked(Z) AND X < Z")
+	node, err := CompileRule(db, r, RuleOpts{Order: []int{0, 1}, Out: r.Head.Args, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(NewMaterialize("answer", node, nil, "", nil))
+	out := plan.Explain()
+	for _, want := range []string{"materialize#1 answer", "project#", "join#", "build#", "scan#", "absorbed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// IDs are preorder and unique.
+	seen := map[int]bool{}
+	for _, n := range plan.Nodes() {
+		id := plan.NodeID(n)
+		if id <= 0 || seen[id] {
+			t.Fatalf("bad or duplicate node id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestOperatorEventsOrder checks operators report themselves leaf-first
+// with their plan-node ids attached.
+func TestOperatorEventsOrder(t *testing.T) {
+	db := testDB()
+	r := mustRule(t, "answer(X,Z) :- e(X,Y) AND e(Y,Z)")
+	node, err := CompileRule(db, r, RuleOpts{Order: []int{0, 1}, Out: r.Head.Args, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(NewMaterialize("answer", node, nil, "", nil))
+	col := obs.NewCollector()
+	if _, err := plan.Run(&Ctx{DB: db, Workers: 1, Col: col}); err != nil {
+		t.Fatal(err)
+	}
+	rep := col.Report("test", 1, 0)
+	var ops []string
+	for _, s := range rep.Steps {
+		ops = append(ops, string(s.Op))
+		if s.ID <= 0 {
+			t.Errorf("%s event missing plan-node id", s.Op)
+		}
+	}
+	want := []string{"scan", "build", "join", "project", "materialize"}
+	if strings.Join(ops, ",") != strings.Join(want, ",") {
+		t.Errorf("event order %v, want %v", ops, want)
+	}
+}

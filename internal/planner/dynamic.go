@@ -9,6 +9,7 @@ import (
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
 	"queryflocks/internal/obs"
+	"queryflocks/internal/physical"
 	"queryflocks/internal/storage"
 )
 
@@ -50,6 +51,11 @@ type DynamicOptions struct {
 	// 1 forces the sequential paths, larger values are used as given.
 	// Answers and Decisions are identical for every worker count.
 	Workers int
+	// Exec selects the streaming physical-plan executor (default), where
+	// decisions run as hooks on Materialize barriers, or the legacy
+	// step-by-step executor (eval.ExecMaterialize). Answers and Decisions
+	// are identical.
+	Exec eval.ExecMode
 }
 
 func (o *DynamicOptions) orDefault() DynamicOptions {
@@ -67,6 +73,7 @@ func (o *DynamicOptions) orDefault() DynamicOptions {
 	out.FixedOrder = o.FixedOrder
 	out.Trace = o.Trace
 	out.Workers = o.Workers
+	out.Exec = o.Exec
 	return out
 }
 
@@ -145,22 +152,210 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 	}
 
 	res := &DynamicResult{}
-	var ext *storage.Relation
-	for _, r := range f.Query {
-		part, err := evalRuleDynamic(db, f, r, &o, res, len(f.Query) == 1)
+	if o.Exec == eval.ExecMaterialize {
+		var ext *storage.Relation
+		for _, r := range f.Query {
+			part, err := evalRuleDynamic(db, f, r, &o, res, len(f.Query) == 1)
+			if err != nil {
+				return nil, err
+			}
+			if ext == nil {
+				ext = part
+			} else {
+				for _, t := range part.Tuples() {
+					ext.Insert(t)
+				}
+			}
+		}
+		res.Answer = core.GroupAndFilterWorkers(ext, len(f.Params), f.Filter, "flock", o.Workers)
+		if o.Trace != nil {
+			// The final group-by holds the merged extended relation and the
+			// answer live at once; record that through the shared peak gauge
+			// so streaming comparisons see the baseline's true footprint.
+			o.Trace.Collector().ObservePeak(ext.Len() + res.Answer.Len())
+		}
+		return res, nil
+	}
+	plan, err := compileDynamic(db, f, &o, res)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := eval.RunPlan(db, plan, &eval.Options{Trace: o.Trace, Workers: o.Workers})
+	if err != nil {
+		return nil, err
+	}
+	res.Answer = ans
+	return res, nil
+}
+
+// CompileDynamic returns the physical plan EvalDynamic would execute —
+// the EXPLAIN rendering path. Decision barriers appear as Materialize
+// nodes at every legal filter point; whether each one filters is decided
+// at run time by its hook. Views must already be materialized into db;
+// the plan is single-use (its hooks share decision state).
+func CompileDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*physical.Plan, error) {
+	o := opts.orDefault()
+	if !f.Filter.Monotone() {
+		return nil, fmt.Errorf("planner: dynamic filtering requires a monotone filter; %s is not", f.Filter)
+	}
+	if f.Filter.PassesEmpty() {
+		return nil, fmt.Errorf("planner: filter %s accepts the empty result", f.Filter)
+	}
+	return compileDynamic(db, f, &o, &DynamicResult{})
+}
+
+// filterGrouper adapts a core.Filter to the physical executor's Grouper
+// (every core.GroupAcc satisfies the streaming subset of the contract).
+type filterGrouper struct{ f core.Filter }
+
+func (g filterGrouper) NewGroup() physical.GroupAcc { return g.f.NewGroup() }
+
+// compileDynamic compiles the flock to one physical plan whose §4.4
+// "filter now?" decisions run as hooks on Materialize barriers: the
+// compiler places a barrier at every pipeline position where a FILTER
+// step is legal (some parameters bound, all head columns bound), and the
+// hook — executed when the barrier materializes — observes the actual
+// intermediate relation, applies the avg-tuples-per-assignment rules,
+// and swaps in the reduced relation when it decides to filter.
+// Decisions append to res in pipeline order, exactly as the
+// materializing path records them. Multi-rule flocks compile without
+// barriers (per-rule pruning is unsound; see EvalDynamic).
+func compileDynamic(db *storage.Database, f *core.Flock, o *DynamicOptions, res *DynamicResult) (*physical.Plan, error) {
+	paramCols := make(map[string]datalog.Param, len(f.Params))
+	for _, p := range f.Params {
+		paramCols["$"+string(p)] = p
+	}
+	threshold := thresholdOf(f)
+	allowFiltering := len(f.Query) == 1
+
+	branches := make([]physical.Node, len(f.Query))
+	for bi, r := range f.Query {
+		order := o.FixedOrder
+		if order == nil {
+			var err error
+			order, err = eval.JoinOrder(db, r, o.Order)
+			if err != nil {
+				return nil, err
+			}
+		} else if len(order) != len(r.PositiveAtoms()) {
+			return nil, fmt.Errorf("planner: fixed order covers %d of %d atoms", len(order), len(r.PositiveAtoms()))
+		}
+		headCols := make([]string, 0, len(r.Head.Args))
+		for _, t := range r.Head.Args {
+			col, ok := termCol(t)
+			if !ok {
+				return nil, fmt.Errorf("planner: constant head argument %s", t)
+			}
+			headCols = append(headCols, col)
+		}
+		var barrier physical.BarrierFactory
+		if allowFiltering {
+			bestAvg := make(map[string]float64) // param-set key -> best avg seen
+			barrier = func(_ int, atom string, cols []string) (physical.Hook, string) {
+				boundParams, paramPos := boundParamsOfCols(cols, paramCols)
+				if len(boundParams) == 0 {
+					return nil, ""
+				}
+				if !allIn(cols, headCols) {
+					// The subquery-so-far is unsafe as a FILTER query (its
+					// head would be unbound); no legal filter step here.
+					return nil, ""
+				}
+				hook := func(cur *storage.Relation) (*storage.Relation, error) {
+					return decideFilter(cur, f, o, res, atom, boundParams, paramPos, headCols, threshold, bestAvg)
+				}
+				return hook, fmt.Sprintf("decide on %v", boundParams)
+			}
+		}
+		node, err := physical.CompileRule(db, r, physical.RuleOpts{
+			Order:   order,
+			Out:     extendedTerms(f.Params, r),
+			Barrier: barrier,
+		})
 		if err != nil {
 			return nil, err
 		}
-		if ext == nil {
-			ext = part
-		} else {
-			for _, t := range part.Tuples() {
-				ext.Insert(t)
-			}
-		}
+		branches[bi] = node
 	}
-	res.Answer = core.GroupAndFilterWorkers(ext, len(f.Params), f.Filter, "flock", o.Workers)
-	return res, nil
+	in := branches[0]
+	if len(branches) > 1 {
+		un, err := physical.NewUnion(branches)
+		if err != nil {
+			return nil, err
+		}
+		in = un
+	}
+	group, err := physical.NewGroup("flock", len(f.Params), filterGrouper{f.Filter}, f.Filter.String(), in)
+	if err != nil {
+		return nil, err
+	}
+	return physical.NewPlan(physical.NewMaterialize("flock", group, nil, "", nil)), nil
+}
+
+// decideFilter is the runtime body of one decision barrier: the §4.4
+// rules of evalRuleDynamic, observing the materialized intermediate.
+func decideFilter(cur *storage.Relation, f *core.Flock, o *DynamicOptions, res *DynamicResult,
+	atom string, boundParams []datalog.Param, paramPos []int, headCols []string,
+	threshold int, bestAvg map[string]float64) (*storage.Relation, error) {
+
+	rows := cur.Len()
+	assigns := distinctOn(cur, paramPos)
+	avg := 0.0
+	if assigns > 0 {
+		avg = float64(rows) / float64(assigns)
+	}
+	key := paramSetKey(boundParams)
+	prev, seen := bestAvg[key]
+	shouldFilter := false
+	switch {
+	case rows == 0:
+		// Nothing to prune.
+	case !seen:
+		// Fresh parameter set: compare against the threshold (§4.4's
+		// "important special case").
+		shouldFilter = avg < o.FilterRatio*float64(threshold)
+	default:
+		shouldFilter = avg < o.RefilterRatio*prev
+	}
+	d := Decision{
+		After:      atom,
+		Params:     boundParams,
+		AvgGroup:   avg,
+		RowsBefore: rows,
+		RowsAfter:  rows,
+	}
+	out := cur
+	if shouldFilter {
+		reduced, err := filterIntermediate(cur, paramPos, headCols, f.Filter)
+		if err != nil {
+			return nil, err
+		}
+		d.Filtered = true
+		d.RowsAfter = reduced.Len()
+		// The pipeline continues from the reduced relation, so the §4.4
+		// "as it was at any previous step" baseline for this parameter
+		// set is the post-filter average (see evalRuleDynamic).
+		avg = 0
+		if n := distinctOn(reduced, paramPos); n > 0 {
+			avg = float64(reduced.Len()) / float64(n)
+		}
+		out = reduced
+	}
+	if !seen || avg < prev {
+		bestAvg[key] = avg
+	}
+	if o.Trace != nil {
+		o.Trace.Collector().Record(obs.Event{
+			Op:       obs.OpDecision,
+			Desc:     fmt.Sprintf("after %s on %v", atom, boundParams),
+			RowsIn:   d.RowsBefore,
+			RowsOut:  d.RowsAfter,
+			Groups:   assigns,
+			Filtered: d.Filtered,
+		})
+	}
+	res.Decisions = append(res.Decisions, d)
+	return out, nil
 }
 
 // evalRuleDynamic runs one rule through the executor, interleaving filter
@@ -314,6 +509,46 @@ func boundParamsOf(rel *storage.Relation, paramCols map[string]datalog.Param) ([
 		pos[i] = f.pos
 	}
 	return params, pos
+}
+
+// boundParamsOfCols is boundParamsOf over a plain column list (the
+// compile-time shape the barrier factory sees).
+func boundParamsOfCols(cols []string, paramCols map[string]datalog.Param) ([]datalog.Param, []int) {
+	type bp struct {
+		p   datalog.Param
+		pos int
+	}
+	var found []bp
+	for i, c := range cols {
+		if p, ok := paramCols[c]; ok {
+			found = append(found, bp{p, i})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].p < found[j].p })
+	params := make([]datalog.Param, len(found))
+	pos := make([]int, len(found))
+	for i, f := range found {
+		params[i] = f.p
+		pos[i] = f.pos
+	}
+	return params, pos
+}
+
+// allIn reports whether every want column appears in cols.
+func allIn(cols, want []string) bool {
+	for _, w := range want {
+		ok := false
+		for _, c := range cols {
+			if c == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 func allBound(rel *storage.Relation, cols []string) bool {

@@ -1,0 +1,116 @@
+package planner
+
+import (
+	"runtime"
+	"testing"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/paper"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// sweepWorkers is the worker grid of the streaming-vs-materializing
+// oracle sweep: sequential, two-way, one per CPU, and oversubscribed.
+func sweepWorkers() []int {
+	n := runtime.NumCPU()
+	return []int{1, 2, n, 2 * n}
+}
+
+// sweepAnswer pairs a strategy's answer with any dynamic decisions.
+type sweepAnswer struct {
+	rel       *storage.Relation
+	decisions []Decision
+}
+
+// TestStreamingMatchesMaterializingSweep is the executor oracle: for
+// every strategy (direct, static plan, level-wise plan, dynamic) the
+// streaming physical executor must produce answers identical to the
+// legacy materializing executor at every worker count — and, for the
+// dynamic strategy, the same decision sequence. Streaming runs must
+// additionally agree with each other tuple-for-tuple in order (Dump
+// equality), the determinism contract of the partitioned operators.
+func TestStreamingMatchesMaterializingSweep(t *testing.T) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 120, Items: 12, MeanSize: 4, Skew: 1.0, Seed: 7,
+	})
+	f := paper.MarketBasket(3)
+
+	runPlan := func(mk func() (*core.Plan, error)) func(int, eval.ExecMode) (*sweepAnswer, error) {
+		return func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+			plan, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			res, err := plan.Execute(db, &core.EvalOptions{Workers: workers, Exec: exec})
+			if err != nil {
+				return nil, err
+			}
+			return &sweepAnswer{rel: res.Answer}, nil
+		}
+	}
+	variants := map[string]func(int, eval.ExecMode) (*sweepAnswer, error){
+		"direct": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+			rel, err := f.Eval(db, &core.EvalOptions{Workers: workers, Exec: exec})
+			return &sweepAnswer{rel: rel}, err
+		},
+		"static": runPlan(func() (*core.Plan, error) {
+			return PlanStatic(f, NewEstimator(db), nil)
+		}),
+		"levelwise": runPlan(func() (*core.Plan, error) {
+			return PlanLevelwise(f, 0)
+		}),
+		"dynamic": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+			res, err := EvalDynamic(db, f, &DynamicOptions{Workers: workers, Exec: exec})
+			if err != nil {
+				return nil, err
+			}
+			return &sweepAnswer{rel: res.Answer, decisions: res.Decisions}, nil
+		},
+	}
+
+	want, err := f.EvalNaive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, run := range variants {
+		t.Run(name, func(t *testing.T) {
+			var streamDump string
+			for _, w := range sweepWorkers() {
+				stream, err := run(w, eval.ExecStream)
+				if err != nil {
+					t.Fatalf("stream workers=%d: %v", w, err)
+				}
+				mat, err := run(w, eval.ExecMaterialize)
+				if err != nil {
+					t.Fatalf("materialize workers=%d: %v", w, err)
+				}
+				if !stream.rel.Equal(want) {
+					t.Fatalf("workers=%d: streaming answer differs from naive oracle\ngot:\n%s", w, stream.rel.Dump())
+				}
+				if !stream.rel.Equal(mat.rel) {
+					t.Fatalf("workers=%d: streaming and materializing answers differ\nstream:\n%s\nmaterialize:\n%s",
+						w, stream.rel.Dump(), mat.rel.Dump())
+				}
+				if len(stream.decisions) != len(mat.decisions) {
+					t.Fatalf("workers=%d: %d streaming decisions vs %d materializing",
+						w, len(stream.decisions), len(mat.decisions))
+				}
+				for i := range stream.decisions {
+					if stream.decisions[i].String() != mat.decisions[i].String() {
+						t.Fatalf("workers=%d decision %d differs:\nstream: %s\nmaterialize: %s",
+							w, i, stream.decisions[i], mat.decisions[i])
+					}
+				}
+				if streamDump == "" {
+					streamDump = stream.rel.Dump()
+				} else if got := stream.rel.Dump(); got != streamDump {
+					t.Fatalf("workers=%d: streaming answer order differs between worker counts\ngot:\n%s\nwant:\n%s",
+						w, got, streamDump)
+				}
+			}
+		})
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	flockbench [-exp E1,E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr]
+//	flockbench [-exp E1,E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr] [-timeout 30s]
 //
 // Without -exp, the whole suite (E1–E11) runs in order; -exp selects a
 // comma-separated subset; -json emits the tables as a JSON array. E11 sweeps the parallel worker knob and, under
@@ -50,9 +50,16 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
 		asJSON  = fs.Bool("json", false, "emit results as a JSON array (with per-operator op_reports) instead of tables")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		timeout = fs.Duration("timeout", 0, "wall-clock limit per strategy evaluation (0 = none); exceeding runs abort with a typed error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scale <= 0 {
+		return fmt.Errorf("-scale must be > 0 (got %g)", *scale)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *timeout)
 	}
 
 	if *pprof != "" {
@@ -63,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "flockbench: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Metrics: *asJSON || *pprof != ""}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Metrics: *asJSON || *pprof != "", Timeout: *timeout}
 	suite := experiments.Suite()
 	if *exp != "" {
 		suite = suite[:0:0]

@@ -101,3 +101,30 @@ func TestRunJSONOperatorMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestRunE1TinyScaleClampsSupports is the regression for the tiny-scale
+// crash: -scale 0.0001 used to drive E1's derived support floors
+// (docs/100, docs/20) to zero, making the filter accept empty results and
+// failing the whole suite. The derived supports now clamp to >= 1.
+func TestRunE1TinyScaleClampsSupports(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-scale", "0.0001"}, &out); err != nil {
+		t.Fatalf("E1 at scale 0.0001: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "E1") {
+		t.Errorf("output missing E1 table:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadScaleAndTimeout(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-scale", "0"},
+		{"-scale", "-1"},
+		{"-timeout", "-5s"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}

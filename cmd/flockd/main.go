@@ -1,0 +1,169 @@
+// Command flockd serves query-flock evaluation over HTTP: load a
+// directory of CSV relations once, then answer flock programs posted by
+// clients. It is the long-running face of the engine — the cooperative
+// cancellation layer (contexts, wall deadlines, tuple and row budgets)
+// keeps one runaway query from taking the service down, and graceful
+// shutdown drains in-flight queries before exiting.
+//
+// Usage:
+//
+//	flockd -data DIR [-addr localhost:8080] [-timeout 30s]
+//	       [-max-queries 4] [-max-tuples 0] [-max-rows 0]
+//	       [-workers 0] [-pprof addr]
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /rels             loaded relations (JSON: name, columns, rows)
+//	POST /query            flock program in the body; evaluates and
+//	                       returns the answer plus an obs.RunReport
+//	                       (?strategy=, ?timeout= tighten per request)
+//
+// Statuses: 400 parse/validation errors, 503 over the -max-queries cap,
+// 504 wall deadline or client disconnect, 422 a -max-tuples/-max-rows
+// budget was exceeded, 500 a recovered engine panic.
+//
+// SIGINT/SIGTERM stop accepting connections, drain in-flight queries
+// (bounded by -drain), and exit. -pprof serves net/http/pprof and expvar
+// (including flock_last_report) on a second address.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "flockd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, loads the database, and serves until ctx is
+// canceled; it returns after in-flight queries drain. The bound address
+// is announced on out ("flockd: listening on ...") so callers — and the
+// tests — can use -addr with port 0.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := newFlagSet()
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	if err := fs.validate(); err != nil {
+		return err
+	}
+
+	if *fs.pprof != "" {
+		addr, err := obs.StartDebugServer(*fs.pprof)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "flockd: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
+
+	db, err := storage.LoadDir(*fs.data)
+	if err != nil {
+		return err
+	}
+	if len(db.Names()) == 0 {
+		return fmt.Errorf("no relations found in %s", *fs.data)
+	}
+
+	srv := newServer(db, serverConfig{
+		Timeout:    *fs.timeout,
+		MaxQueries: *fs.maxQueries,
+		MaxTuples:  *fs.maxTuples,
+		MaxRows:    *fs.maxRows,
+		Workers:    *fs.workers,
+	})
+
+	ln, err := net.Listen("tcp", *fs.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "flockd: listening on %s (%d relations from %s)\n",
+		ln.Addr(), len(db.Names()), *fs.data)
+	return serve(ctx, ln, srv.handler(), *fs.drain, out)
+}
+
+// serve runs the HTTP server on ln until ctx is canceled, then shuts
+// down gracefully: the listener closes immediately, in-flight requests
+// get up to drain to finish, and only then does serve return.
+func serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, out io.Writer) error {
+	httpSrv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "flockd: shutting down, draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain incomplete after %v: %w", drain, err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+// flockdFlags groups the flag set so run and the tests share one
+// definition of the knobs and their validation.
+type flockdFlags struct {
+	fs         *flag.FlagSet
+	data       *string
+	addr       *string
+	timeout    *time.Duration
+	drain      *time.Duration
+	maxQueries *int
+	maxTuples  *int
+	maxRows    *int
+	workers    *int
+	pprof      *string
+}
+
+func newFlagSet() *flockdFlags {
+	fs := flag.NewFlagSet("flockd", flag.ContinueOnError)
+	f := &flockdFlags{fs: fs}
+	f.data = fs.String("data", ".", "directory of CSV relations (header row = column names)")
+	f.addr = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free port)")
+	f.timeout = fs.Duration("timeout", 30*time.Second, "per-query wall-clock limit (0 = none); ?timeout= may tighten it")
+	f.drain = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+	f.maxQueries = fs.Int("max-queries", 4, "concurrent-query admission cap; excess requests get 503 (0 = no cap)")
+	f.maxTuples = fs.Int("max-tuples", 0, "per-query live-tuple budget (0 = unlimited)")
+	f.maxRows = fs.Int("max-rows", 0, "per-query answer-row budget (0 = unlimited)")
+	f.workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
+	f.pprof = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return f
+}
+
+func (f *flockdFlags) validate() error {
+	if *f.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *f.timeout)
+	}
+	if *f.drain <= 0 {
+		return fmt.Errorf("-drain must be > 0 (got %v)", *f.drain)
+	}
+	if *f.maxQueries < 0 {
+		return fmt.Errorf("-max-queries must be >= 0 (got %d)", *f.maxQueries)
+	}
+	if *f.maxTuples < 0 || *f.maxRows < 0 {
+		return fmt.Errorf("-max-tuples and -max-rows must be >= 0")
+	}
+	return nil
+}

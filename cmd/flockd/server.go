@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/storage"
+)
+
+// serverConfig bounds every query the service runs. Timeout and limits
+// compose with each request's own context, so a client disconnect, the
+// per-request wall clock, and the resource budgets all abort the same
+// evaluation through the engine's cooperative checkpoints.
+type serverConfig struct {
+	// Timeout is the per-request wall-clock limit (0 = none). A request
+	// may lower it with ?timeout=, never raise it.
+	Timeout time.Duration
+	// MaxQueries is the concurrent-query admission cap; requests beyond
+	// it are refused with 503 rather than queued (0 = no cap).
+	MaxQueries int
+	// MaxTuples and MaxRows are the per-query resource budgets
+	// (eval.Limits semantics; 0 = unlimited).
+	MaxTuples int
+	MaxRows   int
+	// Workers is the engine worker knob (0 = one per CPU).
+	Workers int
+}
+
+// server evaluates flocks over a fixed database via HTTP.
+//
+//	GET  /healthz  liveness probe
+//	GET  /rels     the loaded relations (name, columns, rows)
+//	POST /query    body = flock source; evaluates and returns JSON
+//
+// /query accepts ?strategy= (direct|naive|static|exhaustive|levelwise|
+// dynamic, default direct) and ?timeout= (a Go duration that may only
+// tighten the server-wide limit).
+type server struct {
+	db  *storage.Database
+	cfg serverConfig
+	sem chan struct{} // admission slots; nil when uncapped
+}
+
+func newServer(db *storage.Database, cfg serverConfig) *server {
+	s := &server{db: db, cfg: cfg}
+	if cfg.MaxQueries > 0 {
+		s.sem = make(chan struct{}, cfg.MaxQueries)
+	}
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/rels", s.handleRels)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// relInfo is one /rels entry.
+type relInfo struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    int      `json:"rows"`
+}
+
+func (s *server) handleRels(w http.ResponseWriter, r *http.Request) {
+	names := append([]string(nil), s.db.Names()...)
+	sort.Strings(names)
+	infos := make([]relInfo, 0, len(names))
+	for _, n := range names {
+		rel := s.db.MustRelation(n)
+		infos = append(infos, relInfo{Name: n, Columns: rel.Columns(), Rows: rel.Len()})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// queryResponse is the /query success payload: the answer relation plus
+// the run's operator report (the obs.RunReport schema of flockbench
+// -json and flockql -metrics json).
+type queryResponse struct {
+	Strategy   string         `json:"strategy"`
+	AnswerRows int            `json:"answer_rows"`
+	Columns    []string       `json:"columns"`
+	Rows       [][]string     `json:"rows"`
+	WallNs     int64          `json:"wall_ns"`
+	Report     *obs.RunReport `json:"report,omitempty"`
+}
+
+// errorResponse is the payload of every non-200 /query outcome.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a flock program to /query"})
+		return
+	}
+
+	// Admission control: refuse rather than queue, so an overloaded
+	// service degrades predictably and load-balancers can react.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorResponse{Error: fmt.Sprintf("over the concurrent-query cap (%d); retry later", s.cfg.MaxQueries)})
+			return
+		}
+	}
+
+	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	strategy := r.URL.Query().Get("strategy")
+	if strategy == "" {
+		strategy = "direct"
+	}
+	timeout, err := requestTimeout(r, s.cfg.Timeout)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	flock, err := core.Parse(string(src))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := flock.CheckDatabase(s.db); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// The request context carries the client-disconnect signal; the wall
+	// limit rides on it so either aborts the evaluation cooperatively.
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	tr := &eval.Trace{}
+	tr.Collector() // anchor the wall-clock/alloc baseline before evaluation
+	start := time.Now()
+	answer, err := s.evaluate(ctx, flock, strategy, tr)
+	if err != nil {
+		writeJSON(w, statusForEvalError(err), errorResponse{Error: err.Error()})
+		return
+	}
+	report := tr.Report(strategy, s.cfg.Workers, answer.Len())
+	obs.PublishReport(report)
+
+	resp := queryResponse{
+		Strategy:   strategy,
+		AnswerRows: answer.Len(),
+		Columns:    answer.Columns(),
+		WallNs:     time.Since(start).Nanoseconds(),
+		Report:     report,
+	}
+	resp.Rows = make([][]string, 0, answer.Len())
+	for _, t := range answer.Sorted() {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errPanic marks an evaluation that died in an engine invariant panic.
+var errPanic = errors.New("internal panic")
+
+// evaluate runs one flock under the request's context and the server's
+// resource budgets. Engine panics are recovered into errors so a bad
+// query cannot take the service down.
+func (s *server) evaluate(ctx context.Context, flock *core.Flock, strategy string, tr *eval.Trace) (answer *storage.Relation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			answer, err = nil, fmt.Errorf("%w: %v", errPanic, r)
+		}
+	}()
+	limits := eval.Limits{MaxTuples: s.cfg.MaxTuples, MaxRows: s.cfg.MaxRows}
+	ev := &core.EvalOptions{Workers: s.cfg.Workers, Trace: tr, Ctx: ctx, Limits: limits}
+	switch strategy {
+	case "direct":
+		return flock.Eval(s.db, ev)
+	case "naive":
+		// The reference evaluator takes no options; it is for tiny data.
+		return flock.EvalNaive(s.db)
+	case "static":
+		plan, err := planner.PlanStatic(flock, planner.NewEstimator(s.db), nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Execute(s.db, ev)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "exhaustive":
+		plan, err := planner.PlanExhaustive(flock, planner.NewEstimator(s.db), nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Execute(s.db, ev)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "levelwise":
+		plan, err := planner.PlanLevelwise(flock, 0)
+		if err != nil {
+			return nil, err
+		}
+		res, err := plan.Execute(s.db, ev)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	case "dynamic":
+		res, err := planner.EvalDynamic(s.db, flock, &planner.DynamicOptions{
+			Workers: s.cfg.Workers, Trace: tr, Ctx: ctx, Limits: limits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+}
+
+// requestTimeout resolves the effective wall limit: the server-wide limit,
+// tightened (never loosened) by a ?timeout= duration.
+func requestTimeout(r *http.Request, serverLimit time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return serverLimit, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout must be > 0 (got %v)", d)
+	}
+	if serverLimit > 0 && d > serverLimit {
+		return serverLimit, nil
+	}
+	return d, nil
+}
+
+// statusForEvalError maps evaluation failures onto HTTP statuses: deadline
+// and cancellation are the gateway-timeout family, an exceeded resource
+// budget is the client's query being too expensive, panics are 500s, and
+// anything else (unknown strategy, plan errors) is a bad request.
+func statusForEvalError(err error) int {
+	switch {
+	case errors.Is(err, eval.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, eval.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, errPanic):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort once the status is written
+}

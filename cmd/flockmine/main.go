@@ -12,12 +12,15 @@
 //
 //	flockmine -data baskets.csv [-support 20] [-engine flocks|classic]
 //	          [-maxk 0] [-rules] [-min-confidence 0.5] [-out rules.csv]
+//	          [-timeout 5m]
 //
 // -pprof ADDR serves net/http/pprof and expvar on ADDR for live profiling
-// of long mining runs.
+// of long mining runs; -timeout bounds the whole flocks-engine run with
+// one wall-clock deadline shared by every level's evaluation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,12 +52,16 @@ func run(args []string) error {
 		top     = fs.Int("top", 10, "rules to print (by confidence)")
 		workers = fs.Int("workers", 0, "join/group-by worker count for the flocks engine (0 = one per CPU, 1 = sequential)")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		timeout = fs.Duration("timeout", 0, "wall-clock limit for the whole flocks-engine mining run (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("-data FILE is required")
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *timeout)
 	}
 	if *pprof != "" {
 		addr, err := obs.StartDebugServer(*pprof)
@@ -72,9 +79,17 @@ func run(args []string) error {
 	case "flocks":
 		db := storage.NewDatabase()
 		db.Add(rel.Rename("baskets", nil))
+		// One deadline covers the whole level sequence: every level's
+		// evaluation derives its gate from the same expiring context.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		res, err := mining.FrequentItemsets(db, *support, &mining.Options{
 			MaxK: *maxK,
-			Eval: &core.EvalOptions{Workers: *workers},
+			Eval: &core.EvalOptions{Workers: *workers, Ctx: ctx},
 		})
 		if err != nil {
 			return err

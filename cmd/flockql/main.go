@@ -36,6 +36,10 @@
 //
 // -metrics json prints the run's machine-readable operator report (the
 // same obs.RunReport schema flockbench -json embeds) to stdout.
+//
+// -timeout bounds the evaluation's wall clock; a run that exceeds it
+// aborts promptly with a typed cancellation error (strategies other than
+// naive; see eval.Limits).
 package main
 
 import (
@@ -75,9 +79,13 @@ func run(args []string) error {
 		interactive = fs.Bool("i", false, "interactive shell over the loaded relations")
 		workers     = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
 		metrics     = fs.String("metrics", "", `"json" prints the run's operator report (obs.RunReport) to stdout`)
+		timeout     = fs.Duration("timeout", 0, "wall-clock limit for the evaluation (0 = none); exceeding runs abort with a typed error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *timeout)
 	}
 	if *metrics != "" && *metrics != "json" {
 		return fmt.Errorf("unknown -metrics format %q (only \"json\")", *metrics)
@@ -138,7 +146,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain, *workers, tr)
+	answer, err := evaluate(flock, db, *strategy, *planFile, *depth, *explain, *workers, *timeout, tr)
 	if err != nil {
 		return err
 	}
@@ -262,8 +270,9 @@ func explainStatic(w io.Writer, flock *core.Flock, db *storage.Database, strateg
 	return nil
 }
 
-func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool, workers int, tr *eval.Trace) (*storage.Relation, error) {
-	ev := &core.EvalOptions{Workers: workers, Trace: tr}
+func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string, depth int, explain bool, workers int, timeout time.Duration, tr *eval.Trace) (*storage.Relation, error) {
+	limits := eval.Limits{Wall: timeout}
+	ev := &core.EvalOptions{Workers: workers, Trace: tr, Limits: limits}
 	switch strategy {
 	case "direct":
 		return flock.Eval(db, ev)
@@ -322,7 +331,7 @@ func evaluate(flock *core.Flock, db *storage.Database, strategy, planFile string
 		}
 		return res.Answer, nil
 	case "dynamic":
-		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{Workers: workers, Trace: tr})
+		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{Workers: workers, Trace: tr, Limits: limits})
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,12 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 		trimmed := strings.TrimSpace(line)
 		switch {
 		case strings.HasPrefix(trimmed, "\\"):
-			if quit := replCommand(out, trimmed, db, &strategy, &explain, lastFlock); quit {
+			quit := false
+			guard(out, func() error {
+				quit = replCommand(out, trimmed, db, &strategy, &explain, lastFlock)
+				return nil
+			})
+			if quit {
 				return nil
 			}
 		case trimmed == "" && strings.Contains(buf.String(), "FILTER:"):
@@ -59,19 +64,18 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 			}
 			lastFlock = flock
 			if mode == modeExplain {
-				if err := flock.CheckDatabase(db); err != nil {
-					fmt.Fprintln(out, "error:", err)
-					break
-				}
-				explainFlock(out, flock)
-				if err := explainStatic(out, flock, db, strategy, 2); err != nil {
-					fmt.Fprintln(out, "error:", err)
-				}
+				guard(out, func() error {
+					if err := flock.CheckDatabase(db); err != nil {
+						return err
+					}
+					explainFlock(out, flock)
+					return explainStatic(out, flock, db, strategy, 2)
+				})
 				break
 			}
-			if err := replEval(out, db, flock, strategy, explain, mode == modeAnalyze); err != nil {
-				fmt.Fprintln(out, "error:", err)
-			}
+			guard(out, func() error {
+				return replEval(out, db, flock, strategy, explain, mode == modeAnalyze)
+			})
 		case trimmed == "":
 			// blank line with no complete flock: keep accumulating
 		default:
@@ -83,6 +87,21 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 	}
 	fmt.Fprintln(out)
 	return scanner.Err()
+}
+
+// guard runs one statement's work and keeps the session alive whatever
+// happens: returned errors print as "error: ...", and engine invariant
+// panics (storage arity checks, unknown aggregates) are recovered and
+// printed instead of killing the interactive session.
+func guard(out io.Writer, f func() error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(out, "error: internal panic: %v\n", r)
+		}
+	}()
+	if err := f(); err != nil {
+		fmt.Fprintln(out, "error:", err)
+	}
 }
 
 // replCommand executes one backslash command; reports whether to quit.

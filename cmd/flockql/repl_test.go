@@ -154,6 +154,40 @@ COUNT(answer.B) >= 5
 	}
 }
 
+func TestREPLSurvivesEnginePanic(t *testing.T) {
+	// SUM over a string column panics inside the engine
+	// (storage.Value.AsFloat rejects strings); the session must print
+	// the error and keep evaluating the next statement.
+	db := replDB(t)
+	tags := storage.NewRelation("tags", "BID", "Tag")
+	tags.InsertValues(storage.Int(1), storage.Str("x"))
+	tags.InsertValues(storage.Int(2), storage.Str("y"))
+	db.Add(tags)
+	script := `
+QUERY:
+answer(T) :- tags($1,T)
+FILTER:
+SUM(answer.T) >= 1
+
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5
+
+\quit
+`
+	got := runREPL(t, db, script)
+	if !strings.Contains(got, "internal panic:") {
+		t.Errorf("expected recovered panic message:\n%s", got)
+	}
+	if !strings.Contains(got, "answers in") {
+		t.Errorf("session did not survive to evaluate the next statement:\n%s", got)
+	}
+	if !strings.Contains(got, "bye") {
+		t.Errorf("\\quit did not run after the panic:\n%s", got)
+	}
+}
+
 func TestREPLEOFWithoutQuit(t *testing.T) {
 	got := runREPL(t, replDB(t), "\\rels\n")
 	if !strings.Contains(got, "baskets") {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,13 +35,58 @@ type EvalOptions struct {
 	// legacy materializing executor (eval.ExecMaterialize). Answers are
 	// identical; only intermediate buffering differs.
 	Exec eval.ExecMode
+	// Ctx, when non-nil, cancels the evaluation cooperatively; both
+	// executors abort with eval.ErrCanceled at their next checkpoint.
+	Ctx context.Context
+	// Limits bounds the evaluation's wall clock, live intermediate
+	// tuples, and answer rows (see eval.Limits); the zero value is
+	// unlimited, and unhit limits never change answers.
+	Limits eval.Limits
+	// Gate, when non-nil, is a pre-resolved checkpoint shared by a larger
+	// evaluation (e.g. every step of a plan); when nil, one is derived
+	// from Ctx and Limits per top-level Eval/Execute call.
+	Gate *eval.Gate
 }
 
 func (o *EvalOptions) evalOpts() *eval.Options {
 	if o == nil {
 		return nil
 	}
-	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel, Workers: o.Workers, Exec: o.Exec}
+	return &eval.Options{Order: o.Order, Trace: o.Trace, Parallel: o.Parallel, Workers: o.Workers, Exec: o.Exec,
+		Ctx: o.Ctx, Limits: o.Limits, Gate: o.Gate}
+}
+
+// gate returns the options' checkpoint (nil-safe; may itself be nil).
+func (o *EvalOptions) gate() *eval.Gate {
+	if o == nil {
+		return nil
+	}
+	return o.Gate
+}
+
+// withGate returns options with the checkpoint resolved once, so every
+// view, step, and rule of one evaluation shares a single wall clock and
+// budget. Nil options stay nil (nothing to bound).
+func (o *EvalOptions) withGate() *EvalOptions {
+	if o == nil || o.Gate != nil {
+		return o
+	}
+	c := *o
+	c.Gate = eval.NewGate(c.Ctx, c.Limits)
+	return &c
+}
+
+// subquery returns options for evaluating a relation that is not the
+// flock's answer — views, extended answers, intermediate plan steps:
+// the same shared clock and tuple budget, but no answer-row cap.
+func (o *EvalOptions) subquery() *EvalOptions {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.Gate = c.Gate.WithoutOutputCap()
+	c.Limits.MaxRows = 0 // in case no gate was resolved yet
+	return &c
 }
 
 // execMode returns the configured executor mode (streaming by default).
@@ -65,6 +111,7 @@ func (o *EvalOptions) workers() int {
 // one tuple per accepted assignment. Views, if any, are materialized
 // first.
 func (f *Flock) Eval(db *storage.Database, opts *EvalOptions) (*storage.Relation, error) {
+	opts = opts.withGate() // views and query share one clock and budget
 	mat, err := f.MaterializeViews(db, opts)
 	if err != nil {
 		return nil, err
@@ -88,9 +135,11 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 		}
 		return eval.RunPlan(db, plan, opts.evalOpts())
 	}
+	// The extended answer is an intermediate (the streaming analogue is
+	// a mid-pipeline projection, not the sink): no answer-row cap.
 	ext, err := eval.EvalUnion(db, query, func(r *datalog.Rule) []datalog.Term {
 		return extendedOut(params, r)
-	}, opts.evalOpts())
+	}, opts.subquery().evalOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +148,16 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 		start = time.Now()
 	}
 	res, groups, used := groupAndFilter(ext, len(params), filter, name, opts.workers())
+	// The group-by holds the extended relation, the group accumulators,
+	// and the passing tuples live at once; feed that into the tuple
+	// budget, and cap the answer like the streaming sink does.
+	opts.gate().NoteLive(ext.Len() + groups + res.Len())
+	if err := opts.gate().CheckOutput(res.Len()); err != nil {
+		return nil, err
+	}
+	if err := opts.gate().Check(); err != nil {
+		return nil, err
+	}
 	if opts != nil && opts.Trace != nil {
 		opts.Trace.Collector().Record(obs.Event{
 			Op:      obs.OpGroup,

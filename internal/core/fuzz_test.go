@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts that core.Parse never panics — arbitrary input either
+// yields a valid flock or an error — and that any flock it accepts
+// round-trips through its paper-notation printer. The seed corpus is the
+// flock sources used across examples/ plus edge cases around each
+// validation rule (safety, parameter positivity, views, filters). Normal
+// test runs replay the seeds; `go test -fuzz=FuzzParse ./internal/core`
+// explores.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// examples/quickstart — the Fig. 2 market-basket flock.
+		"QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\nFILTER:\nCOUNT(answer.B) >= 20",
+		// examples/multidisease — negation, and the §2.2 VIEWS extension.
+		"QUERY:\nanswer(P) :-\n    exhibits(P,$s) AND\n    treatments(P,$m) AND\n    diagnoses(P,D) AND\n    NOT causes(D,$s)\nFILTER:\nCOUNT(answer.P) >= 20",
+		"VIEWS:\nallCaused(P,S) :- diagnoses(P,D) AND causes(D,S)\nQUERY:\nanswer(P) :-\n    exhibits(P,$s) AND\n    treatments(P,$m) AND\n    NOT allCaused(P,$s)\nFILTER:\nCOUNT(answer.P) >= 20",
+		// Union query with the COUNT(answer(*)) distinct-tuple form.
+		"QUERY:\nanswer(A) :- link(A,D1,D2) AND inAnchor(A,$1)\nanswer(D) :- inTitle(D,$1)\nFILTER:\nCOUNT(answer(*)) >= 20",
+		// Weighted baskets: SUM over a head column, float threshold.
+		"QUERY:\nanswer(B,W) :- baskets(B,$1) AND weights(B,W)\nFILTER:\nSUM(answer.W) >= 19.5",
+		// MIN/MAX filters and comparisons against constants.
+		"QUERY:\nanswer(X) :- r(X,$1) AND X != 3\nFILTER:\nMIN(answer.X) <= 5",
+		"QUERY:\nanswer(X) :- r(X,$1)\nFILTER:\nMAX(answer.X) >= 1",
+		// Inputs each validation rule rejects: no parameters, parameter in
+		// the head, unsafe rule, parameter missing from a positive subgoal.
+		"QUERY:\nanswer(B) :- baskets(B,I)\nFILTER:\nCOUNT(answer.B) >= 1",
+		"QUERY:\nanswer($1) :- baskets($1,I)\nFILTER:\nCOUNT(answer.$1) >= 1",
+		"QUERY:\nanswer(X) :- NOT r(X,$1)\nFILTER:\nCOUNT(answer.X) >= 1",
+		"QUERY:\nanswer(X) :- r(X) AND $1 < 2\nFILTER:\nCOUNT(answer.X) >= 1",
+		// Filter referencing a column the head lacks; unknown aggregate.
+		"QUERY:\nanswer(X) :- r(X,$1)\nFILTER:\nCOUNT(answer.Y) >= 1",
+		"QUERY:\nanswer(X) :- r(X,$1)\nFILTER:\nAVG(answer.X) >= 1",
+		// Degenerate fragments.
+		"QUERY:",
+		"FILTER:\nCOUNT(answer.X) >= 1",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		flock, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// An accepted flock must re-parse from its own rendering.
+		if _, err := Parse(flock.String()); err != nil {
+			t.Fatalf("accepted source failed to re-parse after printing:\nsource: %q\nrendered: %q\nerr: %v",
+				src, flock.String(), err)
+		}
+	})
+}

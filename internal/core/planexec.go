@@ -47,18 +47,25 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 	if err := p.Flock.CheckDatabase(db); err != nil {
 		return nil, err
 	}
+	opts = opts.withGate() // all steps share one wall clock and budget
 	mat, err := p.Flock.MaterializeViews(db, opts)
 	if err != nil {
 		return nil, err
 	}
 	scratch := mat.Clone()
 	res := &PlanResult{}
-	for _, step := range p.Steps {
+	for si, step := range p.Steps {
+		// Only the final step's relation is the flock's answer; earlier
+		// steps are intermediates and escape the answer-row cap.
+		stepOpts := opts
+		if si < len(p.Steps)-1 {
+			stepOpts = opts.subquery()
+		}
 		var start time.Time
 		if opts != nil && opts.Trace != nil {
 			start = time.Now()
 		}
-		rel, err := executeStep(scratch, p, step, opts)
+		rel, err := executeStep(scratch, p, step, stepOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: executing step %q: %w", step.Name, err)
 		}

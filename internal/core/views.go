@@ -74,6 +74,9 @@ func (f *Flock) MaterializeViews(db *storage.Database, opts *EvalOptions) (*stor
 	if len(f.Views) == 0 {
 		return db, nil
 	}
+	// Views share the evaluation's clock and tuple budget but are never
+	// the user-facing answer, so the row cap does not apply to them.
+	opts = opts.withGate().subquery()
 	out := db.Clone()
 	rels := make(map[string]*storage.Relation)
 	for _, v := range f.Views {

@@ -1,12 +1,34 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/physical"
 	"queryflocks/internal/storage"
+)
+
+// Limits bounds one evaluation (wall clock, live intermediate tuples,
+// answer rows); the zero value is unlimited. See physical.Limits.
+type Limits = physical.Limits
+
+// Gate is the per-query cancellation and budget checkpoint shared by
+// every step, rule, and operator of one evaluation. See physical.Gate.
+type Gate = physical.Gate
+
+// NewGate resolves a context plus limits into a checkpoint, starting the
+// wall clock; nil context with zero limits yields a nil (free) gate.
+func NewGate(ctx context.Context, l Limits) *Gate { return physical.NewGate(ctx, l) }
+
+// Typed abort errors, re-exported so callers need not import the
+// physical layer: errors.Is(err, ErrCanceled) holds when a context was
+// canceled or the wall limit expired, errors.Is(err, ErrBudgetExceeded)
+// when a resource budget was hit.
+var (
+	ErrCanceled       = physical.ErrCanceled
+	ErrBudgetExceeded = physical.ErrBudgetExceeded
 )
 
 // ExecMode selects how compiled queries execute.
@@ -54,6 +76,20 @@ type Options struct {
 	// Exec selects the streaming physical-plan executor (default) or the
 	// legacy materializing executor. Answers are identical.
 	Exec ExecMode
+	// Ctx, when non-nil, cancels the evaluation cooperatively: both
+	// executors observe it at batch/relation boundaries and abort with
+	// ErrCanceled.
+	Ctx context.Context
+	// Limits bounds the evaluation's wall clock, live intermediate
+	// tuples, and answer rows; violations abort with ErrCanceled (wall)
+	// or ErrBudgetExceeded. The zero value is unlimited, and unhit
+	// limits never change answers.
+	Limits Limits
+	// Gate, when non-nil, is a pre-resolved cancellation checkpoint
+	// shared across a multi-part evaluation (all steps of a plan share
+	// one wall clock). When nil, one is derived from Ctx and Limits per
+	// top-level call.
+	Gate *physical.Gate
 }
 
 func (o *Options) orDefault() Options {
@@ -63,11 +99,30 @@ func (o *Options) orDefault() Options {
 	return *o
 }
 
+// gate returns the options' checkpoint, deriving one from Ctx and
+// Limits when none was pre-resolved. May return nil (unlimited).
+func (o *Options) gate() *physical.Gate {
+	if o == nil {
+		return nil
+	}
+	if o.Gate != nil {
+		return o.Gate
+	}
+	return physical.NewGate(o.Ctx, o.Limits)
+}
+
+// withGate returns a copy of the options with the checkpoint resolved,
+// so nested calls share one wall clock and budget.
+func (o Options) withGate() Options {
+	o.Gate = (&o).gate()
+	return o
+}
+
 // EvalRule evaluates a single safe rule against db and projects the result
 // onto the given output terms (deduplicated; set semantics). A nil out
 // projects onto the rule's head arguments.
 func EvalRule(db *storage.Database, r *datalog.Rule, out []datalog.Term, opts *Options) (*storage.Relation, error) {
-	o := opts.orDefault()
+	o := opts.orDefault().withGate()
 	if out == nil {
 		out = r.Head.Args
 	}
@@ -110,7 +165,7 @@ func ResolveOrder(db *storage.Database, r *datalog.Rule, opts *Options) ([]int, 
 // A nil opts uses the defaults.
 func RunPlan(db *storage.Database, plan *physical.Plan, opts *Options) (*storage.Relation, error) {
 	o := opts.orDefault()
-	ctx := &physical.Ctx{DB: db, Workers: o.Workers, Col: o.Trace.Collector()}
+	ctx := &physical.Ctx{DB: db, Workers: o.Workers, Col: o.Trace.Collector(), Gate: o.gate()}
 	return plan.Run(ctx)
 }
 
@@ -123,6 +178,7 @@ func evalRuleMaterialized(db *storage.Database, r *datalog.Rule, out []datalog.T
 		return nil, err
 	}
 	ex.SetWorkers(o.Workers)
+	ex.SetGate(o.gate())
 	order, err := ResolveOrder(db, r, o)
 	if err != nil {
 		return nil, err
@@ -135,7 +191,16 @@ func evalRuleMaterialized(db *storage.Database, r *datalog.Rule, out []datalog.T
 			return nil, err
 		}
 	}
-	return ex.Finish(out)
+	res, err := ex.Finish(out)
+	if err != nil {
+		return nil, err
+	}
+	// The projected result is this evaluation's answer — the same place
+	// the streaming executor's sink applies the row budget.
+	if err := o.gate().CheckOutput(res.Len()); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // EvalUnion evaluates a union of rules and unions the projected results.
@@ -145,7 +210,9 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	o := opts.orDefault()
+	// Resolve the gate once so every branch — parallel or not — shares
+	// one wall clock and budget.
+	o := opts.orDefault().withGate()
 	if o.Exec == ExecStream && !(o.Parallel && len(u) > 1) {
 		// Compile the whole union to one fused plan: per-branch pipelines
 		// (deduplicated projections) concatenated by a union operator into
@@ -182,7 +249,7 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 			wg.Add(1)
 			go func(i int, r *datalog.Rule) {
 				defer wg.Done()
-				parts[i], errs[i] = EvalRule(db, r, outFor(r), opts)
+				parts[i], errs[i] = EvalRule(db, r, outFor(r), &o)
 			}(i, r)
 		}
 		wg.Wait()
@@ -193,7 +260,7 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 		}
 	} else {
 		for i, r := range u {
-			part, err := EvalRule(db, r, outFor(r), opts)
+			part, err := EvalRule(db, r, outFor(r), &o)
 			if err != nil {
 				return nil, err
 			}
@@ -209,6 +276,9 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 		for _, t := range part.Tuples() {
 			result.Insert(t)
 		}
+	}
+	if err := o.gate().CheckOutput(result.Len()); err != nil {
+		return nil, err
 	}
 	return result, nil
 }

@@ -17,6 +17,7 @@ import (
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/obs"
 	"queryflocks/internal/par"
+	"queryflocks/internal/physical"
 	"queryflocks/internal/storage"
 )
 
@@ -56,6 +57,7 @@ type Executor struct {
 
 	workers int            // join/anti-join worker count; see SetWorkers
 	col     *obs.Collector // typed event sink; nil when not tracing
+	gate    *physical.Gate // cancellation/budget checkpoint; nil when unlimited
 	steps   int
 }
 
@@ -64,6 +66,13 @@ type Executor struct {
 // the sequential paths, larger values are used as given. Results are
 // identical for every worker count; only the wall-clock changes.
 func (e *Executor) SetWorkers(n int) { e.workers = n }
+
+// SetGate installs the evaluation's cancellation and budget checkpoint.
+// The executor consults it at relation boundaries — before each join
+// step and each pushed-down subgoal application — and feeds the
+// simultaneously-live tuple counts into its tuple budget, mirroring the
+// streaming executor's batch-boundary checks. A nil gate is unlimited.
+func (e *Executor) SetGate(g *physical.Gate) { e.gate = g }
 
 // NewExecutor prepares evaluation of r's body against db. The rule must be
 // safe (§3.3) — unsafe rules denote infinite results. Any relation named by
@@ -168,14 +177,16 @@ func (e *Executor) JoinNext(i int) error {
 	if e.joined[i] {
 		return fmt.Errorf("eval: atom %d (%s) already joined", i, atoms[i])
 	}
+	if err := e.gate.Check(); err != nil {
+		return err
+	}
 	checks, absorbed, err := e.absorbChecks(atoms[i])
 	if err != nil {
 		return err
 	}
+	prevLen := e.cur.Len()
 	var start time.Time
-	rowsIn := 0
-	if e.col != nil { // skip all metric work entirely when not tracing
-		rowsIn = e.cur.Len()
+	if e.col != nil { // skip timing work entirely when not tracing
 		start = time.Now()
 	}
 	next, used, err := joinAtom(e.db, e.cur, atoms[i], e.stepName(), checks, e.workers)
@@ -184,21 +195,22 @@ func (e *Executor) JoinNext(i int) error {
 	}
 	e.joined[i] = true
 	e.cur = next
+	// Relation-at-a-time evaluation keeps the probe-side bindings and the
+	// joined result fully materialized at once; that simultaneously-live
+	// count feeds both the peak gauge and the tuple budget, mirroring the
+	// streaming executor's buffered-tuple gauge.
+	e.gate.NoteLive(prevLen + next.Len())
 	if e.col != nil {
 		e.col.Record(obs.Event{
 			Op:       obs.OpJoin,
 			Desc:     atoms[i].String(),
-			RowsIn:   rowsIn,
+			RowsIn:   prevLen,
 			RowsOut:  next.Len(),
 			Absorbed: absorbed,
 			Workers:  used,
 			Wall:     time.Since(start),
 		})
-		// Relation-at-a-time evaluation keeps the probe-side bindings and
-		// the joined result fully materialized at once; feed that into the
-		// same peak gauge the streaming executor maintains so the two modes
-		// are comparable.
-		e.col.ObservePeak(rowsIn + next.Len())
+		e.col.ObservePeak(prevLen + next.Len())
 	}
 	return e.applyPending()
 }
@@ -372,18 +384,21 @@ func (e *Executor) applyPending() error {
 			keepCmp = append(keepCmp, c)
 			continue
 		}
+		if err := e.gate.Check(); err != nil {
+			return err
+		}
+		prevLen := e.cur.Len()
 		var start time.Time
-		rowsIn := 0
-		if e.col != nil { // skip all metric work entirely when not tracing
-			rowsIn = e.cur.Len()
+		if e.col != nil { // skip timing work entirely when not tracing
 			start = time.Now()
 		}
 		e.cur = applyComparison(e.cur, c, e.stepName())
+		e.gate.NoteLive(prevLen + e.cur.Len())
 		if e.col != nil {
 			e.col.Record(obs.Event{
 				Op:      obs.OpSelect,
 				Desc:    c.String(),
-				RowsIn:  rowsIn,
+				RowsIn:  prevLen,
 				RowsOut: e.cur.Len(),
 				Wall:    time.Since(start),
 			})
@@ -404,10 +419,12 @@ func (e *Executor) applyPending() error {
 			keepNeg = append(keepNeg, a)
 			continue
 		}
+		if err := e.gate.Check(); err != nil {
+			return err
+		}
+		prevLen := e.cur.Len()
 		var start time.Time
-		rowsIn := 0
 		if e.col != nil {
-			rowsIn = e.cur.Len()
 			start = time.Now()
 		}
 		next, used, err := antiJoin(e.db, e.cur, a, e.stepName(), e.workers)
@@ -415,11 +432,12 @@ func (e *Executor) applyPending() error {
 			return err
 		}
 		e.cur = next
+		e.gate.NoteLive(prevLen + e.cur.Len())
 		if e.col != nil {
 			e.col.Record(obs.Event{
 				Op:      obs.OpAntiJoin,
 				Desc:    a.String(),
-				RowsIn:  rowsIn,
+				RowsIn:  prevLen,
 				RowsOut: e.cur.Len(),
 				Workers: used,
 				Wall:    time.Since(start),
@@ -442,10 +460,19 @@ func (e *Executor) Finish(out []datalog.Term) (*storage.Relation, error) {
 		return nil, fmt.Errorf("eval: %d comparisons and %d negations never became applicable",
 			len(e.pendingCmp), len(e.pendingNeg))
 	}
+	if err := e.gate.Check(); err != nil {
+		return nil, err
+	}
 	res, err := ProjectTerms(e.cur, out, "answer")
-	if err == nil && e.col != nil {
+	if err == nil {
 		// The final binding relation and its projection are live together.
-		e.col.ObservePeak(e.cur.Len() + res.Len())
+		e.gate.NoteLive(e.cur.Len() + res.Len())
+		if e.col != nil {
+			e.col.ObservePeak(e.cur.Len() + res.Len())
+		}
+		if berr := e.gate.Check(); berr != nil {
+			return nil, berr
+		}
 	}
 	return res, err
 }

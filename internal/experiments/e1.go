@@ -39,7 +39,10 @@ func E1(cfg Config) (*Table, error) {
 		Header: []string{"support", "direct (Fig. 1)", "a-priori rewrite", "speedup", "answer pairs"},
 	}
 
-	supports := []int{20, docs / 100, docs / 20} // the paper's 20, a 1% floor, a 5% floor
+	// The paper's 20, a 1% floor, a 5% floor. Tiny -scale values drive
+	// the derived floors to zero, and a zero support means the filter
+	// accepts empty results (an infinite flock) — clamp them to ≥ 1.
+	supports := []int{20, max(docs/100, 1), max(docs/20, 1)}
 	for _, support := range supports {
 		f := paper.MarketBasket(support)
 		var direct, rewritten *storage.Relation

@@ -86,7 +86,7 @@ func E6(cfg Config) (*Table, error) {
 		var err error
 		// Fig. 8 join order: exhibits, treatments, diagnoses.
 		dres, err = planner.EvalDynamic(db, f, &planner.DynamicOptions{
-			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: dynTrace,
+			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: dynTrace, Limits: eval.Limits{Wall: cfg.Timeout},
 		})
 		return err
 	})
@@ -102,7 +102,7 @@ func E6(cfg Config) (*Table, error) {
 
 	if err := t.AddPipeline(cfg, "dynamic (Fig. 8 order)", func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error) {
 		r, err := planner.EvalDynamic(db, f, &planner.DynamicOptions{
-			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: tr, Exec: exec,
+			FixedOrder: []int{0, 1, 2}, Workers: cfg.Workers, Trace: tr, Exec: exec, Limits: eval.Limits{Wall: cfg.Timeout},
 		})
 		if err != nil {
 			return nil, err

@@ -144,14 +144,20 @@ type Config struct {
 	// experiments attach one obs.RunReport per strategy run to the table
 	// (flockbench -json sets this).
 	Metrics bool
+	// Timeout, when positive, bounds each strategy evaluation's wall
+	// clock (flockbench -timeout): a run that exceeds it aborts with
+	// eval.ErrCanceled instead of holding the suite hostage.
+	Timeout time.Duration
 }
 
 // DefaultConfig is the reference configuration used for EXPERIMENTS.md.
 func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1998} }
 
 // EvalOpts returns the evaluation options the configuration implies.
+// Each call starts a fresh wall-clock budget, so the timeout bounds one
+// strategy evaluation, not the whole suite.
 func (c Config) EvalOpts() *core.EvalOptions {
-	return &core.EvalOptions{Workers: c.Workers}
+	return &core.EvalOptions{Workers: c.Workers, Limits: eval.Limits{Wall: c.Timeout}}
 }
 
 // Instrument returns a fresh trace for one strategy run when metrics

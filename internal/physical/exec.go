@@ -28,16 +28,22 @@ type Ctx struct {
 	Workers int
 	// Col, when non-nil, receives one typed event per operator.
 	Col *obs.Collector
+	// Gate, when non-nil, is the evaluation's cancellation and budget
+	// checkpoint: operators consult it at batch boundaries, and the
+	// buffered-tuple gauge feeds its tuple budget. Nil means unlimited.
+	Gate *Gate
 
 	buffered int
 	peak     int
 }
 
-// track adjusts the buffered-tuple gauge.
+// track adjusts the buffered-tuple gauge; the high-water reading doubles
+// as the tuple-budget enforcement point.
 func (c *Ctx) track(delta int) {
 	c.buffered += delta
 	if c.buffered > c.peak {
 		c.peak = c.buffered
+		c.Gate.NoteLive(c.buffered)
 	}
 }
 
@@ -65,6 +71,7 @@ func (p *Plan) Run(ctx *Ctx) (*storage.Relation, error) {
 		return nil, fmt.Errorf("physical: plan root is %s, want materialize", p.Root.Kind())
 	}
 	op := root.newOp(p).(*materializeOp)
+	op.sink = true // the answer relation: where the MaxRows budget applies
 	err := op.open(ctx)
 	if err == nil {
 		err = op.materialize(ctx)

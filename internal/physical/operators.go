@@ -60,6 +60,9 @@ func (o *scanOp) open(ctx *Ctx) error {
 }
 
 func (o *scanOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	if err := ctx.Gate.Check(); err != nil {
+		return nil, false, err
+	}
 	if o.pos >= len(o.tuples) {
 		return nil, false, nil
 	}
@@ -149,6 +152,7 @@ type joinOp struct {
 	prefix    []byte
 	seqChecks []func(ct, bt storage.Tuple) bool
 	seqBuf    []byte
+	pending   []storage.Tuple // probe output not yet emitted (chunked)
 
 	buildWall    time.Duration
 	buildWorkers int
@@ -229,8 +233,18 @@ func (o *joinOp) probe(batch []storage.Tuple, lo, hi int, cks []func(ct, bt stor
 }
 
 func (o *joinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
+	// A join's fan-out can multiply one input batch far past batchSize;
+	// emit the probe output in batch-size chunks so downstream operators
+	// (and the cancellation checkpoints at every batch boundary) keep
+	// their per-call work bounded.
+	if len(o.pending) > 0 {
+		return o.emitChunk(), true, nil
+	}
 	batch, ok, err := o.input.next(ctx)
 	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := ctx.Gate.Check(); err != nil {
 		return nil, false, err
 	}
 	var start time.Time
@@ -270,7 +284,20 @@ func (o *joinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
-	return out, true, nil
+	o.pending = out
+	return o.emitChunk(), true, nil
+}
+
+// emitChunk pops the next batch-size chunk of pending probe output,
+// preserving emission order exactly.
+func (o *joinOp) emitChunk() []storage.Tuple {
+	n := len(o.pending)
+	if n > batchSize {
+		n = batchSize
+	}
+	chunk := o.pending[:n]
+	o.pending = o.pending[n:]
+	return chunk
 }
 
 func (o *joinOp) close(ctx *Ctx) {
@@ -350,6 +377,9 @@ func (o *antiJoinOp) filter(batch []storage.Tuple, lo, hi int, buf []byte, out [
 func (o *antiJoinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	batch, ok, err := o.input.next(ctx)
 	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := ctx.Gate.Check(); err != nil {
 		return nil, false, err
 	}
 	var start time.Time
@@ -725,6 +755,7 @@ type materializeOp struct {
 	input operator
 
 	rel      *storage.Relation
+	sink     bool // plan root: the answer relation, where MaxRows applies
 	done     bool
 	emitPos  int
 	released bool
@@ -758,11 +789,21 @@ func (o *materializeOp) materialize(ctx *Ctx) error {
 			}
 		}
 		o.rowsIn += len(batch)
+		if o.sink {
+			if err := ctx.Gate.CheckOutput(rel.Len()); err != nil {
+				return err
+			}
+		}
 		if ctx.Col != nil {
 			o.wall += time.Since(start)
 		}
 	}
 	if o.n.Hook != nil {
+		// A decision barrier is a boundary between pipeline phases; observe
+		// cancellation before running the (possibly expensive) hook.
+		if err := ctx.Gate.Check(); err != nil {
+			return err
+		}
 		reduced, err := o.n.Hook(rel)
 		if err != nil {
 			return err

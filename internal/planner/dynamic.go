@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,6 +57,17 @@ type DynamicOptions struct {
 	// step-by-step executor (eval.ExecMaterialize). Answers and Decisions
 	// are identical.
 	Exec eval.ExecMode
+	// Ctx, when non-nil, cancels the evaluation cooperatively; both modes
+	// observe it between joins and decision points and abort with
+	// eval.ErrCanceled.
+	Ctx context.Context
+	// Limits bounds the evaluation (see eval.Limits); zero is unlimited,
+	// and unhit limits never change answers or decisions.
+	Limits eval.Limits
+	// Gate, when non-nil, is a pre-resolved checkpoint shared by a larger
+	// evaluation; when nil, one is derived from Ctx and Limits per
+	// EvalDynamic call.
+	Gate *eval.Gate
 }
 
 func (o *DynamicOptions) orDefault() DynamicOptions {
@@ -74,6 +86,9 @@ func (o *DynamicOptions) orDefault() DynamicOptions {
 	out.Trace = o.Trace
 	out.Workers = o.Workers
 	out.Exec = o.Exec
+	out.Ctx = o.Ctx
+	out.Limits = o.Limits
+	out.Gate = o.Gate
 	return out
 }
 
@@ -146,7 +161,12 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 	if err := f.CheckDatabase(db); err != nil {
 		return nil, err
 	}
-	db, err := f.MaterializeViews(db, &core.EvalOptions{Order: o.Order, Trace: o.Trace, Workers: o.Workers})
+	if o.Gate == nil {
+		// Resolve once: views, every rule, and the final group-by share
+		// one wall clock and budget.
+		o.Gate = eval.NewGate(o.Ctx, o.Limits)
+	}
+	db, err := f.MaterializeViews(db, &core.EvalOptions{Order: o.Order, Trace: o.Trace, Workers: o.Workers, Gate: o.Gate})
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +188,13 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 			}
 		}
 		res.Answer = core.GroupAndFilterWorkers(ext, len(f.Params), f.Filter, "flock", o.Workers)
+		o.Gate.NoteLive(ext.Len() + res.Answer.Len())
+		if err := o.Gate.CheckOutput(res.Answer.Len()); err != nil {
+			return nil, err
+		}
+		if err := o.Gate.Check(); err != nil {
+			return nil, err
+		}
 		if o.Trace != nil {
 			// The final group-by holds the merged extended relation and the
 			// answer live at once; record that through the shared peak gauge
@@ -180,7 +207,7 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 	if err != nil {
 		return nil, err
 	}
-	ans, err := eval.RunPlan(db, plan, &eval.Options{Trace: o.Trace, Workers: o.Workers})
+	ans, err := eval.RunPlan(db, plan, &eval.Options{Trace: o.Trace, Workers: o.Workers, Gate: o.Gate})
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +395,7 @@ func evalRuleDynamic(db *storage.Database, f *core.Flock, r *datalog.Rule,
 		return nil, err
 	}
 	ex.SetWorkers(o.Workers)
+	ex.SetGate(o.Gate)
 	order := o.FixedOrder
 	if order == nil {
 		var err error

@@ -1,8 +1,10 @@
 package planner
 
 import (
+	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"queryflocks/internal/core"
 	"queryflocks/internal/eval"
@@ -31,19 +33,43 @@ type sweepAnswer struct {
 // dynamic strategy, the same decision sequence. Streaming runs must
 // additionally agree with each other tuple-for-tuple in order (Dump
 // equality), the determinism contract of the partitioned operators.
+//
+// The whole sweep runs twice: once unbounded and once under a live
+// context plus generous wall/tuple/row limits, because unhit budgets
+// must never change any strategy's answer in either executor.
 func TestStreamingMatchesMaterializingSweep(t *testing.T) {
+	cases := []struct {
+		name   string
+		ctx    context.Context
+		limits eval.Limits
+	}{
+		{name: "unlimited"},
+		{name: "generous limits", ctx: context.Background(),
+			limits: eval.Limits{Wall: time.Hour, MaxTuples: 1 << 30, MaxRows: 1 << 30}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			runOracleSweep(t, c.ctx, c.limits)
+		})
+	}
+}
+
+func runOracleSweep(t *testing.T, ctx context.Context, limits eval.Limits) {
 	db := workload.Baskets(workload.BasketConfig{
 		Baskets: 120, Items: 12, MeanSize: 4, Skew: 1.0, Seed: 7,
 	})
 	f := paper.MarketBasket(3)
 
+	evalOpts := func(workers int, exec eval.ExecMode) *core.EvalOptions {
+		return &core.EvalOptions{Workers: workers, Exec: exec, Ctx: ctx, Limits: limits}
+	}
 	runPlan := func(mk func() (*core.Plan, error)) func(int, eval.ExecMode) (*sweepAnswer, error) {
 		return func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
 			plan, err := mk()
 			if err != nil {
 				return nil, err
 			}
-			res, err := plan.Execute(db, &core.EvalOptions{Workers: workers, Exec: exec})
+			res, err := plan.Execute(db, evalOpts(workers, exec))
 			if err != nil {
 				return nil, err
 			}
@@ -52,7 +78,7 @@ func TestStreamingMatchesMaterializingSweep(t *testing.T) {
 	}
 	variants := map[string]func(int, eval.ExecMode) (*sweepAnswer, error){
 		"direct": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
-			rel, err := f.Eval(db, &core.EvalOptions{Workers: workers, Exec: exec})
+			rel, err := f.Eval(db, evalOpts(workers, exec))
 			return &sweepAnswer{rel: rel}, err
 		},
 		"static": runPlan(func() (*core.Plan, error) {
@@ -62,7 +88,7 @@ func TestStreamingMatchesMaterializingSweep(t *testing.T) {
 			return PlanLevelwise(f, 0)
 		}),
 		"dynamic": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
-			res, err := EvalDynamic(db, f, &DynamicOptions{Workers: workers, Exec: exec})
+			res, err := EvalDynamic(db, f, &DynamicOptions{Workers: workers, Exec: exec, Ctx: ctx, Limits: limits})
 			if err != nil {
 				return nil, err
 			}

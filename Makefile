@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race cover bench fuzz experiments examples clean
+.PHONY: all build vet staticcheck test test-short race cover bench fuzz lint experiments examples clean
 
 all: build vet staticcheck test race
 
@@ -43,6 +43,12 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseFlock -fuzztime=30s ./internal/datalog/
+
+# Static analysis of the example flock corpus (zero errors required;
+# the warnings it prints are pinned by the golden tests under
+# internal/analysis/testdata).
+lint:
+	$(GO) run ./cmd/flockvet examples/flocks/*.flock
 
 # Regenerate the EXPERIMENTS.md reference tables (several minutes).
 experiments:

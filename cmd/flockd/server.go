@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"queryflocks/internal/analysis"
 	"queryflocks/internal/core"
 	"queryflocks/internal/eval"
 	"queryflocks/internal/obs"
@@ -45,6 +46,13 @@ type serverConfig struct {
 // /query accepts ?strategy= (direct|naive|static|exhaustive|levelwise|
 // dynamic, default direct) and ?timeout= (a Go duration that may only
 // tighten the server-wide limit).
+//
+// Every posted program is linted (internal/analysis, schema-checked
+// against the loaded database) before any evaluation starts: programs
+// with error-severity diagnostics are rejected with a 400 whose payload
+// carries the structured diagnostics, and warning diagnostics ride along
+// in the success payload's "warnings" field. ?lint=1 runs only the
+// analyzer and returns its diagnostics without evaluating.
 type server struct {
 	db  *storage.Database
 	cfg serverConfig
@@ -94,17 +102,29 @@ func (s *server) handleRels(w http.ResponseWriter, r *http.Request) {
 // the run's operator report (the obs.RunReport schema of flockbench
 // -json and flockql -metrics json).
 type queryResponse struct {
-	Strategy   string         `json:"strategy"`
-	AnswerRows int            `json:"answer_rows"`
-	Columns    []string       `json:"columns"`
-	Rows       [][]string     `json:"rows"`
-	WallNs     int64          `json:"wall_ns"`
-	Report     *obs.RunReport `json:"report,omitempty"`
+	Strategy   string                `json:"strategy"`
+	AnswerRows int                   `json:"answer_rows"`
+	Columns    []string              `json:"columns"`
+	Rows       [][]string            `json:"rows"`
+	WallNs     int64                 `json:"wall_ns"`
+	Warnings   []analysis.Diagnostic `json:"warnings,omitempty"`
+	Report     *obs.RunReport        `json:"report,omitempty"`
 }
 
-// errorResponse is the payload of every non-200 /query outcome.
+// errorResponse is the payload of every non-200 /query outcome. Lint
+// rejections carry the analyzer's structured diagnostics alongside the
+// one-line error.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error       string                `json:"error"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// lintResponse is the ?lint=1 payload: the analyzer's findings for the
+// posted program, without evaluating it.
+type lintResponse struct {
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -138,6 +158,34 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	timeout, err := requestTimeout(r, s.cfg.Timeout)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// Static pre-admission check: the analyzer runs (schema-aware, since
+	// the served database is fixed) before any evaluation work starts.
+	// Error-severity findings reject the program with the structured
+	// diagnostics; warnings are kept to ride along in the success payload.
+	diags := analysis.AnalyzeSource(string(src), analysis.Options{DB: s.db})
+	if r.URL.Query().Get("lint") == "1" {
+		lr := lintResponse{Diagnostics: diags}
+		if lr.Diagnostics == nil {
+			lr.Diagnostics = []analysis.Diagnostic{}
+		}
+		for _, d := range diags {
+			if d.Severity == analysis.SevError {
+				lr.Errors++
+			} else {
+				lr.Warnings++
+			}
+		}
+		writeJSON(w, http.StatusOK, lr)
+		return
+	}
+	if analysis.HasErrors(diags) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error:       "flock rejected by static analysis; see diagnostics",
+			Diagnostics: diags,
+		})
 		return
 	}
 
@@ -176,6 +224,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		AnswerRows: answer.Len(),
 		Columns:    answer.Columns(),
 		WallNs:     time.Since(start).Nanoseconds(),
+		Warnings:   diags, // only warning/info diagnostics survive to here
 		Report:     report,
 	}
 	resp.Rows = make([][]string, 0, answer.Len())

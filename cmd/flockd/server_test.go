@@ -177,6 +177,115 @@ func TestQueryErrorsAre400(t *testing.T) {
 	}
 }
 
+// TestQueryLintRejectsBeforeEvaluation pins the pre-admission contract:
+// an error-severity program gets a 400 whose payload carries structured
+// diagnostics (stable code, severity, position) and never reaches the
+// engine.
+func TestQueryLintRejectsBeforeEvaluation(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), serverConfig{}).handler())
+	defer ts.Close()
+
+	unsafe := "QUERY:\nanswer(X) :- baskets(B,$1) AND X > 5\nFILTER:\nCOUNT(answer.X) >= 2"
+	status, body := postQuery(t, ts, "", unsafe)
+	if status != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d: %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error == "" || len(er.Diagnostics) == 0 {
+		t.Fatalf("rejection must carry diagnostics: %s", body)
+	}
+	var found bool
+	for _, d := range er.Diagnostics {
+		if d.Code == "QF002" && d.Line > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a positioned QF002 diagnostic, got %s", body)
+	}
+
+	// Schema errors are caught the same way: the database is fixed, so
+	// the analyzer runs its QF016 checks against it.
+	status, body = postQuery(t, ts, "", "QUERY:\nanswer(X) :- nosuch(X,$1)\nFILTER:\nCOUNT(answer.X) >= 1")
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "QF016") {
+		t.Errorf("missing relation should reject with QF016: %d %s", status, body)
+	}
+}
+
+// TestQueryLintMode pins ?lint=1: diagnostics only, no evaluation.
+func TestQueryLintMode(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), serverConfig{}).handler())
+	defer ts.Close()
+
+	status, body := postQuery(t, ts, "?lint=1", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("want 200, got %d: %s", status, body)
+	}
+	var lr lintResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Errors != 0 || lr.Warnings != 0 || len(lr.Diagnostics) != 0 {
+		t.Errorf("clean program should lint clean: %s", body)
+	}
+	if strings.Contains(string(body), "answer_rows") {
+		t.Errorf("?lint=1 must not evaluate: %s", body)
+	}
+
+	unsafe := "QUERY:\nanswer(X) :- baskets(B,$1) AND X > 5\nFILTER:\nCOUNT(answer.X) >= 2"
+	status, body = postQuery(t, ts, "?lint=1", unsafe)
+	if status != http.StatusOK {
+		t.Fatalf("lint mode reports, it does not reject: got %d", status)
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Errors == 0 || len(lr.Diagnostics) == 0 {
+		t.Errorf("unsafe program should report errors: %s", body)
+	}
+}
+
+// TestQueryWarningsInResponse pins the non-fatal path: warning
+// diagnostics ride along in the success payload next to the answer.
+func TestQueryWarningsInResponse(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), serverConfig{}).handler())
+	defer ts.Close()
+
+	// The second subgoal is containment-redundant (QF009) and X is a
+	// singleton (QF013) — warnings, so the query still evaluates.
+	redundant := "QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,X)\nFILTER:\nCOUNT(answer.B) >= 5"
+	status, body := postQuery(t, ts, "", redundant)
+	if status != http.StatusOK {
+		t.Fatalf("warnings must not reject: %d %s", status, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.AnswerRows == 0 {
+		t.Error("query should still have evaluated")
+	}
+	codes := map[string]bool{}
+	for _, d := range qr.Warnings {
+		codes[d.Code] = true
+	}
+	if !codes["QF009"] {
+		t.Errorf("want a QF009 warning in the response, got %+v", qr.Warnings)
+	}
+
+	// A clean program carries no warnings field at all.
+	status, body = postQuery(t, ts, "", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("clean: %d %s", status, body)
+	}
+	if strings.Contains(string(body), "\"warnings\"") {
+		t.Errorf("clean program should omit warnings: %s", body)
+	}
+}
+
 func TestQueryDeadlineIs504(t *testing.T) {
 	ts := httptest.NewServer(newServer(explosiveDB(t, 6, 48), serverConfig{Timeout: time.Hour}).handler())
 	defer ts.Close()

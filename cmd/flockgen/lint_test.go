@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"queryflocks/internal/analysis"
+)
+
+// TestSampleFlocksLintClean runs the analyzer over every flock source the
+// generator can emit: the canonical paper programs must produce zero
+// error-severity diagnostics (warnings such as the Fig. 4 singleton D1
+// are expected and pinned by the golden corpus test in internal/analysis).
+func TestSampleFlocksLintClean(t *testing.T) {
+	for _, tc := range []struct {
+		kind    string
+		weights bool
+	}{
+		{"baskets", false},
+		{"baskets", true},
+		{"words", false},
+		{"medical", false},
+		{"web", false},
+		{"graph", false},
+	} {
+		src, ok := sampleFlock(tc.kind, tc.weights)
+		if !ok {
+			t.Fatalf("no sample flock for kind %q", tc.kind)
+		}
+		ds := analysis.AnalyzeSource(src, analysis.Options{File: tc.kind})
+		if analysis.HasErrors(ds) {
+			t.Errorf("sample flock %q (weights=%v) has lint errors:\n%s",
+				tc.kind, tc.weights, analysis.Render(ds))
+		}
+	}
+}

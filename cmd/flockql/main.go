@@ -27,6 +27,10 @@
 // Other modes: -sql prints the SQL translation and exits; -explain prints
 // safe subqueries, the chosen plan, and (for dynamic) the decisions.
 //
+// Every flock file is linted on load with the internal/analysis passes
+// (the same checks flockvet runs): error-severity diagnostics abort the
+// run before evaluation, warnings print to stderr and the run continues.
+//
 // A flock source may begin with EXPLAIN or EXPLAIN ANALYZE:
 //
 //	EXPLAIN          print the candidate subqueries, the chosen join
@@ -51,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"queryflocks/internal/analysis"
 	"queryflocks/internal/core"
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
@@ -105,6 +110,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Lint on load: error-severity diagnostics abort before any evaluation
+	// (with positions, unlike the constructor's errors); warnings print to
+	// stderr and the run continues.
+	if ds := analysis.AnalyzeSource(string(src), analysis.Options{File: fs.Arg(0)}); len(ds) > 0 {
+		fmt.Fprint(os.Stderr, analysis.Render(ds))
+		if analysis.HasErrors(ds) {
+			return fmt.Errorf("%s has lint errors", fs.Arg(0))
+		}
+	}
+
 	mode, text := splitExplain(string(src))
 	flock, err := core.Parse(text)
 	if err != nil {

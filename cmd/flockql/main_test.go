@@ -117,6 +117,25 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestLintOnLoad pins the load-time analyzer hookup: error diagnostics
+// abort before evaluation, warnings do not.
+func TestLintOnLoad(t *testing.T) {
+	dataDir, _ := setupData(t)
+
+	unsafe := filepath.Join(t.TempDir(), "unsafe.flock")
+	os.WriteFile(unsafe, []byte("QUERY:\nanswer(X) :- baskets(B,$1) AND X > 5\nFILTER:\nCOUNT(answer.X) >= 2"), 0o644)
+	if err := run([]string{"-data", dataDir, unsafe}); err == nil || !strings.Contains(err.Error(), "lint errors") {
+		t.Errorf("unsafe flock should abort with lint errors, got %v", err)
+	}
+
+	// Redundant second subgoal and singleton X are warnings only.
+	warn := filepath.Join(t.TempDir(), "warn.flock")
+	os.WriteFile(warn, []byte("QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,X)\nFILTER:\nCOUNT(answer.B) >= 2"), 0o644)
+	if err := run([]string{"-data", dataDir, "-quiet", warn}); err != nil {
+		t.Errorf("warnings must not abort the run: %v", err)
+	}
+}
+
 func TestViewsThroughCLI(t *testing.T) {
 	dataDir := t.TempDir()
 	db := workload.Medical(workload.DefaultMedical(200, 8))

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"queryflocks/internal/analysis"
 	"queryflocks/internal/core"
 	"queryflocks/internal/eval"
 	"queryflocks/internal/planner"
@@ -26,6 +27,7 @@ import (
 //	\explain on|off    toggle plan/decision explanations
 //	\sql               print the SQL translation of the last flock
 //	\plan              print the chosen plan for the last flock
+//	\lint              diagnostics for the last flock (schema-checked)
 //	\help              this summary
 //	\quit              exit
 func repl(in io.Reader, out io.Writer, db *storage.Database) error {
@@ -36,6 +38,7 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 	strategy := "direct"
 	explain := false
 	var lastFlock *core.Flock
+	var lastSrc string
 	var buf strings.Builder
 	prompt := func() { fmt.Fprint(out, "flockql> ") }
 	prompt()
@@ -47,7 +50,7 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 		case strings.HasPrefix(trimmed, "\\"):
 			quit := false
 			guard(out, func() error {
-				quit = replCommand(out, trimmed, db, &strategy, &explain, lastFlock)
+				quit = replCommand(out, trimmed, db, &strategy, &explain, lastFlock, lastSrc)
 				return nil
 			})
 			if quit {
@@ -56,6 +59,7 @@ func repl(in io.Reader, out io.Writer, db *storage.Database) error {
 		case trimmed == "" && strings.Contains(buf.String(), "FILTER:"):
 			src := buf.String()
 			buf.Reset()
+			lastSrc = src // \lint works even when the parse below fails
 			mode, text := splitExplain(src)
 			flock, err := core.Parse(text)
 			if err != nil {
@@ -105,7 +109,7 @@ func guard(out io.Writer, f func() error) {
 }
 
 // replCommand executes one backslash command; reports whether to quit.
-func replCommand(out io.Writer, cmd string, db *storage.Database, strategy *string, explain *bool, last *core.Flock) bool {
+func replCommand(out io.Writer, cmd string, db *storage.Database, strategy *string, explain *bool, last *core.Flock, lastSrc string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\q", "\\exit":
@@ -118,6 +122,8 @@ func replCommand(out io.Writer, cmd string, db *storage.Database, strategy *stri
   \explain on|off    toggle explanations
   \sql               SQL translation of the last flock
   \plan              chosen static plan for the last flock
+  \lint              diagnostics for the last flock, schema-checked against
+                     the loaded relations (stable QFxxx codes)
   \quit              exit
 end a flock definition (QUERY:/FILTER: sections) with a blank line to run it
 prefix a flock with EXPLAIN to see its subqueries, join order, and plan
@@ -166,6 +172,17 @@ operator tree (per-step cardinalities and wall time)`)
 			break
 		}
 		fmt.Fprintln(out, plan)
+	case "\\lint":
+		if lastSrc == "" {
+			fmt.Fprintln(out, "no flock yet")
+			break
+		}
+		ds := analysis.AnalyzeSource(lastSrc, analysis.Options{DB: db})
+		if len(ds) == 0 {
+			fmt.Fprintln(out, "no diagnostics")
+			break
+		}
+		fmt.Fprint(out, analysis.Render(ds))
 	default:
 		fmt.Fprintln(out, "unknown command:", fields[0], "(try \\help)")
 	}

@@ -188,6 +188,27 @@ COUNT(answer.B) >= 5
 	}
 }
 
+func TestREPLLint(t *testing.T) {
+	// \lint before any flock; then a flock whose relation is missing from
+	// the loaded database (QF016 needs the DB) and whose X is a singleton
+	// (QF013); \lint reports both even though evaluation failed.
+	script := `\lint
+QUERY:
+answer(B) :- baskets(B,$1) AND nosuch(B,X)
+FILTER:
+COUNT(answer.B) >= 5
+
+\lint
+\quit
+`
+	got := runREPL(t, replDB(t), script)
+	for _, want := range []string{"no flock yet", "[QF016]", "[QF013]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("REPL \\lint output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestREPLEOFWithoutQuit(t *testing.T) {
 	got := runREPL(t, replDB(t), "\\rels\n")
 	if !strings.Contains(got, "baskets") {

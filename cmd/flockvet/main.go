@@ -1,0 +1,130 @@
+// Command flockvet statically checks flock programs without evaluating
+// them. It reports diagnostics with stable QFxxx codes (catalogued in
+// docs/LANGUAGE.md): unsafe rules, unbound parameters, redundant subgoals
+// found by containment mappings (§3.1), subsumed union branches (§3.4),
+// non-monotone filters (§5), illegal FILTER plans (§4.2), and — given a
+// data directory — schema mismatches.
+//
+// Usage:
+//
+//	flockvet [-json] [-data DIR] [-plan FILE] [FLOCK_FILE ...]
+//
+// With no files, the program is read from stdin. -plan checks a FILTER-
+// step plan (Fig. 5 notation) against the single given flock. -data loads
+// CSV relations and enables the QF016 schema checks. -json emits the
+// diagnostics as a JSON array instead of file:line:col text.
+//
+// Exit status: 0 when no error-severity diagnostics were found (warnings
+// are reported but do not fail the run), 1 when at least one error was,
+// 2 on usage or I/O problems.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"queryflocks/internal/analysis"
+	"queryflocks/internal/core"
+	"queryflocks/internal/storage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flockvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		dataDir  = fs.String("data", "", "directory of CSV relations (enables schema checks)")
+		planFile = fs.String("plan", "", "FILTER-step plan to check against the flock")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := analysis.Options{}
+	if *dataDir != "" {
+		db, err := storage.LoadDir(*dataDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "flockvet:", err)
+			return 2
+		}
+		opts.DB = db
+	}
+	if *planFile != "" && fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "flockvet: -plan requires exactly one flock file")
+		return 2
+	}
+
+	type input struct {
+		name string
+		src  string
+	}
+	var inputs []input
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "flockvet:", err)
+			return 2
+		}
+		inputs = append(inputs, input{name: "<stdin>", src: string(src)})
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "flockvet:", err)
+			return 2
+		}
+		inputs = append(inputs, input{name: path, src: string(src)})
+	}
+
+	var all []analysis.Diagnostic
+	for _, in := range inputs {
+		fileOpts := opts
+		fileOpts.File = in.name
+		ds := analysis.AnalyzeSource(in.src, fileOpts)
+		if *planFile != "" {
+			ds = append(ds, lintPlan(in.src, *planFile, fileOpts, stderr)...)
+		}
+		all = append(all, ds...)
+	}
+
+	if *jsonOut {
+		if all == nil {
+			all = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "flockvet:", err)
+			return 2
+		}
+	} else if len(all) > 0 {
+		fmt.Fprint(stdout, analysis.Render(all))
+	}
+	if analysis.HasErrors(all) {
+		return 1
+	}
+	return 0
+}
+
+// lintPlan checks the plan file against the flock, provided the flock
+// itself builds; flock-level errors are already reported by the analyzer.
+func lintPlan(flockSrc, planPath string, opts analysis.Options, stderr io.Writer) []analysis.Diagnostic {
+	f, err := core.Parse(analysis.StripExplain(flockSrc))
+	if err != nil {
+		return nil
+	}
+	src, err := os.ReadFile(planPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "flockvet:", err)
+		return nil
+	}
+	planOpts := opts
+	planOpts.File = planPath
+	return analysis.AnalyzePlanSource(f, string(src), planOpts)
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/analysis"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const unsafeSrc = `
+QUERY:
+answer(X) :- baskets(B,$1) AND X > 5
+FILTER:
+COUNT(answer.X) >= 2
+`
+
+const cleanSrc = `
+QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 2
+`
+
+func TestVetFileWithErrorsExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "bad.flock", unsafeSrc)
+	var out, errOut bytes.Buffer
+	code := run([]string{path}, strings.NewReader(""), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[QF002]") || !strings.Contains(out.String(), "bad.flock:3:") {
+		t.Errorf("output should carry code and position:\n%s", out.String())
+	}
+}
+
+func TestVetCleanFileExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "ok.flock", cleanSrc)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; out: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean file should print nothing, got %q", out.String())
+	}
+}
+
+func TestVetStdinJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json"}, strings.NewReader(unsafeSrc), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var ds []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &ds); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	var found bool
+	for _, d := range ds {
+		if d.Code == "QF002" && d.Severity == analysis.SevError && d.File == "<stdin>" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a QF002 error for <stdin>, got %+v", ds)
+	}
+
+	out.Reset()
+	if code := run([]string{"-json"}, strings.NewReader(cleanSrc), &out, &errOut); code != 0 {
+		t.Fatalf("clean stdin exit = %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
+	}
+}
+
+func TestVetPlanFlag(t *testing.T) {
+	dir := t.TempDir()
+	flock := write(t, dir, "medical.flock", `
+QUERY:
+answer(P) :- exhibits(P,$s) AND treatments(P,$m)
+FILTER:
+COUNT(answer.P) >= 2
+`)
+	plan := write(t, dir, "bad.plan", `
+okS($s) := FILTER($s,
+    answer(P) :- unrelated(P,$s),
+    COUNT(answer.P) >= 2
+);
+ok($s,$m) := FILTER(($s,$m),
+    answer(P) :- okS($s) AND exhibits(P,$s) AND treatments(P,$m),
+    COUNT(answer.P) >= 2
+);
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-plan", plan, flock}, strings.NewReader(""), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[QF022]") || !strings.Contains(out.String(), "bad.plan:2:") {
+		t.Errorf("output should name the illegal step in the plan file:\n%s", out.String())
+	}
+}
+
+func TestVetDataDirSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "baskets.csv", "BID,Item\n1,beer\n")
+	path := write(t, dir, "q.flock", `
+QUERY:
+answer(B) :- baskets(B,$1) AND nosuch(B,$1)
+FILTER:
+COUNT(answer.B) >= 2
+`)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-data", dir, path}, strings.NewReader(""), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; out: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[QF016]") {
+		t.Errorf("want QF016 schema error:\n%s", out.String())
+	}
+}
+
+func TestVetUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-plan", "p.plan"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("-plan without a flock file exit = %d, want 2", code)
+	}
+	if code := run([]string{"/no/such/file.flock"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
+	}
+}
+
+// TestVetWarningsDoNotFail pins the contract front-ends rely on: warnings
+// print but exit 0.
+func TestVetWarningsDoNotFail(t *testing.T) {
+	dir := t.TempDir()
+	path := write(t, dir, "warn.flock", `
+QUERY:
+answer(B) :- baskets(B,$1) AND sales(B,X)
+FILTER:
+COUNT(answer.B) >= 2
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("warnings-only exit = %d, want 0; out: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "[QF013]") {
+		t.Errorf("warning should still print:\n%s", out.String())
+	}
+}

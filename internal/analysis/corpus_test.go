@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden diagnostics files")
+
+// TestExamplesCorpusGolden lints every program under examples/flocks and
+// diffs the rendered diagnostics against committed golden files. The
+// corpus must produce zero errors (warnings are allowed and pinned); run
+// `go test ./internal/analysis -run Corpus -update` after an intentional
+// change to a pass or to the corpus.
+func TestExamplesCorpusGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "flocks")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".flock") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := AnalyzeSource(string(src), Options{File: name})
+			if HasErrors(ds) {
+				t.Errorf("corpus program must lint without errors:\n%s", Render(ds))
+			}
+			got := Render(ds)
+			goldenPath := filepath.Join("testdata", "golden", name+".diag")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}

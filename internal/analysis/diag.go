@@ -1,0 +1,147 @@
+// Package analysis implements flockvet: static analysis of flock programs.
+// It layers a diagnostics framework — stable codes, severities, source
+// positions, machine-readable output — over the semantic checks the paper
+// implies: safety of subqueries (§3.2–§3.3), redundancy via containment
+// mappings (§3.1, [CM77]), union-branch subsumption (§3.4), plan legality
+// (§4.2), and monotonicity of filter conditions (§5).
+//
+// Every diagnostic carries a stable QFxxx code so front-ends (the flockvet
+// CLI, the flockql REPL, the flockd service) and tests can match on the
+// kind of problem rather than on message text. docs/LANGUAGE.md catalogues
+// the codes.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"queryflocks/internal/datalog"
+)
+
+// Severity ranks a diagnostic. Errors mean the program is rejected (it
+// cannot be evaluated, or its answer would be infinite); warnings flag
+// constructs that evaluate but are probably not what the author meant or
+// that defeat optimizations; infos are advisory.
+type Severity int
+
+// The severities, ordered so that higher is worse.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String returns "info", "warning", or "error".
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes "info"/"warning"/"error".
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("analysis: unknown severity %q", str)
+	}
+	return nil
+}
+
+// Diagnostic is one finding: a stable code, a severity, an optional source
+// position, and a human-readable message.
+type Diagnostic struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file,omitempty"`
+	Line     int      `json:"line,omitempty"`
+	Col      int      `json:"col,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// String renders "file:line:col: severity: message [QFxxx]"; the position
+// prefix is omitted for diagnostics without one.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	if d.File != "" || d.Line > 0 {
+		file := d.File
+		if file == "" {
+			file = "<input>"
+		}
+		if d.Line > 0 {
+			fmt.Fprintf(&b, "%s:%d:%d: ", file, d.Line, d.Col)
+		} else {
+			fmt.Fprintf(&b, "%s: ", file)
+		}
+	}
+	fmt.Fprintf(&b, "%s: %s [%s]", d.Severity, d.Message, d.Code)
+	return b.String()
+}
+
+// at attaches a source position to a diagnostic under construction.
+func (d Diagnostic) at(pos datalog.Pos) Diagnostic {
+	if pos.IsValid() {
+		d.Line, d.Col = pos.Line, pos.Col
+	}
+	return d
+}
+
+// Sort orders diagnostics by position (line, then column), then by
+// severity (errors first), then by code — a stable presentation order for
+// reports and golden files.
+func Sort(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Code < b.Code
+	})
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats diagnostics one per line.
+func Render(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

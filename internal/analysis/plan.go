@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"errors"
+	"strings"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+)
+
+// This file analyzes FILTER-step query plans (§4.1) against the §4.2
+// legality recipe. The four rules map to one code each, so a diagnostic
+// names exactly which condition failed:
+//
+//	QF020  rule 1: every step uses the flock's (monotone) filter
+//	QF021  rule 2: steps define uniquely named relations
+//	QF022  rule 3: each step derives from the flock's query by adding
+//	       prior-step references and deleting subgoals, preserving safety
+//	QF023  rule 4: the final step keeps every subgoal and restricts
+//	       exactly the flock's parameters
+//
+// QF019 covers plans malformed outside the recipe, and QF014 warns about
+// dead steps no later step references.
+
+// AnalyzePlanSource parses a plan in Fig. 5 notation and checks its
+// legality for the flock. Parse failures yield QF001.
+func AnalyzePlanSource(f *core.Flock, planSrc string, opts Options) []Diagnostic {
+	spec, err := datalog.ParsePlan(planSrc)
+	if err != nil {
+		return []Diagnostic{syntaxDiagnostic(err, opts)}
+	}
+	return AnalyzePlanSpec(f, spec, opts)
+}
+
+// AnalyzePlanSpec checks a parsed plan's §4.2 legality and step liveness.
+func AnalyzePlanSpec(f *core.Flock, spec *datalog.PlanSpec, opts Options) []Diagnostic {
+	var ds []Diagnostic
+	if _, err := core.PlanFromSpec(f, spec); err != nil {
+		ds = append(ds, planDiagnostic(err, spec))
+	}
+	ds = append(ds, deadSteps(spec)...)
+	for i := range ds {
+		ds[i].File = opts.File
+	}
+	Sort(ds)
+	return ds
+}
+
+// planDiagnostic converts a plan-validation error into a positioned
+// diagnostic, mapping the violated §4.2 legality rule to its code.
+func planDiagnostic(err error, spec *datalog.PlanSpec) Diagnostic {
+	var pe *core.PlanError
+	if !errors.As(err, &pe) {
+		return Diagnostic{
+			Code:     "QF019",
+			Severity: SevError,
+			Message:  strings.TrimPrefix(err.Error(), "core: "),
+		}
+	}
+	code := "QF019"
+	switch pe.LegalityRule {
+	case 1:
+		code = "QF020"
+	case 2:
+		code = "QF021"
+	case 3:
+		code = "QF022"
+	case 4:
+		code = "QF023"
+	}
+	d := Diagnostic{
+		Code:     code,
+		Severity: SevError,
+		Message:  strings.TrimPrefix(pe.Error(), "core: "),
+	}
+	for _, s := range spec.Steps {
+		if s.Name == pe.Step {
+			d = d.at(s.Pos)
+			break
+		}
+	}
+	return d
+}
+
+// deadSteps warns (QF014) about non-final steps that no later step
+// references: their FILTER relation is computed and never read.
+func deadSteps(spec *datalog.PlanSpec) []Diagnostic {
+	if len(spec.Steps) == 0 {
+		return nil
+	}
+	referenced := make(map[string]bool)
+	for _, s := range spec.Steps {
+		for _, r := range s.Query {
+			for _, sg := range r.Body {
+				if a, ok := sg.(*datalog.Atom); ok {
+					referenced[a.Pred] = true
+				}
+			}
+		}
+	}
+	var ds []Diagnostic
+	for _, s := range spec.Steps[:len(spec.Steps)-1] {
+		if !referenced[s.Name] {
+			ds = append(ds, Diagnostic{
+				Code:     "QF014",
+				Severity: SevWarning,
+				Message:  "step " + s.Name + " is never referenced by a later step; its result is dead",
+			}.at(s.Pos))
+		}
+	}
+	return ds
+}

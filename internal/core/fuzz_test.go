@@ -1,16 +1,26 @@
-package core
+package core_test
 
 import (
 	"testing"
+
+	"queryflocks/internal/analysis"
+	"queryflocks/internal/core"
 )
 
 // FuzzParse asserts that core.Parse never panics — arbitrary input either
 // yields a valid flock or an error — and that any flock it accepts
-// round-trips through its paper-notation printer. The seed corpus is the
-// flock sources used across examples/ plus edge cases around each
+// round-trips through its paper-notation printer. The analyzer runs on
+// every input too: flockvet must never panic or stall, whatever the
+// source, and a program core.Parse accepts must never carry error-severity
+// diagnostics (the analyzer's error set is meant to be a superset of the
+// constructor's rejections, not to disagree with it). The seed corpus is
+// the flock sources used across examples/ plus edge cases around each
 // validation rule (safety, parameter positivity, views, filters). Normal
 // test runs replay the seeds; `go test -fuzz=FuzzParse ./internal/core`
 // explores.
+//
+// (This lives in package core_test so it can import internal/analysis,
+// which itself imports core.)
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		// examples/quickstart — the Fig. 2 market-basket flock.
@@ -34,6 +44,13 @@ func FuzzParse(f *testing.F) {
 		// Filter referencing a column the head lacks; unknown aggregate.
 		"QUERY:\nanswer(X) :- r(X,$1)\nFILTER:\nCOUNT(answer.Y) >= 1",
 		"QUERY:\nanswer(X) :- r(X,$1)\nFILTER:\nAVG(answer.X) >= 1",
+		// Analyzer-specific territory: redundancy, subsumption, constant
+		// comparisons, non-monotone filters, infinite-answer filters.
+		"QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,X)\nFILTER:\nCOUNT(answer.B) >= 2",
+		"QUERY:\nanswer(B) :- baskets(B,$1)\nanswer(B) :- baskets(B,$1) AND sales(B,B)\nFILTER:\nCOUNT(answer.B) >= 2",
+		"QUERY:\nanswer(B) :- baskets(B,$1) AND 3 > 5 AND $1 = $1\nFILTER:\nCOUNT(answer.B) >= 2",
+		"QUERY:\nanswer(B,W) :- baskets(B,$1) AND importance(B,W)\nFILTER:\nMIN(answer.W) >= 3",
+		"QUERY:\nanswer(B) :- baskets(B,$1)\nFILTER:\nCOUNT(answer.B) >= 0",
 		// Degenerate fragments.
 		"QUERY:",
 		"FILTER:\nCOUNT(answer.X) >= 1",
@@ -43,12 +60,26 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		flock, err := Parse(src)
+		// The analyzer must be total: no panics, no stalls (the containment
+		// budget bounds the exponential searches), on any input.
+		ds := analysis.AnalyzeSource(src, analysis.Options{})
+
+		flock, err := core.Parse(src)
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
+		for _, d := range ds {
+			// QF007 (filter satisfied by the empty result) is the one error
+			// the constructor defers: core.Parse accepts the program and the
+			// evaluators reject it at run time. Every other analyzer error
+			// must coincide with a constructor rejection.
+			if d.Severity == analysis.SevError && d.Code != "QF007" {
+				t.Fatalf("core.Parse accepted a program the analyzer rejects:\nsource: %q\ndiagnostics:\n%s",
+					src, analysis.Render(ds))
+			}
+		}
 		// An accepted flock must re-parse from its own rendering.
-		if _, err := Parse(flock.String()); err != nil {
+		if _, err := core.Parse(flock.String()); err != nil {
 			t.Fatalf("accepted source failed to re-parse after printing:\nsource: %q\nrendered: %q\nerr: %v",
 				src, flock.String(), err)
 		}

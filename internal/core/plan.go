@@ -56,6 +56,66 @@ type Plan struct {
 	Steps []FilterStep
 }
 
+// PlanError is a §4.2 legality failure. It names which of the four rules
+// of the "Rule for Generating Query Plans" was violated, the offending
+// step (by name and declared parameters), and — when the failure concerns
+// one union member — the rule index, so front-ends can turn the failure
+// into a positioned diagnostic instead of an opaque string.
+type PlanError struct {
+	// LegalityRule is the violated §4.2 condition, 1–4; 0 for structural
+	// problems outside the recipe (a plan with no flock or no steps).
+	LegalityRule int
+	// Step is the offending step's name ("" for plan-level failures).
+	Step string
+	// StepParams is the offending step's declared parameter list.
+	StepParams []datalog.Param
+	// RuleIndex is the offending union member (0-based), or -1.
+	RuleIndex int
+	// Msg describes the specific failure.
+	Msg string
+}
+
+// Error renders "core: step "okS" ($s) rule 0: msg (§4.2 legality rule 3)".
+func (e *PlanError) Error() string {
+	var b strings.Builder
+	b.WriteString("core: ")
+	if e.Step != "" {
+		fmt.Fprintf(&b, "step %q", e.Step)
+		if len(e.StepParams) > 0 {
+			b.WriteString(" (" + paramList(e.StepParams) + ")")
+		}
+		if e.RuleIndex >= 0 {
+			fmt.Fprintf(&b, " rule %d", e.RuleIndex)
+		}
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	if e.LegalityRule > 0 {
+		fmt.Fprintf(&b, " (§4.2 legality rule %d)", e.LegalityRule)
+	}
+	return b.String()
+}
+
+// planErr builds a PlanError for one step.
+func planErr(legalityRule int, step string, params []datalog.Param, ruleIndex int, format string, args ...any) *PlanError {
+	return &PlanError{
+		LegalityRule: legalityRule,
+		Step:         step,
+		StepParams:   params,
+		RuleIndex:    ruleIndex,
+		Msg:          fmt.Sprintf(format, args...),
+	}
+}
+
+// paramList renders "$s,$m".
+func paramList(params []datalog.Param) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ",")
+}
+
 // NewPlan builds and validates a plan for the flock.
 func NewPlan(f *Flock, steps []FilterStep) (*Plan, error) {
 	p := &Plan{Flock: f, Steps: steps}
@@ -96,13 +156,14 @@ func (p *Plan) String() string {
 //     exactly the flock's.
 func (p *Plan) Validate() error {
 	if p.Flock == nil {
-		return fmt.Errorf("core: plan has no flock")
+		return planErr(0, "", nil, -1, "plan has no flock")
 	}
 	if len(p.Steps) == 0 {
-		return fmt.Errorf("core: plan has no steps")
+		return planErr(0, "", nil, -1, "plan has no steps")
 	}
 	if !p.Flock.Filter.Monotone() {
-		return fmt.Errorf("core: plan requires a monotone support-type filter; %s is not", p.Flock.Filter)
+		return planErr(1, "", nil, -1,
+			"plan requires a monotone support-type filter; %s is not", p.Flock.Filter)
 	}
 	base := make(map[string]bool)
 	for _, b := range p.Flock.BaseRelations() {
@@ -111,15 +172,16 @@ func (p *Plan) Validate() error {
 	prior := make(map[string][]datalog.Param) // step name -> params
 	for si, step := range p.Steps {
 		if step.Name == "" {
-			return fmt.Errorf("core: step %d has no name", si)
+			return planErr(2, "", step.Params, -1,
+				"step %d (parameters %s) has no name", si, paramList(step.Params))
 		}
 		if base[step.Name] {
-			return fmt.Errorf("core: step %q collides with a base relation", step.Name)
+			return planErr(2, step.Name, step.Params, -1, "collides with a base relation")
 		}
 		if _, dup := prior[step.Name]; dup {
-			return fmt.Errorf("core: step %q defined twice", step.Name)
+			return planErr(2, step.Name, step.Params, -1, "defined twice")
 		}
-		if err := p.validateStep(si, step, prior); err != nil {
+		if err := p.validateStep(step, prior); err != nil {
 			return err
 		}
 		prior[step.Name] = step.Params
@@ -128,34 +190,35 @@ func (p *Plan) Validate() error {
 	// exactly the flock's parameters.
 	last := p.Steps[len(p.Steps)-1]
 	if paramKey(last.Params) != paramKey(p.Flock.Params) {
-		return fmt.Errorf("core: final step %q has parameters %v, want the flock's %v",
-			last.Name, last.Params, p.Flock.Params)
+		return planErr(4, last.Name, last.Params, -1,
+			"final step has parameters %v, want the flock's %v", last.Params, p.Flock.Params)
 	}
 	for ri, r := range last.Query {
 		orig := p.Flock.Query[ri]
 		rest := stripStepRefs(r, prior)
 		if len(rest.Body) != len(orig.Body) {
-			return fmt.Errorf("core: final step %q deletes subgoals of rule %d (%d kept of %d)",
-				last.Name, ri, len(rest.Body), len(orig.Body))
+			return planErr(4, last.Name, last.Params, ri,
+				"final step deletes subgoals (%d kept of %d)", len(rest.Body), len(orig.Body))
 		}
 	}
 	return nil
 }
 
 // validateStep checks rules 2–3 for one step.
-func (p *Plan) validateStep(si int, step FilterStep, prior map[string][]datalog.Param) error {
+func (p *Plan) validateStep(step FilterStep, prior map[string][]datalog.Param) error {
 	if len(step.Query) != len(p.Flock.Query) {
-		return fmt.Errorf("core: step %q has %d rules, flock has %d", step.Name, len(step.Query), len(p.Flock.Query))
+		return planErr(3, step.Name, step.Params, -1,
+			"has %d rules, flock has %d", len(step.Query), len(p.Flock.Query))
 	}
 	// The step's parameter set must match the parameters its query uses.
 	if got, want := paramKey(step.Query.Params()), paramKey(step.Params); got != want {
-		return fmt.Errorf("core: step %q declares parameters %v but its query uses %s",
-			step.Name, step.Params, got)
+		return planErr(3, step.Name, step.Params, -1,
+			"declares parameters %v but its query uses %s", step.Params, got)
 	}
 	for ri, r := range step.Query {
 		orig := p.Flock.Query[ri]
 		if r.Head.Pred != orig.Head.Pred || len(r.Head.Args) != len(orig.Head.Args) {
-			return fmt.Errorf("core: step %q rule %d changes the head: %s", step.Name, ri, r.Head)
+			return planErr(3, step.Name, step.Params, ri, "changes the head: %s", r.Head)
 		}
 		// Added subgoals must copy prior steps' left sides — either
 		// literally (§4.2 rule 3b) or under a parameter renaming that
@@ -174,27 +237,27 @@ func (p *Plan) validateStep(si int, step FilterStep, prior map[string][]datalog.
 				continue
 			}
 			if a.Negated {
-				return fmt.Errorf("core: step %q rule %d negates step relation %s", step.Name, ri, a.Pred)
+				return planErr(3, step.Name, step.Params, ri, "negates step relation %s", a.Pred)
 			}
 			if len(a.Args) != len(params) {
-				return fmt.Errorf("core: step %q rule %d: %s has %d args, step %q has %d parameters",
-					step.Name, ri, a, len(a.Args), a.Pred, len(params))
+				return planErr(3, step.Name, step.Params, ri,
+					"%s has %d args, step %q has %d parameters", a, len(a.Args), a.Pred, len(params))
 			}
-			if err := p.validateStepRef(a, ri, prior); err != nil {
-				return fmt.Errorf("core: step %q rule %d: %w", step.Name, ri, err)
+			if err := p.validateStepRef(a, prior); err != nil {
+				return planErr(3, step.Name, step.Params, ri, "%v", err)
 			}
 		}
 		// After removing step references, what remains must be a subset of
 		// the original rule's subgoals.
 		rest := stripStepRefs(r, prior)
 		if !datalog.IsSubgoalSubset(rest, orig) {
-			return fmt.Errorf("core: step %q rule %d is not derived from the flock rule by deleting subgoals:\n  step: %s\n  flock: %s",
-				step.Name, ri, r, orig)
+			return planErr(3, step.Name, step.Params, ri,
+				"is not derived from the flock rule by deleting subgoals:\n  step: %s\n  flock: %s", r, orig)
 		}
 		// Deletions must preserve safety (§4.2 rule 3c). Step references
 		// count as positive subgoals, so check the rule as written.
 		if vs := datalog.CheckSafety(r); len(vs) > 0 {
-			return fmt.Errorf("core: step %q rule %d is unsafe: %v", step.Name, ri, vs[0])
+			return planErr(3, step.Name, step.Params, ri, "is unsafe: %v", vs[0])
 		}
 	}
 	return nil
@@ -232,7 +295,7 @@ func partitionStepRefs(r *datalog.Rule, steps map[string][]datalog.Param) (*data
 // flock rule, recursively through that step's own references. The
 // renaming must be injective so the renamed query's survivor set equals
 // the step's stored relation.
-func (p *Plan) validateStepRef(a *datalog.Atom, ri int, prior map[string][]datalog.Param) error {
+func (p *Plan) validateStepRef(a *datalog.Atom, prior map[string][]datalog.Param) error {
 	params := prior[a.Pred]
 	sigma := make(map[datalog.Param]datalog.Param, len(params))
 	literal := true
@@ -320,8 +383,8 @@ func PlanFromSpec(f *Flock, spec *datalog.PlanSpec) (*Plan, error) {
 	steps := make([]FilterStep, len(spec.Steps))
 	for i, s := range spec.Steps {
 		if s.Filter != f.Filter.Spec() {
-			return nil, fmt.Errorf("core: step %q filter %s differs from the flock's %s (legality rule 1)",
-				s.Name, s.Filter, f.Filter)
+			return nil, planErr(1, s.Name, s.Params, -1,
+				"filter %s differs from the flock's %s (legality rule 1)", s.Filter, f.Filter)
 		}
 		steps[i] = FilterStep{Name: s.Name, Params: s.Params, Query: s.Query}
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/datalog"
+)
+
+// These tests pin down the typed PlanError reporting per §4.2 failure mode:
+// each legality-rule violation must name the offending step, its declared
+// parameters, and the violated rule number, so front-ends (flockvet, flockd)
+// can surface structured diagnostics instead of opaque strings.
+
+func asPlanError(t *testing.T, err error) *PlanError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var pe *PlanError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *PlanError", err, err)
+	}
+	return pe
+}
+
+func fig3StepS(t *testing.T, f *Flock) FilterStep {
+	t.Helper()
+	okS, ok := MinimalSubqueryForParams(f.Query[0], []datalog.Param{"s"})
+	if !ok {
+		t.Fatal("no okS subquery")
+	}
+	return FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{okS.Rule}}
+}
+
+func TestPlanErrorStructural(t *testing.T) {
+	pe := asPlanError(t, (&Plan{}).Validate())
+	if pe.LegalityRule != 0 || pe.Step != "" {
+		t.Errorf("no-flock error = %+v, want rule 0 plan-level", pe)
+	}
+	f := MustParse(fig3Src)
+	pe = asPlanError(t, (&Plan{Flock: f}).Validate())
+	if pe.LegalityRule != 0 || !strings.Contains(pe.Error(), "no steps") {
+		t.Errorf("no-steps error = %v, want rule 0 mentioning steps", pe)
+	}
+}
+
+func TestPlanErrorRule1NonMonotone(t *testing.T) {
+	src := `
+QUERY:
+answer(B,W) :- baskets(B,$1) AND importance(B,W)
+FILTER:
+MIN(answer.W) >= 3`
+	f := MustParse(src)
+	_, err := NewPlan(f, []FilterStep{{Name: "ok", Params: f.Params, Query: f.Query}})
+	pe := asPlanError(t, err)
+	if pe.LegalityRule != 1 {
+		t.Errorf("legality rule = %d, want 1: %v", pe.LegalityRule, pe)
+	}
+	if !strings.Contains(pe.Error(), "monotone") || !strings.Contains(pe.Error(), "§4.2 legality rule 1") {
+		t.Errorf("message %q should name monotonicity and rule 1", pe.Error())
+	}
+}
+
+func TestPlanErrorRule1FilterMismatch(t *testing.T) {
+	f := MustParse(fig3Src)
+	spec, err := datalog.ParsePlan(`
+	ok($s,$m) := FILTER(($s,$m),
+	    answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s),
+	    COUNT(answer.P) >= 99
+	);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PlanFromSpec(f, spec)
+	pe := asPlanError(t, err)
+	if pe.LegalityRule != 1 || pe.Step != "ok" {
+		t.Errorf("filter-mismatch error = %+v, want rule 1 on step ok", pe)
+	}
+	if !strings.Contains(pe.Error(), "legality rule 1") {
+		t.Errorf("message %q should mention legality rule 1", pe.Error())
+	}
+}
+
+func TestPlanErrorRule2Naming(t *testing.T) {
+	f := MustParse(fig3Src)
+	stepS := fig3StepS(t, f)
+
+	collide := stepS
+	collide.Name = "exhibits"
+	pe := asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{collide}}).Validate())
+	if pe.LegalityRule != 2 || pe.Step != "exhibits" || !strings.Contains(pe.Msg, "collides") {
+		t.Errorf("base-collision error = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), `step "exhibits" ($s)`) {
+		t.Errorf("message %q should name the step and its parameters", pe.Error())
+	}
+
+	dup := []FilterStep{stepS, stepS, FinalStep(f, "ok", stepS)}
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: dup}).Validate())
+	if pe.LegalityRule != 2 || pe.Step != "okS" || !strings.Contains(pe.Msg, "defined twice") {
+		t.Errorf("duplicate-step error = %+v", pe)
+	}
+
+	unnamed := stepS
+	unnamed.Name = ""
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{unnamed}}).Validate())
+	if pe.LegalityRule != 2 || !strings.Contains(pe.Msg, "no name") {
+		t.Errorf("unnamed-step error = %+v", pe)
+	}
+}
+
+func TestPlanErrorRule3Derivation(t *testing.T) {
+	f := MustParse(fig3Src)
+	stepS := fig3StepS(t, f)
+
+	// A step whose query is not a subgoal subset of the flock rule.
+	foreign, err := datalog.ParseRule(`answer(P) :- unrelated(P,$s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{foreign}}
+	pe := asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{bad, FinalStep(f, "ok", bad)}}).Validate())
+	if pe.LegalityRule != 3 || pe.Step != "okS" || pe.RuleIndex != 0 {
+		t.Errorf("not-derived error = %+v, want rule 3 on step okS rule 0", pe)
+	}
+	if !strings.Contains(pe.Msg, "not derived") {
+		t.Errorf("message %q should say not derived", pe.Msg)
+	}
+
+	// Deleting subgoals must preserve safety: keep only the negated atom.
+	unsafe, err := datalog.ParseRule(`answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSafe := FilterStep{Name: "okS", Params: []datalog.Param{"s"}, Query: datalog.Union{unsafe}}
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{badSafe, FinalStep(f, "ok", badSafe)}}).Validate())
+	if pe.LegalityRule != 3 || !strings.Contains(pe.Msg, "unsafe") {
+		t.Errorf("unsafe-step error = %+v", pe)
+	}
+
+	// Declared parameters must match the ones the query uses.
+	misdeclared := stepS
+	misdeclared.Params = []datalog.Param{"s", "m"}
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{misdeclared}}).Validate())
+	if pe.LegalityRule != 3 || !strings.Contains(pe.Msg, "declares parameters") {
+		t.Errorf("param-mismatch error = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "($s,$m)") {
+		t.Errorf("message %q should render the declared parameter list", pe.Error())
+	}
+
+	// Step references may not be negated.
+	neg := FinalStep(f, "ok", stepS)
+	negRule := neg.Query[0].Clone()
+	negRule.Body[0].(*datalog.Atom).Negated = true
+	neg.Query = datalog.Union{negRule}
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{stepS, neg}}).Validate())
+	if pe.LegalityRule != 3 || pe.Step != "ok" || !strings.Contains(pe.Msg, "negates") {
+		t.Errorf("negated-ref error = %+v", pe)
+	}
+}
+
+func TestPlanErrorRule4FinalStep(t *testing.T) {
+	f := MustParse(fig3Src)
+	stepS := fig3StepS(t, f)
+
+	// Final step with the wrong parameter set.
+	pe := asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{stepS}}).Validate())
+	if pe.LegalityRule != 4 || pe.Step != "okS" {
+		t.Errorf("final-params error = %+v, want rule 4 on step okS", pe)
+	}
+	if !strings.Contains(pe.Error(), "§4.2 legality rule 4") {
+		t.Errorf("message %q should mention legality rule 4", pe.Error())
+	}
+
+	// Final step that deletes an original subgoal.
+	trimmed := f.Query[0].DeleteSubgoals(len(f.Query[0].Body) - 1)
+	final := FilterStep{Name: "ok", Params: f.Params, Query: datalog.Union{trimmed}}
+	pe = asPlanError(t, (&Plan{Flock: f, Steps: []FilterStep{final}}).Validate())
+	if pe.LegalityRule != 4 || !strings.Contains(pe.Msg, "deletes subgoals") {
+		t.Errorf("deleted-subgoal error = %+v", pe)
+	}
+	if pe.RuleIndex != 0 {
+		t.Errorf("rule index = %d, want 0", pe.RuleIndex)
+	}
+}

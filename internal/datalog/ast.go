@@ -13,6 +13,9 @@ type Subgoal interface {
 	isSubgoal()
 	// terms returns the subgoal's argument terms.
 	terms() []Term
+	// Position returns the subgoal's source position (zero when the node
+	// was built programmatically rather than parsed).
+	Position() Pos
 }
 
 // Atom is a relational subgoal pred(t1, ..., tk), optionally negated.
@@ -21,11 +24,17 @@ type Atom struct {
 	Pred    string
 	Args    []Term
 	Negated bool
+	// Pos is the source position of the predicate name (zero if the atom
+	// was not parsed). It does not participate in structural equality.
+	Pos Pos
 }
 
 func (*Atom) isSubgoal() {}
 
 func (a *Atom) terms() []Term { return a.Args }
+
+// Position returns the atom's source position.
+func (a *Atom) Position() Pos { return a.Pos }
 
 // String renders the atom in paper notation, e.g. "NOT causes(D,$s)".
 func (a *Atom) String() string {
@@ -47,7 +56,7 @@ func (a *Atom) String() string {
 
 // Clone returns a deep copy of the atom (terms are immutable and shared).
 func (a *Atom) Clone() *Atom {
-	return &Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated}
+	return &Atom{Pred: a.Pred, Args: append([]Term(nil), a.Args...), Negated: a.Negated, Pos: a.Pos}
 }
 
 // NewAtom builds a positive atom.
@@ -65,11 +74,17 @@ type Comparison struct {
 	Op    CmpOp
 	Left  Term
 	Right Term
+	// Pos is the source position of the left operand (zero if the
+	// comparison was not parsed).
+	Pos Pos
 }
 
 func (*Comparison) isSubgoal() {}
 
 func (c *Comparison) terms() []Term { return []Term{c.Left, c.Right} }
+
+// Position returns the comparison's source position.
+func (c *Comparison) Position() Pos { return c.Pos }
 
 // String renders the comparison, e.g. "$1 < $2".
 func (c *Comparison) String() string {
@@ -77,7 +92,9 @@ func (c *Comparison) String() string {
 }
 
 // Clone returns a copy of the comparison.
-func (c *Comparison) Clone() *Comparison { return &Comparison{Op: c.Op, Left: c.Left, Right: c.Right} }
+func (c *Comparison) Clone() *Comparison {
+	return &Comparison{Op: c.Op, Left: c.Left, Right: c.Right, Pos: c.Pos}
+}
 
 // Rule is one extended conjunctive query: a head atom and a body of
 // subgoals, implicitly conjoined. A flock's query is a union of Rules with
@@ -89,6 +106,9 @@ type Rule struct {
 
 // NewRule builds a rule.
 func NewRule(head *Atom, body ...Subgoal) *Rule { return &Rule{Head: head, Body: body} }
+
+// Position returns the rule's source position (its head's).
+func (r *Rule) Position() Pos { return r.Head.Pos }
 
 // Clone returns a deep copy of the rule.
 func (r *Rule) Clone() *Rule {
@@ -322,7 +342,9 @@ func (u Union) String() string {
 	return strings.Join(parts, "\n")
 }
 
-// Validate checks that the union is non-empty and head-compatible.
+// Validate checks that the union is non-empty and head-compatible. When
+// the offending rule carries a source position the error is a positioned
+// *SyntaxError.
 func (u Union) Validate() error {
 	if len(u) == 0 {
 		return fmt.Errorf("datalog: empty union")
@@ -330,6 +352,9 @@ func (u Union) Validate() error {
 	h0 := u[0].Head
 	for _, r := range u[1:] {
 		if r.Head.Pred != h0.Pred || len(r.Head.Args) != len(h0.Args) {
+			if r.Head.Pos.IsValid() {
+				return syntaxErrorf(r.Head.Pos, "union heads differ: %s vs %s", h0, r.Head)
+			}
 			return fmt.Errorf("datalog: union heads differ: %s vs %s", h0, r.Head)
 		}
 	}

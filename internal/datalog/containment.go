@@ -24,23 +24,43 @@ import (
 // parameter maps only to itself, reflecting that a flock compares the two
 // queries under a common parameter assignment.
 func Contains(q1, q2 *Rule) (bool, error) {
+	ok, _, err := containsBounded(q1, q2, -1)
+	return ok, err
+}
+
+// ContainsBounded is Contains with a cap on backtracking work: the search
+// spends at most `budget` atom-match attempts before giving up (negative
+// budget = unlimited). It reports (contained, decided, err); decided is
+// false when the budget ran out before the search concluded, in which
+// case contained is meaningless. Static analyses use the bounded form so
+// adversarial inputs — many same-predicate subgoals make the
+// containment-mapping search exponential — cannot stall a lint run.
+func ContainsBounded(q1, q2 *Rule, budget int) (contained, decided bool, err error) {
+	return containsBounded(q1, q2, budget)
+}
+
+func containsBounded(q1, q2 *Rule, budget int) (bool, bool, error) {
 	for _, r := range []*Rule{q1, q2} {
 		if len(r.NegatedAtoms()) > 0 || len(r.Comparisons()) > 0 {
-			return false, fmt.Errorf("datalog: Contains requires pure conjunctive queries; %s has negation or arithmetic", r.Head.Pred)
+			return false, true, fmt.Errorf("datalog: Contains requires pure conjunctive queries; %s has negation or arithmetic", r.Head.Pred)
 		}
 	}
 	if q1.Head.Pred != q2.Head.Pred || len(q1.Head.Args) != len(q2.Head.Args) {
-		return false, nil
+		return false, true, nil
 	}
 
 	theta := make(map[Var]Term)
 	// The head of q1 must map onto the head of q2.
 	for i, t1 := range q1.Head.Args {
 		if !bind(theta, t1, q2.Head.Args[i]) {
-			return false, nil
+			return false, true, nil
 		}
 	}
-	return matchAtoms(q1.PositiveAtoms(), q2.PositiveAtoms(), theta), nil
+	m := &matcher{budget: budget}
+	if m.match(q1.PositiveAtoms(), q2.PositiveAtoms(), theta) {
+		return true, true, nil
+	}
+	return false, !m.exhausted, nil
 }
 
 // bind extends theta so that term t1 (from q1) maps to t2 (from q2);
@@ -80,14 +100,26 @@ func termEqual(a, b Term) bool {
 	}
 }
 
-// matchAtoms backtracks over assignments of each atom of as1 to a
-// compatible atom of as2 under theta.
-func matchAtoms(as1, as2 []*Atom, theta map[Var]Term) bool {
+// matcher backtracks over assignments of each atom of as1 to a compatible
+// atom of as2 under theta, charging one budget unit per attempted pairing.
+type matcher struct {
+	budget    int // remaining attempts; negative = unlimited
+	exhausted bool
+}
+
+func (m *matcher) match(as1, as2 []*Atom, theta map[Var]Term) bool {
 	if len(as1) == 0 {
 		return true
 	}
 	a1 := as1[0]
 	for _, a2 := range as2 {
+		if m.budget == 0 {
+			m.exhausted = true
+			return false
+		}
+		if m.budget > 0 {
+			m.budget--
+		}
 		if a1.Pred != a2.Pred || len(a1.Args) != len(a2.Args) {
 			continue
 		}
@@ -110,7 +142,7 @@ func matchAtoms(as1, as2 []*Atom, theta map[Var]Term) bool {
 				break
 			}
 		}
-		if ok && matchAtoms(as1[1:], as2, theta) {
+		if ok && m.match(as1[1:], as2, theta) {
 			return true
 		}
 		for _, v := range trail {

@@ -59,7 +59,7 @@ type lexer struct {
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
 
 func (lx *lexer) errorf(line, col int, format string, args ...any) error {
-	return fmt.Errorf("datalog: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+	return syntaxErrorf(Pos{Line: line, Col: col}, format, args...)
 }
 
 func (lx *lexer) peekByte() byte {

@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"queryflocks/internal/storage"
 )
@@ -15,6 +16,9 @@ type FlockSource struct {
 	Views  []*Rule
 	Query  Union
 	Filter FilterSpec
+	// FilterPos is the source position of the filter condition (its
+	// aggregate keyword); zero when the source was built programmatically.
+	FilterPos Pos
 }
 
 // PlanStepSpec is the parsed form of one FILTER step of a query plan
@@ -29,6 +33,8 @@ type PlanStepSpec struct {
 	Params []Param // the step's parameter list, in declared order
 	Query  Union
 	Filter FilterSpec
+	// Pos is the source position of the step's relation name.
+	Pos Pos
 }
 
 // PlanSpec is a parsed sequence of FILTER steps.
@@ -66,8 +72,10 @@ func (p *parser) advance() token {
 }
 
 func (p *parser) errorf(t token, format string, args ...any) error {
-	return fmt.Errorf("datalog: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+	return syntaxErrorf(tokenPos(t), format, args...)
 }
+
+func tokenPos(t token) Pos { return Pos{Line: t.line, Col: t.col} }
 
 func (p *parser) expect(k tokKind, what string) (token, error) {
 	t := p.peek()
@@ -160,6 +168,7 @@ func ParseFlock(src string) (*FlockSource, error) {
 	} else if t.text != "FILTER" {
 		return nil, p.errorf(t, "expected 'FILTER:', found '%s:'", t.text)
 	}
+	filterPos := tokenPos(p.peek())
 	f, err := p.filter()
 	if err != nil {
 		return nil, err
@@ -171,9 +180,9 @@ func ParseFlock(src string) (*FlockSource, error) {
 		return nil, err
 	}
 	if err := f.Validate(); err != nil {
-		return nil, err
+		return nil, syntaxErrorf(filterPos, "%s", strings.TrimPrefix(err.Error(), "datalog: "))
 	}
-	return &FlockSource{Views: views, Query: u, Filter: f}, nil
+	return &FlockSource{Views: views, Query: u, Filter: f, FilterPos: filterPos}, nil
 }
 
 // ParsePlan parses a sequence of FILTER steps in the Fig. 5 notation.
@@ -272,7 +281,7 @@ func (p *parser) subgoal() (Subgoal, error) {
 	if err != nil {
 		return nil, p.errorf(opTok, "%v", err)
 	}
-	return &Comparison{Op: op, Left: left, Right: right}, nil
+	return &Comparison{Op: op, Left: left, Right: right, Pos: tokenPos(t)}, nil
 }
 
 // atom parses: pred "(" term ("," term)* ")"
@@ -285,7 +294,7 @@ func (p *parser) atom() (*Atom, error) {
 	if _, err := p.expect(tokLParen, "'('"); err != nil {
 		return nil, err
 	}
-	a := &Atom{Pred: predTok.text}
+	a := &Atom{Pred: predTok.text, Pos: tokenPos(predTok)}
 	for {
 		t, err := p.term()
 		if err != nil {
@@ -494,7 +503,7 @@ func (p *parser) planStep() (PlanStepSpec, error) {
 				nameTok.text, i, params[i], stepParams[i])
 		}
 	}
-	return PlanStepSpec{Name: nameTok.text, Params: params, Query: u, Filter: f}, nil
+	return PlanStepSpec{Name: nameTok.text, Params: params, Query: u, Filter: f, Pos: tokenPos(nameTok)}, nil
 }
 
 // paramList parses "$a, $b, ..." stopping before the given terminator.

@@ -1,0 +1,38 @@
+package datalog
+
+import "fmt"
+
+// Pos is a source position (1-based line and column) recorded by the
+// parser on AST nodes so later analyses can anchor diagnostics to the
+// text that produced them. The zero Pos means "no position" — nodes built
+// programmatically (plan construction, subquery enumeration) carry none,
+// and Clone/Substitute/RenameParams preserve whatever the original had.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position was actually recorded.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// SyntaxError is a positioned lexing or parsing failure. The rendered
+// message keeps the historical "datalog: line:col: msg" shape, and the
+// structured fields let front-ends (flockvet, the REPL, flockd) convert
+// parse failures into positioned diagnostics instead of opaque strings.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders the failure in the parser's historical format.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("datalog: %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// syntaxErrorf builds a positioned syntax error.
+func syntaxErrorf(pos Pos, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

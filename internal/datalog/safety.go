@@ -17,6 +17,9 @@ type SafetyViolation struct {
 	Condition int    // 1, 2, or 3, numbered as in §3.3
 	Term      string // the offending variable or parameter, rendered
 	Subgoal   string // the subgoal that triggered the requirement ("" for heads)
+	// Pos anchors the violation: the offending subgoal's position, or the
+	// head's for condition (1). Zero for programmatically built rules.
+	Pos Pos
 }
 
 // Error renders the violation.
@@ -61,20 +64,20 @@ func CheckSafety(r *Rule) []SafetyViolation {
 	var out []SafetyViolation
 	for _, t := range r.Head.Args {
 		if _, isVar := t.(Var); isVar && !limited(t) {
-			out = append(out, SafetyViolation{Condition: 1, Term: t.String()})
+			out = append(out, SafetyViolation{Condition: 1, Term: t.String(), Pos: r.Head.Pos})
 		}
 	}
 	for _, a := range r.NegatedAtoms() {
 		for _, t := range a.Args {
 			if !limited(t) {
-				out = append(out, SafetyViolation{Condition: 2, Term: t.String(), Subgoal: a.String()})
+				out = append(out, SafetyViolation{Condition: 2, Term: t.String(), Subgoal: a.String(), Pos: a.Pos})
 			}
 		}
 	}
 	for _, c := range r.Comparisons() {
 		for _, t := range []Term{c.Left, c.Right} {
 			if !limited(t) {
-				out = append(out, SafetyViolation{Condition: 3, Term: t.String(), Subgoal: c.String()})
+				out = append(out, SafetyViolation{Condition: 3, Term: t.String(), Subgoal: c.String(), Pos: c.Pos})
 			}
 		}
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race cover bench fuzz lint experiments examples clean
+.PHONY: all build vet staticcheck test test-short race cover bench bench-pipeline fuzz lint experiments examples clean
 
 all: build vet staticcheck test race
 
@@ -40,6 +40,14 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Regenerate BENCH_pipeline.json: the three-executor comparison (interned
+# columnar vs row streaming vs materializing) on E1/E3/E6 at the
+# canonical scale and seed. Commit the refreshed file with any executor
+# change; CI gates allocation regressions against it via benchcheck.
+bench-pipeline:
+	$(GO) run ./cmd/flockbench -exp E1,E3,E6 -scale 0.25 -seed 1998 -json \
+		-pipeline-out BENCH_pipeline.json >/dev/null
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseFlock -fuzztime=30s ./internal/datalog/

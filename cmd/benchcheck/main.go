@@ -11,7 +11,11 @@
 //
 // -require-ops lists operator kinds that must appear somewhere across the
 // reports; -min-reports is the minimum number of op_reports expected in
-// total. Violations print to stderr and exit non-zero.
+// total. Embedded "pipeline" entries (the three-executor comparison) are
+// validated too, and -pipeline-baseline FILE additionally fails the check
+// when any (experiment, workload) pair allocates more than 1.1x its
+// committed alloc_stream_bytes — the CI columnar-regression gate.
+// Violations print to stderr and exit non-zero.
 package main
 
 import (
@@ -38,12 +42,37 @@ type table struct {
 	ID        string           `json:"id"`
 	Title     string           `json:"title"`
 	OpReports []*obs.RunReport `json:"op_reports"`
+	Pipeline  []pipelineMetric `json:"pipeline"`
+}
+
+// pipelineMetric mirrors experiments.PipelineMetric: the three-executor
+// comparison plus the columnar run's dictionary statistics.
+type pipelineMetric struct {
+	Name             string `json:"name"`
+	PeakStream       int    `json:"peak_stream_tuples"`
+	PeakMaterialize  int    `json:"peak_materialize_tuples"`
+	AllocStream      int64  `json:"alloc_stream_bytes"`
+	AllocMaterialize int64  `json:"alloc_materialize_bytes"`
+	PeakStreamRows   int    `json:"peak_stream_rows_tuples"`
+	AllocStreamRows  int64  `json:"alloc_stream_rows_bytes"`
+	DictSize         int    `json:"dict_size"`
+	InternHits       uint64 `json:"intern_hits"`
+	InternMisses     uint64 `json:"intern_misses"`
+}
+
+// baselineFile is the BENCH_pipeline.json schema -pipeline-baseline reads.
+type baselineFile struct {
+	Experiments []struct {
+		ID       string           `json:"id"`
+		Pipeline []pipelineMetric `json:"pipeline"`
+	} `json:"experiments"`
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	requireOps := fs.String("require-ops", "", "comma-separated operator kinds that must appear (e.g. join,group,step)")
 	minReports := fs.Int("min-reports", 1, "minimum total op_reports across all tables")
+	baseline := fs.String("pipeline-baseline", "", "BENCH_pipeline.json-schema file; fail if any matching (id,name) allocates more than 1.1x its baseline alloc_stream_bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +86,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	seenOps := map[obs.Op]bool{}
-	reports := 0
+	reports, pipelines := 0, 0
 	for _, t := range tables {
 		if t.ID == "" {
 			return fmt.Errorf("table with empty id")
@@ -71,6 +100,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 				seenOps[s.Op] = true
 			}
 		}
+		for i, p := range t.Pipeline {
+			pipelines++
+			if err := checkPipeline(p); err != nil {
+				return fmt.Errorf("%s pipeline[%d]: %w", t.ID, i, err)
+			}
+		}
+	}
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, tables); err != nil {
+			return err
+		}
 	}
 	if reports < *minReports {
 		return fmt.Errorf("%d op_reports, want at least %d (run an instrumented experiment with -json)", reports, *minReports)
@@ -81,7 +121,76 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "benchcheck: %d table(s), %d op_report(s), ops %s\n", len(tables), reports, opList(seenOps))
+	fmt.Fprintf(out, "benchcheck: %d table(s), %d op_report(s), %d pipeline metric(s), ops %s\n",
+		len(tables), reports, pipelines, opList(seenOps))
+	return nil
+}
+
+// checkPipeline enforces the pipeline-metric invariants: a workload
+// name, non-negative gauges, and a populated dictionary — the columnar
+// executor always holds at least the null sentinel, so dict_size == 0
+// means the run silently fell back to boxed values.
+func checkPipeline(p pipelineMetric) error {
+	if p.Name == "" {
+		return fmt.Errorf("missing workload name")
+	}
+	for field, v := range map[string]int64{
+		"peak_stream_tuples":      int64(p.PeakStream),
+		"peak_materialize_tuples": int64(p.PeakMaterialize),
+		"peak_stream_rows_tuples": int64(p.PeakStreamRows),
+		"alloc_stream_bytes":      p.AllocStream,
+		"alloc_materialize_bytes": p.AllocMaterialize,
+		"alloc_stream_rows_bytes": p.AllocStreamRows,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%s: negative %s", p.Name, field)
+		}
+	}
+	if p.DictSize < 1 {
+		return fmt.Errorf("%s: dict_size %d, want >= 1 (columnar run never touched the dictionary)", p.Name, p.DictSize)
+	}
+	return nil
+}
+
+// checkBaseline compares each pipeline metric against the committed
+// baseline file by (experiment id, workload name): the columnar
+// executor's allocation may not regress by more than 10%. Entries
+// missing from the baseline (new workloads) pass.
+func checkBaseline(path string, tables []table) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading pipeline baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return fmt.Errorf("invalid pipeline baseline %s: %w", path, err)
+	}
+	ref := map[string]int64{}
+	for _, e := range bf.Experiments {
+		for _, p := range e.Pipeline {
+			ref[e.ID+"/"+p.Name] = p.AllocStream
+		}
+	}
+	if len(ref) == 0 {
+		return fmt.Errorf("pipeline baseline %s has no entries", path)
+	}
+	matched := 0
+	for _, t := range tables {
+		for _, p := range t.Pipeline {
+			want, ok := ref[t.ID+"/"+p.Name]
+			if !ok {
+				continue
+			}
+			matched++
+			if limit := want + want/10; p.AllocStream > limit {
+				return fmt.Errorf("%s %q: alloc_stream_bytes %d exceeds 1.1x baseline %d",
+					t.ID, p.Name, p.AllocStream, want)
+			}
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no pipeline metric matches any baseline entry (ids/names drifted?)")
+	}
 	return nil
 }
 
@@ -100,6 +209,7 @@ var knownOps = map[obs.Op]bool{
 	obs.OpUnion:       true,
 	obs.OpGroup:       true,
 	obs.OpMaterialize: true,
+	obs.OpSymJoin:     true,
 	obs.OpStep:        true,
 	obs.OpDecision:    true,
 	obs.OpView:        true,

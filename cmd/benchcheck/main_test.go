@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestBenchcheckAcceptsPhysicalOps(t *testing.T) {
 	kinds := []obs.Op{
 		obs.OpScan, obs.OpBuild, obs.OpJoin, obs.OpAntiJoin, obs.OpSelect,
 		obs.OpProject, obs.OpUnion, obs.OpGroup, obs.OpMaterialize,
-		obs.OpStep, obs.OpDecision, obs.OpView, obs.OpNote,
+		obs.OpSymJoin, obs.OpStep, obs.OpDecision, obs.OpView, obs.OpNote,
 	}
 	for i, op := range kinds {
 		c.Record(obs.Event{Op: op, ID: i + 1, Desc: "d", RowsIn: 1, RowsOut: 1})
@@ -56,9 +57,104 @@ func TestBenchcheckAcceptsPhysicalOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{"-require-ops", "scan,build,join,project,union,materialize"},
+	if err := run([]string{"-require-ops", "scan,build,join,symjoin,project,union,materialize"},
 		strings.NewReader(string(b)), &out); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// pipelineInput builds a flockbench -json document carrying one valid
+// pipeline metric alongside a valid op_report.
+func pipelineInput(t *testing.T, alloc int64) string {
+	t.Helper()
+	p := pipelineMetric{
+		Name: "direct support=20", PeakStream: 100, PeakMaterialize: 200,
+		AllocStream: alloc, AllocMaterialize: 2000, PeakStreamRows: 120,
+		AllocStreamRows: 1500, DictSize: 7, InternHits: 5, InternMisses: 1,
+	}
+	var doc []map[string]any
+	if err := json.Unmarshal([]byte(goodInput(t)), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc[0]["pipeline"] = []pipelineMetric{p}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func writeBaseline(t *testing.T, alloc int64) string {
+	t.Helper()
+	path := t.TempDir() + "/baseline.json"
+	base := map[string]any{"experiments": []map[string]any{{
+		"id": "E3",
+		"pipeline": []map[string]any{{
+			"name": "direct support=20", "alloc_stream_bytes": alloc,
+		}},
+	}}}
+	b, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchcheckPipeline(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(pipelineInput(t, 1000)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 pipeline metric(s)") {
+		t.Errorf("summary: %s", out.String())
+	}
+
+	// Invalid metrics must be rejected.
+	for name, mutate := range map[string]string{
+		"empty name":     `"name":"direct support=20"`,
+		"zero dict":      `"dict_size":7`,
+		"negative alloc": `"alloc_stream_bytes":1000`,
+	} {
+		bad := pipelineInput(t, 1000)
+		switch name {
+		case "empty name":
+			bad = strings.Replace(bad, mutate, `"name":""`, 1)
+		case "zero dict":
+			bad = strings.Replace(bad, mutate, `"dict_size":0`, 1)
+		case "negative alloc":
+			bad = strings.Replace(bad, mutate, `"alloc_stream_bytes":-5`, 1)
+		}
+		if err := run(nil, strings.NewReader(bad), &strings.Builder{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBenchcheckPipelineBaseline(t *testing.T) {
+	// Within 10% of the baseline: passes.
+	ok := writeBaseline(t, 950)
+	if err := run([]string{"-pipeline-baseline", ok},
+		strings.NewReader(pipelineInput(t, 1000)), &strings.Builder{}); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+	// More than 1.1x the baseline: the regression gate trips.
+	low := writeBaseline(t, 500)
+	err := run([]string{"-pipeline-baseline", low},
+		strings.NewReader(pipelineInput(t, 1000)), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "exceeds 1.1x baseline") {
+		t.Fatalf("regression should trip the gate, got %v", err)
+	}
+	// A baseline that matches nothing is a configuration error.
+	drift := t.TempDir() + "/drift.json"
+	if err := os.WriteFile(drift, []byte(`{"experiments":[{"id":"E9","pipeline":[{"name":"x","alloc_stream_bytes":1}]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pipeline-baseline", drift},
+		strings.NewReader(pipelineInput(t, 1000)), &strings.Builder{}); err == nil {
+		t.Error("unmatched baseline should fail")
 	}
 }
 

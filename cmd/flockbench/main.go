@@ -19,6 +19,12 @@
 // time). -pprof serves net/http/pprof and expvar on the given address for
 // live profiling of long runs; the last completed experiment's reports are
 // published under the expvar key "flock_last_report".
+//
+// -pipeline-out FILE extracts the executor pipeline comparison (interned
+// columnar vs row-at-a-time streaming vs materializing: peak buffered
+// tuples, allocation, dictionary statistics) into FILE using the
+// BENCH_pipeline.json schema; it implies metrics collection and composes
+// with both output modes.
 package main
 
 import (
@@ -51,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		asJSON  = fs.Bool("json", false, "emit results as a JSON array (with per-operator op_reports) instead of tables")
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		timeout = fs.Duration("timeout", 0, "wall-clock limit per strategy evaluation (0 = none); exceeding runs abort with a typed error")
+		pipeOut = fs.String("pipeline-out", "", "write the executor pipeline comparison (BENCH_pipeline.json schema) to this file; implies metrics collection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +77,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "flockbench: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Metrics: *asJSON || *pprof != "", Timeout: *timeout}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers,
+		Metrics: *asJSON || *pprof != "" || *pipeOut != "", Timeout: *timeout}
 	suite := experiments.Suite()
 	if *exp != "" {
 		suite = suite[:0:0]
@@ -95,6 +103,9 @@ func run(args []string, out io.Writer) error {
 			}
 			tables = append(tables, tab)
 		}
+		if err := writePipeline(*pipeOut, cfg, *exp, tables); err != nil {
+			return err
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(tables)
@@ -102,6 +113,7 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "query-flocks reproduction suite (scale %.2f, seed %d)\n\n", cfg.Scale, cfg.Seed)
 	failed := 0
+	var tables []*experiments.Table
 	for _, e := range suite {
 		start := time.Now()
 		tab, err := e.Run(cfg)
@@ -113,11 +125,66 @@ func run(args []string, out io.Writer) error {
 		for _, r := range tab.OpReports {
 			obs.PublishReport(r)
 		}
+		tables = append(tables, tab)
 		fmt.Fprintln(out, tab)
 		fmt.Fprintf(out, "(%s total %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
-	return nil
+	return writePipeline(*pipeOut, cfg, *exp, tables)
+}
+
+// pipelineFile is the BENCH_pipeline.json schema: the command line that
+// regenerates the numbers, the workload knobs, and each experiment's
+// executor comparison.
+type pipelineFile struct {
+	Generator   string               `json:"generator"`
+	Scale       float64              `json:"scale"`
+	Seed        int64                `json:"seed"`
+	Experiments []pipelineExperiment `json:"experiments"`
+}
+
+type pipelineExperiment struct {
+	ID       string                       `json:"id"`
+	Title    string                       `json:"title"`
+	Pipeline []experiments.PipelineMetric `json:"pipeline"`
+}
+
+// writePipeline writes the pipeline comparison of every table that
+// recorded one. A table with no pipeline metrics (the experiment does
+// not call AddPipeline) is skipped, not an error; an empty path is a
+// no-op.
+func writePipeline(path string, cfg experiments.Config, exp string, tables []*experiments.Table) error {
+	if path == "" {
+		return nil
+	}
+	gen := "go run ./cmd/flockbench -json"
+	if exp != "" {
+		gen = fmt.Sprintf("go run ./cmd/flockbench -exp %s -scale %g -json", exp, cfg.Scale)
+	}
+	if cfg.Workers != 0 {
+		gen += fmt.Sprintf(" -workers %d", cfg.Workers)
+	}
+	pf := pipelineFile{Generator: gen, Scale: cfg.Scale, Seed: cfg.Seed}
+	for _, t := range tables {
+		if len(t.Pipeline) == 0 {
+			continue
+		}
+		pf.Experiments = append(pf.Experiments, pipelineExperiment{ID: t.ID, Title: t.Title, Pipeline: t.Pipeline})
+	}
+	if len(pf.Experiments) == 0 {
+		return fmt.Errorf("-pipeline-out: no selected experiment records pipeline metrics")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -113,6 +114,52 @@ func TestRunE1TinyScaleClampsSupports(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E1") {
 		t.Errorf("output missing E1 table:\n%s", out.String())
+	}
+}
+
+// TestRunPipelineOut checks -pipeline-out writes the BENCH_pipeline.json
+// schema with the three-executor comparison and dictionary statistics.
+func TestRunPipelineOut(t *testing.T) {
+	path := t.TempDir() + "/pipeline.json"
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-scale", "0.05", "-pipeline-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf struct {
+		Generator   string  `json:"generator"`
+		Scale       float64 `json:"scale"`
+		Seed        int64   `json:"seed"`
+		Experiments []struct {
+			ID       string `json:"id"`
+			Pipeline []struct {
+				Name            string `json:"name"`
+				AllocStream     int64  `json:"alloc_stream_bytes"`
+				AllocStreamRows int64  `json:"alloc_stream_rows_bytes"`
+				DictSize        int    `json:"dict_size"`
+			} `json:"pipeline"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		t.Fatalf("invalid pipeline JSON: %v\n%s", err, raw)
+	}
+	if pf.Scale != 0.05 || pf.Seed != 1998 || !strings.Contains(pf.Generator, "-exp E1") {
+		t.Errorf("header = %+v", pf)
+	}
+	if len(pf.Experiments) != 1 || pf.Experiments[0].ID != "E1" || len(pf.Experiments[0].Pipeline) == 0 {
+		t.Fatalf("experiments = %+v", pf.Experiments)
+	}
+	p := pf.Experiments[0].Pipeline[0]
+	if p.Name == "" || p.AllocStream <= 0 || p.AllocStreamRows <= 0 || p.DictSize < 1 {
+		t.Errorf("pipeline metric = %+v", p)
+	}
+	// An experiment with no pipeline metrics must refuse to write an
+	// empty comparison.
+	if err := run([]string{"-exp", "E8", "-scale", "0.05", "-pipeline-out", t.TempDir() + "/x.json"}, &out); err == nil {
+		t.Error("E8 records no pipeline metrics; -pipeline-out should error")
 	}
 }
 

@@ -29,6 +29,22 @@ func (g physGrouper) NewGroup() physical.GroupAcc { return g.f.NewGroup() }
 func compileFiltered(db *storage.Database, params []datalog.Param, query datalog.Union,
 	filter Filter, name string, opts *EvalOptions, register func(*storage.Relation) error) (*physical.Plan, error) {
 
+	group, err := compileFilteredNode(db, params, query, filter, name, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return physical.NewPlan(physical.NewMaterialize(name, group, nil, "", register)), nil
+}
+
+// compileFilteredNode builds the FILTER computation's pipeline up to and
+// including the group operator, without the Materialize sink — the fused
+// plan executor feeds this node straight into a consuming step's
+// symmetric hash join. streams, when non-nil, maps predicate names to
+// producer pipelines replacing stored relations (see
+// physical.RuleOpts.Streams).
+func compileFilteredNode(db *storage.Database, params []datalog.Param, query datalog.Union,
+	filter Filter, name string, opts *EvalOptions, streams map[string]physical.Node) (physical.Node, error) {
+
 	if filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
 	}
@@ -43,8 +59,9 @@ func compileFiltered(db *storage.Database, params []datalog.Param, query datalog
 			return nil, err
 		}
 		node, err := physical.CompileRule(db, r, physical.RuleOpts{
-			Order: order,
-			Out:   extendedOut(params, r),
+			Order:   order,
+			Out:     extendedOut(params, r),
+			Streams: streams,
 		})
 		if err != nil {
 			return nil, err
@@ -59,11 +76,7 @@ func compileFiltered(db *storage.Database, params []datalog.Param, query datalog
 		}
 		in = un
 	}
-	group, err := physical.NewGroup(name, len(params), physGrouper{filter}, filter.String(), in)
-	if err != nil {
-		return nil, err
-	}
-	return physical.NewPlan(physical.NewMaterialize(name, group, nil, "", register)), nil
+	return physical.NewGroup(name, len(params), physGrouper{filter}, filter.String(), in)
 }
 
 // CompileDirect returns the physical plan the direct strategy executes

@@ -128,7 +128,7 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 	if filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
 	}
-	if opts.execMode() == eval.ExecStream {
+	if opts.execMode().Streaming() {
 		plan, err := compileFiltered(db, params, query, filter, name, opts, nil)
 		if err != nil {
 			return nil, err

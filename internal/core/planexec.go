@@ -94,7 +94,7 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 // step is compiled at execution time so the join order sees the actual
 // sizes of earlier step relations.
 func executeStep(scratch *storage.Database, p *Plan, step FilterStep, opts *EvalOptions) (*storage.Relation, error) {
-	if opts.execMode() == eval.ExecStream {
+	if opts.execMode().Streaming() {
 		register := func(rel *storage.Relation) error {
 			scratch.Add(rel)
 			return nil

@@ -36,22 +36,37 @@ type ExecMode int
 
 const (
 	// ExecStream (the default) compiles rules to internal/physical plans
-	// and streams batches through the operator pipeline; intermediates
-	// materialize only at pipeline breakers.
+	// and streams columnar batches of interned value IDs through the
+	// operator pipeline; intermediates materialize only at pipeline
+	// breakers, and boxed Values appear only at sinks and inside
+	// comparison/aggregate arithmetic.
 	ExecStream ExecMode = iota
 	// ExecMaterialize runs the legacy relation-at-a-time executor, which
 	// materializes every intermediate binding relation. Kept as the
 	// bit-identical oracle baseline and for peak-memory comparisons.
 	ExecMaterialize
+	// ExecStreamRows streams boxed tuple rows through the same physical
+	// plans — the pre-interning pipeline. Kept as the columnar path's
+	// second bit-identical differential oracle.
+	ExecStreamRows
 )
 
-// String names the mode ("stream" / "materialize").
+// String names the mode ("stream" / "materialize" / "stream-rows").
 func (m ExecMode) String() string {
-	if m == ExecMaterialize {
+	switch m {
+	case ExecMaterialize:
 		return "materialize"
+	case ExecStreamRows:
+		return "stream-rows"
+	default:
+		return "stream"
 	}
-	return "stream"
 }
+
+// Streaming reports whether the mode runs compiled physical plans (the
+// columnar default or the boxed row oracle) rather than the legacy
+// materializing executor.
+func (m ExecMode) Streaming() bool { return m == ExecStream || m == ExecStreamRows }
 
 // Options configures rule evaluation.
 type Options struct {
@@ -166,6 +181,12 @@ func ResolveOrder(db *storage.Database, r *datalog.Rule, opts *Options) ([]int, 
 func RunPlan(db *storage.Database, plan *physical.Plan, opts *Options) (*storage.Relation, error) {
 	o := opts.orDefault()
 	ctx := &physical.Ctx{DB: db, Workers: o.Workers, Col: o.Trace.Collector(), Gate: o.gate()}
+	if o.Exec == ExecStream {
+		// The columnar default executes over interned IDs; ExecStreamRows
+		// leaves Dict nil and takes the boxed row path through the same
+		// plan, bit-identically.
+		ctx.Dict = db.Dict()
+	}
 	return plan.Run(ctx)
 }
 
@@ -213,7 +234,7 @@ func EvalUnion(db *storage.Database, u datalog.Union, outFor func(*datalog.Rule)
 	// Resolve the gate once so every branch — parallel or not — shares
 	// one wall clock and budget.
 	o := opts.orDefault().withGate()
-	if o.Exec == ExecStream && !(o.Parallel && len(u) > 1) {
+	if o.Exec.Streaming() && !(o.Parallel && len(u) > 1) {
 		// Compile the whole union to one fused plan: per-branch pipelines
 		// (deduplicated projections) concatenated by a union operator into
 		// one sink. Branch order and per-branch emission order match the

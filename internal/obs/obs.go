@@ -46,6 +46,9 @@ const (
 	// OpMaterialize collects a stream into a relation: the plan sink, a
 	// FILTER-step result, or a dynamic decision barrier.
 	OpMaterialize Op = "materialize"
+	// OpSymJoin is a symmetric hash join of two streaming inputs (no
+	// Build barrier; both sides insert-then-probe).
+	OpSymJoin Op = "symjoin"
 	// OpStep is one completed FILTER step of a query plan (§4.2).
 	OpStep Op = "step"
 	// OpDecision is one §4.4 dynamic filter/don't-filter decision.
@@ -80,6 +83,12 @@ type Event struct {
 	Wall time.Duration `json:"wall_ns,omitempty"`
 	// Filtered reports, for decision events, that the FILTER fired.
 	Filtered bool `json:"filtered,omitempty"`
+	// IDBatches counts batches the operator processed in columnar
+	// interned-ID form; BoxedBatches counts row-at-a-time batches of
+	// boxed Values. Together they show how much of a run stayed on the
+	// integer hot path.
+	IDBatches    int `json:"id_batches,omitempty"`
+	BoxedBatches int `json:"boxed_batches,omitempty"`
 }
 
 // String renders the event one-line, prefix included.
@@ -112,6 +121,8 @@ func (e Event) Label() string {
 			return fmt.Sprintf("join %s (+%d absorbed)", e.Desc, e.Absorbed)
 		}
 		return "join " + e.Desc
+	case OpSymJoin:
+		return "symjoin " + e.Desc
 	case OpAntiJoin:
 		return "antijoin " + e.Desc
 	case OpSelect:
@@ -163,6 +174,10 @@ type Collector struct {
 	events []Event
 	peak   int
 
+	dictSize     int
+	internHits   uint64
+	internMisses uint64
+
 	start       time.Time
 	startAllocs uint64
 	startBytes  uint64
@@ -197,6 +212,28 @@ func (c *Collector) ObservePeak(n int) {
 	c.mu.Lock()
 	if n > c.peak {
 		c.peak = n
+	}
+	c.mu.Unlock()
+}
+
+// ObserveDict records the value-dictionary state after a columnar run:
+// the dictionary size and the cumulative intern hit/miss counters (the
+// hit rate shows how much interning amortizes across re-evaluations).
+// Size and counters take the max across observations, matching the
+// monotone counters they mirror. Nil-safe.
+func (c *Collector) ObserveDict(size int, hits, misses uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if size > c.dictSize {
+		c.dictSize = size
+	}
+	if hits > c.internHits {
+		c.internHits = hits
+	}
+	if misses > c.internMisses {
+		c.internMisses = misses
 	}
 	c.mu.Unlock()
 }
@@ -236,6 +273,9 @@ func (c *Collector) Report(strategy string, workers, answerRows int) *RunReport 
 	}
 	c.mu.Lock()
 	r.PeakTuples = c.peak
+	r.DictSize = c.dictSize
+	r.InternHits = c.internHits
+	r.InternMisses = c.internMisses
 	c.mu.Unlock()
 	if !c.start.IsZero() {
 		r.WallNs = time.Since(c.start).Nanoseconds()
@@ -280,6 +320,15 @@ type RunReport struct {
 	// TotalRows sums all intermediate sizes — the cost proxy the planner's
 	// estimates are calibrated against.
 	TotalRows int `json:"total_rows"`
+	// DictSize is the value-dictionary cardinality after a columnar run
+	// (distinct interned value classes, null included); zero when the run
+	// never touched the dictionary.
+	DictSize int `json:"dict_size,omitempty"`
+	// InternHits and InternMisses are the dictionary's cumulative intern
+	// counters: hits found the value already interned, misses appended a
+	// fresh ID.
+	InternHits   uint64 `json:"intern_hits,omitempty"`
+	InternMisses uint64 `json:"intern_misses,omitempty"`
 	// Steps is the per-operator event list, in execution order.
 	Steps []Event `json:"steps"`
 }
@@ -303,6 +352,12 @@ func (r *RunReport) Tree() string {
 	if r.Allocs > 0 {
 		fmt.Fprintf(&b, "  [%d allocs, %s]", r.Allocs, byteSize(r.AllocBytes))
 	}
+	if r.DictSize > 0 {
+		fmt.Fprintf(&b, "  dict=%d", r.DictSize)
+		if total := r.InternHits + r.InternMisses; total > 0 {
+			fmt.Fprintf(&b, " (%.0f%% intern hits)", 100*float64(r.InternHits)/float64(total))
+		}
+	}
 	b.WriteByte('\n')
 	depth := 0
 	for _, e := range r.Steps {
@@ -315,7 +370,7 @@ func (r *RunReport) Tree() string {
 			depth++
 		case OpBuild:
 			writeTreeLine(&b, depth, e)
-		case OpJoin, OpAntiJoin, OpSelect, OpProject:
+		case OpJoin, OpSymJoin, OpAntiJoin, OpSelect, OpProject:
 			writeTreeLine(&b, depth, e)
 			depth++
 		case OpDecision:

@@ -32,6 +32,10 @@ type Ctx struct {
 	// checkpoint: operators consult it at batch boundaries, and the
 	// buffered-tuple gauge feeds its tuple budget. Nil means unlimited.
 	Gate *Gate
+	// Dict, when non-nil, selects columnar execution: operators stream
+	// batches of interned uint32 IDs from this dictionary instead of
+	// boxed tuple rows. Results are bit-identical to the row path.
+	Dict *storage.Dict
 
 	buffered int
 	peak     int
@@ -70,6 +74,9 @@ func (p *Plan) Run(ctx *Ctx) (*storage.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("physical: plan root is %s, want materialize", p.Root.Kind())
 	}
+	if ctx.Dict != nil {
+		return p.runColumnar(ctx, root)
+	}
 	op := root.newOp(p).(*materializeOp)
 	op.sink = true // the answer relation: where the MaxRows budget applies
 	err := op.open(ctx)
@@ -79,6 +86,26 @@ func (p *Plan) Run(ctx *Ctx) (*storage.Relation, error) {
 	op.close(ctx)
 	if ctx.Col != nil {
 		ctx.Col.ObservePeak(ctx.peak)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return op.rel, nil
+}
+
+// runColumnar is Run's interned-ID twin: the same plan, instantiated as
+// columnar operators keyed on ctx.Dict.
+func (p *Plan) runColumnar(ctx *Ctx, root *MaterializeNode) (*storage.Relation, error) {
+	op := newColOp(p, root).(*colMaterializeOp)
+	op.sink = true
+	err := op.open(ctx)
+	if err == nil {
+		err = op.materialize(ctx)
+	}
+	op.close(ctx)
+	if ctx.Col != nil {
+		ctx.Col.ObservePeak(ctx.peak)
+		ctx.Col.ObserveDict(ctx.Dict.Len(), ctx.Dict.Hits(), ctx.Dict.Misses())
 	}
 	if err != nil {
 		return nil, err

@@ -32,6 +32,7 @@ type scanOp struct {
 	keyBuf    []byte
 
 	rowsOut int
+	batches int
 	wall    time.Duration
 }
 
@@ -98,6 +99,7 @@ scan:
 		out = append(out, row)
 	}
 	o.rowsOut += len(out)
+	o.batches++
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
@@ -109,6 +111,7 @@ func (o *scanOp) close(ctx *Ctx) {
 		Op: obs.OpScan, ID: o.id, Desc: o.n.atom,
 		RowsIn: len(o.tuples), RowsOut: o.rowsOut,
 		Absorbed: len(o.n.checks), Workers: 1, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -132,7 +135,7 @@ func (o *unitOp) next(*Ctx) ([]storage.Tuple, bool, error) {
 }
 
 func (o *unitOp) close(ctx *Ctx) {
-	record(ctx, obs.Event{Op: obs.OpScan, ID: o.id, Desc: "unit", RowsIn: 1, RowsOut: 1, Workers: 1})
+	record(ctx, obs.Event{Op: obs.OpScan, ID: o.id, Desc: "unit", RowsIn: 1, RowsOut: 1, Workers: 1, BoxedBatches: 1})
 }
 
 // --- hash join (with its build side) ---
@@ -159,6 +162,7 @@ type joinOp struct {
 	rowsIn       int
 	rowsOut      int
 	used         int
+	batches      int
 	wall         time.Duration
 }
 
@@ -281,6 +285,7 @@ func (o *joinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	}
 	o.rowsIn += len(batch)
 	o.rowsOut += len(out)
+	o.batches++
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
@@ -314,6 +319,7 @@ func (o *joinOp) close(ctx *Ctx) {
 		Op: obs.OpJoin, ID: o.id, Desc: o.n.atom,
 		RowsIn: o.rowsIn, RowsOut: o.rowsOut,
 		Absorbed: len(o.n.checks), Workers: o.used, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -334,6 +340,7 @@ type antiJoinOp struct {
 	rowsIn  int
 	rowsOut int
 	used    int
+	batches int
 	wall    time.Duration
 }
 
@@ -407,6 +414,7 @@ func (o *antiJoinOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	}
 	o.rowsIn += len(batch)
 	o.rowsOut += len(out)
+	o.batches++
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
@@ -418,6 +426,7 @@ func (o *antiJoinOp) close(ctx *Ctx) {
 	record(ctx, obs.Event{
 		Op: obs.OpAntiJoin, ID: o.id, Desc: o.n.atom,
 		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Workers: o.used, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -434,6 +443,7 @@ type selectOp struct {
 
 	rowsIn  int
 	rowsOut int
+	batches int
 	wall    time.Duration
 }
 
@@ -457,6 +467,7 @@ func (o *selectOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	}
 	o.rowsIn += len(batch)
 	o.rowsOut += len(out)
+	o.batches++
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
@@ -468,6 +479,7 @@ func (o *selectOp) close(ctx *Ctx) {
 	record(ctx, obs.Event{
 		Op: obs.OpSelect, ID: o.id, Desc: o.n.desc,
 		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -492,6 +504,7 @@ type projectOp struct {
 
 	rowsIn  int
 	rowsOut int
+	batches int
 	wall    time.Duration
 }
 
@@ -527,6 +540,7 @@ func (o *projectOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	}
 	o.rowsIn += len(batch)
 	o.rowsOut += len(out)
+	o.batches++
 	if ctx.Col != nil {
 		o.wall += time.Since(start)
 	}
@@ -538,6 +552,7 @@ func (o *projectOp) close(ctx *Ctx) {
 	record(ctx, obs.Event{
 		Op: obs.OpProject, ID: o.id, Desc: o.n.Desc(),
 		RowsIn: o.rowsIn, RowsOut: o.rowsOut, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -558,6 +573,7 @@ type unionOp struct {
 	cur      int
 
 	rowsOut int
+	batches int
 }
 
 func (o *unionOp) open(ctx *Ctx) error {
@@ -577,6 +593,7 @@ func (o *unionOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 		}
 		if ok {
 			o.rowsOut += len(batch)
+			o.batches++
 			return batch, true, nil
 		}
 		o.cur++
@@ -590,7 +607,7 @@ func (o *unionOp) close(ctx *Ctx) {
 	}
 	record(ctx, obs.Event{
 		Op: obs.OpUnion, ID: o.id, Desc: o.n.Desc(),
-		RowsIn: o.rowsOut, RowsOut: o.rowsOut,
+		RowsIn: o.rowsOut, RowsOut: o.rowsOut, BoxedBatches: o.batches,
 	})
 }
 
@@ -621,6 +638,7 @@ type groupOp struct {
 	groupsN int
 	rowsIn  int
 	rowsOut int
+	batches int
 	wall    time.Duration
 }
 
@@ -691,6 +709,7 @@ func (o *groupOp) build(ctx *Ctx) error {
 			}
 		}
 		o.rowsIn += len(batch)
+		o.batches++
 		if ctx.Col != nil {
 			o.wall += time.Since(start)
 		}
@@ -740,6 +759,7 @@ func (o *groupOp) close(ctx *Ctx) {
 		Op: obs.OpGroup, ID: o.id, Desc: o.n.Desc(),
 		RowsIn: o.rowsIn, RowsOut: o.rowsOut,
 		Groups: o.groupsN, Workers: 1, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }
 
@@ -760,8 +780,9 @@ type materializeOp struct {
 	emitPos  int
 	released bool
 
-	rowsIn int
-	wall   time.Duration
+	rowsIn  int
+	batches int
+	wall    time.Duration
 }
 
 func (o *materializeOp) open(ctx *Ctx) error { return o.input.open(ctx) }
@@ -789,6 +810,7 @@ func (o *materializeOp) materialize(ctx *Ctx) error {
 			}
 		}
 		o.rowsIn += len(batch)
+		o.batches++
 		if o.sink {
 			if err := ctx.Gate.CheckOutput(rel.Len()); err != nil {
 				return err
@@ -857,5 +879,6 @@ func (o *materializeOp) close(ctx *Ctx) {
 	record(ctx, obs.Event{
 		Op: obs.OpMaterialize, ID: o.id, Desc: o.n.Desc(),
 		RowsIn: o.rowsIn, RowsOut: rows, Wall: o.wall,
+		BoxedBatches: o.batches,
 	})
 }

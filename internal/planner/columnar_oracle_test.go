@@ -1,0 +1,129 @@
+package planner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+// corpusDB builds the workload database matching one examples/flocks
+// program: the generators provide the relation names each figure
+// references (baskets, arc, the medical quartet, the web trio).
+func corpusDB(t *testing.T, name string) *storage.Database {
+	t.Helper()
+	switch name {
+	case "fig2-baskets.flock":
+		return workload.Baskets(workload.BasketConfig{Baskets: 80, Items: 10, MeanSize: 4, Skew: 1.0, Seed: 11})
+	case "fig10-weighted.flock":
+		db := workload.Baskets(workload.BasketConfig{Baskets: 80, Items: 10, MeanSize: 4, Skew: 1.0, Seed: 11})
+		if err := workload.AttachWeights(db, 9, 13); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	case "fig3-medical.flock", "multidisease-views.flock":
+		return workload.Medical(workload.DefaultMedical(150, 17))
+	case "fig4-webwords.flock":
+		return workload.Web(workload.DefaultWeb(60, 19))
+	case "fig6-graphpaths.flock":
+		return workload.Graph(workload.DefaultGraph(40, 23))
+	default:
+		t.Fatalf("no workload generator for corpus program %s", name)
+		return nil
+	}
+}
+
+// TestColumnarMatchesRowsCorpus is the interned-execution property test:
+// for every program in examples/flocks, on its generated workload
+// database, the columnar ID pipeline (ExecStream) must be bit-identical
+// to the row-at-a-time streaming pipeline (ExecStreamRows) — same
+// answer tuples in the same order (Dump equality), and for the dynamic
+// strategy the same decision sequence — at worker counts 1, 2 and 8.
+func TestColumnarMatchesRowsCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "flocks")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".flock" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := core.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := corpusDB(t, name)
+
+			variants := map[string]func(int, eval.ExecMode) (*sweepAnswer, error){
+				"direct": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+					rel, err := f.Eval(db, &core.EvalOptions{Workers: workers, Exec: exec})
+					return &sweepAnswer{rel: rel}, err
+				},
+				"static": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+					plan, err := PlanStatic(f, NewEstimator(db), nil)
+					if err != nil {
+						return nil, err
+					}
+					res, err := plan.Execute(db, &core.EvalOptions{Workers: workers, Exec: exec})
+					if err != nil {
+						return nil, err
+					}
+					return &sweepAnswer{rel: res.Answer}, nil
+				},
+				"dynamic": func(workers int, exec eval.ExecMode) (*sweepAnswer, error) {
+					res, err := EvalDynamic(db, f, &DynamicOptions{Workers: workers, Exec: exec})
+					if err != nil {
+						return nil, err
+					}
+					return &sweepAnswer{rel: res.Answer, decisions: res.Decisions}, nil
+				},
+			}
+			for vname, run := range variants {
+				t.Run(vname, func(t *testing.T) {
+					var colDump string
+					for _, w := range []int{1, 2, 8} {
+						col, err := run(w, eval.ExecStream)
+						if err != nil {
+							t.Fatalf("columnar workers=%d: %v", w, err)
+						}
+						rows, err := run(w, eval.ExecStreamRows)
+						if err != nil {
+							t.Fatalf("rows workers=%d: %v", w, err)
+						}
+						if got, want := col.rel.Dump(), rows.rel.Dump(); got != want {
+							t.Fatalf("workers=%d: columnar answer not bit-identical to row path\ncolumnar:\n%s\nrows:\n%s", w, got, want)
+						}
+						if len(col.decisions) != len(rows.decisions) {
+							t.Fatalf("workers=%d: %d columnar decisions vs %d row", w, len(col.decisions), len(rows.decisions))
+						}
+						for i := range col.decisions {
+							if col.decisions[i].String() != rows.decisions[i].String() {
+								t.Fatalf("workers=%d decision %d differs:\ncolumnar: %s\nrows: %s",
+									w, i, col.decisions[i], rows.decisions[i])
+							}
+						}
+						if colDump == "" {
+							colDump = col.rel.Dump()
+						} else if got := col.rel.Dump(); got != colDump {
+							t.Fatalf("workers=%d: columnar answer order differs between worker counts\ngot:\n%s\nwant:\n%s", w, got, colDump)
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -207,7 +207,7 @@ func EvalDynamic(db *storage.Database, f *core.Flock, opts *DynamicOptions) (*Dy
 	if err != nil {
 		return nil, err
 	}
-	ans, err := eval.RunPlan(db, plan, &eval.Options{Trace: o.Trace, Workers: o.Workers, Gate: o.Gate})
+	ans, err := eval.RunPlan(db, plan, &eval.Options{Trace: o.Trace, Workers: o.Workers, Exec: o.Exec, Gate: o.Gate})
 	if err != nil {
 		return nil, err
 	}

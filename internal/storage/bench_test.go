@@ -46,10 +46,13 @@ func BenchmarkIndexLookup(b *testing.B) {
 	r := benchRelation(50_000)
 	ix := r.Index([]int{0})
 	key := Tuple{Int(42)}
+	var buf []byte
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := ix.Lookup(key); len(got) == 0 {
+		var got []Tuple
+		got, buf = ix.Lookup(key, buf)
+		if len(got) == 0 {
 			b.Fatal("no match")
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Database is a named collection of relations — the catalog against which
@@ -11,11 +12,31 @@ import (
 type Database struct {
 	rels  map[string]*Relation
 	order []string // registration order, for deterministic listings
+	dict  *dictBox // shared value dictionary (see Dict)
+}
+
+// dictBox holds a database's lazily built dictionary. The box (not just
+// the *Dict) is shared by Clone, so a clone made before the first
+// columnar run still ends up with the same dictionary as its parent —
+// parallel executors clone scratch catalogs freely and must all intern
+// against one ID space.
+type dictBox struct {
+	once sync.Once
+	d    *Dict
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*Relation)}
+	return &Database{rels: make(map[string]*Relation), dict: &dictBox{}}
+}
+
+// Dict returns the database's value dictionary, building it on first use
+// with order-preserving IDs over every value currently stored (see
+// BuildDict). The dictionary is shared with all Clones of the database,
+// before or after this call. Safe for concurrent use.
+func (db *Database) Dict() *Dict {
+	db.dict.once.Do(func() { db.dict.d = BuildDict(db) })
+	return db.dict.d
 }
 
 // Add registers a relation under its own name, replacing any previous
@@ -74,6 +95,7 @@ func (db *Database) Names() []string { return db.order }
 // relations without mutating the caller's database.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
+	out.dict = db.dict // share the dictionary box (see dictBox)
 	for _, n := range db.order {
 		out.Add(db.rels[n])
 	}

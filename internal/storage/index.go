@@ -23,16 +23,10 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-func hashKey(b []byte) uint64 {
-	h := uint64(fnvOffset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= fnvPrime64
-	}
-	return h
-}
-
-func hashKeyString(s string) uint64 {
+// fnv1a hashes a byte sequence with 64-bit FNV-1a. It is generic over
+// []byte and string so the two never drift: hashKey(b) ==
+// hashKeyString(string(b)) by construction.
+func fnv1a[T ~[]byte | ~string](s T) uint64 {
 	h := uint64(fnvOffset64)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
@@ -40,6 +34,31 @@ func hashKeyString(s string) uint64 {
 	}
 	return h
 }
+
+func hashKey(b []byte) uint64       { return fnv1a(b) }
+func hashKeyString(s string) uint64 { return fnv1a(s) }
+
+// hashIDs hashes a dictionary-ID tuple byte-compatibly with fnv1a over
+// its packIDs encoding, without materializing the bytes. Used by the
+// columnar probe path wherever the row path hashes AppendKey bytes.
+func hashIDs(ids []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		h ^= uint64(byte(id))
+		h *= fnvPrime64
+		h ^= uint64(byte(id >> 8))
+		h *= fnvPrime64
+		h ^= uint64(byte(id >> 16))
+		h *= fnvPrime64
+		h ^= uint64(byte(id >> 24))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashIDs is hashIDs for callers outside the package (the columnar
+// executor partitions probe work by this hash).
+func HashIDs(ids []uint32) uint64 { return hashIDs(ids) }
 
 // buildIndex builds a single-shard index sequentially.
 func buildIndex(r *Relation, cols []int) *Index {
@@ -101,9 +120,13 @@ func buildIndexParallel(r *Relation, cols []int, workers int) *Index {
 func (ix *Index) Columns() []int { return ix.cols }
 
 // Lookup returns the tuples whose indexed columns equal the given key
-// values (in index-column order). The returned slice must not be mutated.
-func (ix *Index) Lookup(key Tuple) []Tuple {
-	return ix.LookupBytes(key.AppendKey(make([]byte, 0, 16*len(key))))
+// values (in index-column order), plus the (possibly grown) key buffer
+// for reuse: like LookupBytes, it allocates nothing once the caller's
+// buffer has warmed up. Pass nil on the first call. The returned tuple
+// slice must not be mutated.
+func (ix *Index) Lookup(key Tuple, buf []byte) ([]Tuple, []byte) {
+	buf = key.AppendKey(buf[:0])
+	return ix.LookupBytes(buf), buf
 }
 
 // LookupBytes returns the tuples for a key encoding built with

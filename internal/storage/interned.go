@@ -1,0 +1,222 @@
+package storage
+
+// This file holds the relation-side caches of the columnar interned
+// executor: the column-major ID image of a relation, an ID-keyed
+// membership set (the columnar ContainsKey), and ID-keyed hash indexes
+// (the columnar Index). All three are lazy, cached per relation under
+// the same mutex as the byte-keyed indexes, and dropped together on any
+// mutation. Keys are the dictionary IDs of internal/storage.Dict, so key
+// equality is exactly Value.Equal — the same classes the byte AppendKey
+// encoding produces.
+
+// internedState caches ID-space derivatives of one relation for one
+// dictionary. A relation normally meets exactly one dictionary (its
+// database's); a different dictionary invalidates the cache.
+type internedState struct {
+	dict *Dict
+	cols [][]uint32          // column-major IDs; nil until built
+	set  *IDSet              // full-tuple membership; nil until built
+	idx  map[string]*IDIndex // indexKey(cols) -> index
+}
+
+// interned returns the relation's cache for d, resetting it when the
+// cached dictionary differs. Callers hold r.mu.
+func (r *Relation) interned(d *Dict) *internedState {
+	if r.internedCache == nil || r.internedCache.dict != d {
+		r.internedCache = &internedState{dict: d, idx: make(map[string]*IDIndex)}
+	}
+	return r.internedCache
+}
+
+// InternedColumns returns the relation's tuples as one []uint32 per
+// column (row i of column j is the dictionary ID of tuple i's j-th
+// value), interning values not yet in d. The result is cached until the
+// relation mutates; the returned slices must not be modified.
+func (r *Relation) InternedColumns(d *Dict) [][]uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.interned(d)
+	if st.cols == nil {
+		n := len(r.tuples)
+		st.cols = make([][]uint32, len(r.cols))
+		for j := range st.cols {
+			col := make([]uint32, n)
+			for i, t := range r.tuples {
+				col[i] = d.Intern(t[j])
+			}
+			st.cols[j] = col
+		}
+	}
+	return st.cols
+}
+
+// IDSet returns (building and caching on first use) the membership set
+// of the relation's tuples in ID space — the columnar twin of
+// ContainsKey. Safe for concurrent readers once built.
+func (r *Relation) IDSet(d *Dict) *IDSet {
+	cols := r.InternedColumns(d)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.interned(d)
+	if st.set == nil {
+		st.set = newIDSet(cols, len(r.tuples))
+	}
+	return st.set
+}
+
+// IDIndex returns (building and caching on first use) a hash index from
+// the IDs of the given column positions to the matching row numbers, in
+// insertion order — the columnar twin of Index. Safe for concurrent
+// readers once built.
+func (r *Relation) IDIndex(d *Dict, cols []int) *IDIndex {
+	idCols := r.InternedColumns(d)
+	key := indexKey(cols)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.interned(d)
+	if ix, ok := st.idx[key]; ok {
+		return ix
+	}
+	ix := buildIDIndex(idCols, cols, len(r.tuples))
+	st.idx[key] = ix
+	return ix
+}
+
+// packIDs appends the little-endian 4-byte encoding of each ID to dst —
+// the generic map key of the >2-column ID paths.
+func packIDs(dst []byte, ids []uint32) []byte {
+	for _, id := range ids {
+		dst = append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return dst
+}
+
+// IDSet is a membership set over ID tuples. One and two column sets key
+// on the IDs directly (no bytes, no hashing beyond the map's); wider
+// tuples key on the packed 4-byte-per-ID encoding.
+type IDSet struct {
+	arity int
+	m1    map[uint32]struct{}
+	m2    map[uint64]struct{}
+	mn    map[string]struct{}
+}
+
+func newIDSet(cols [][]uint32, n int) *IDSet {
+	s := &IDSet{arity: len(cols)}
+	switch len(cols) {
+	case 1:
+		s.m1 = make(map[uint32]struct{}, n)
+		for _, id := range cols[0] {
+			s.m1[id] = struct{}{}
+		}
+	case 2:
+		s.m2 = make(map[uint64]struct{}, n)
+		for i := 0; i < n; i++ {
+			s.m2[key2(cols[0][i], cols[1][i])] = struct{}{}
+		}
+	default:
+		s.mn = make(map[string]struct{}, n)
+		buf := make([]byte, 0, 4*len(cols))
+		row := make([]uint32, len(cols))
+		for i := 0; i < n; i++ {
+			for j := range cols {
+				row[j] = cols[j][i]
+			}
+			buf = packIDs(buf[:0], row)
+			if _, ok := s.mn[string(buf)]; !ok {
+				s.mn[string(buf)] = struct{}{}
+			}
+		}
+	}
+	return s
+}
+
+// key2 packs two IDs into one uint64 map key.
+func key2(a, b uint32) uint64 { return uint64(a)<<32 | uint64(b) }
+
+// Contains reports membership of the ID tuple (len(ids) must equal the
+// set's arity). Allocation-free for any arity up to 16 columns.
+func (s *IDSet) Contains(ids []uint32) bool {
+	switch s.arity {
+	case 1:
+		_, ok := s.m1[ids[0]]
+		return ok
+	case 2:
+		_, ok := s.m2[key2(ids[0], ids[1])]
+		return ok
+	default:
+		var arr [64]byte
+		key := packIDs(arr[:0], ids)
+		_, ok := s.mn[string(key)]
+		return ok
+	}
+}
+
+// IDIndex maps the IDs of a column subset to the row numbers holding
+// them, rows in insertion order — lookups therefore enumerate matches
+// exactly like the byte-keyed Index's buckets.
+type IDIndex struct {
+	nkeys int
+	m1    map[uint32][]int32
+	m2    map[uint64][]int32
+	mn    map[string][]int32
+}
+
+func buildIDIndex(idCols [][]uint32, cols []int, n int) *IDIndex {
+	ix := &IDIndex{nkeys: len(cols)}
+	switch len(cols) {
+	case 1:
+		ix.m1 = make(map[uint32][]int32, n)
+		c := idCols[cols[0]]
+		for i := 0; i < n; i++ {
+			ix.m1[c[i]] = append(ix.m1[c[i]], int32(i))
+		}
+	case 2:
+		ix.m2 = make(map[uint64][]int32, n)
+		a, b := idCols[cols[0]], idCols[cols[1]]
+		for i := 0; i < n; i++ {
+			k := key2(a[i], b[i])
+			ix.m2[k] = append(ix.m2[k], int32(i))
+		}
+	default:
+		ix.mn = make(map[string][]int32, n)
+		buf := make([]byte, 0, 4*len(cols))
+		row := make([]uint32, len(cols))
+		for i := 0; i < n; i++ {
+			for j, c := range cols {
+				row[j] = idCols[c][i]
+			}
+			buf = packIDs(buf[:0], row)
+			ix.mn[string(buf)] = append(ix.mn[string(buf)], int32(i))
+		}
+	}
+	return ix
+}
+
+// Lookup returns the row numbers whose indexed columns equal the given
+// key IDs (in index-column order). The returned slice must not be
+// mutated. Allocation-free for keys up to 16 columns.
+func (ix *IDIndex) Lookup(ids []uint32) []int32 {
+	switch ix.nkeys {
+	case 1:
+		return ix.m1[ids[0]]
+	case 2:
+		return ix.m2[key2(ids[0], ids[1])]
+	default:
+		var arr [64]byte
+		key := packIDs(arr[:0], ids)
+		return ix.mn[string(key)]
+	}
+}
+
+// GroupCount returns the number of distinct keys in the index.
+func (ix *IDIndex) GroupCount() int {
+	switch ix.nkeys {
+	case 1:
+		return len(ix.m1)
+	case 2:
+		return len(ix.m2)
+	default:
+		return len(ix.mn)
+	}
+}

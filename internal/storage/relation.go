@@ -31,8 +31,9 @@ type Relation struct {
 	seen   map[string]struct{} // tuple Key -> present
 	keyBuf []byte              // reusable Insert key buffer (single-writer)
 
-	mu      sync.Mutex        // guards indexes
-	indexes map[string]*Index // key: joined column positions
+	mu            sync.Mutex        // guards indexes and internedCache
+	indexes       map[string]*Index // key: joined column positions
+	internedCache *internedState    // lazy ID-space caches (see interned.go)
 }
 
 // NewRelation creates an empty relation with the given name and columns.
@@ -98,12 +99,14 @@ func (r *Relation) Insert(t Tuple) bool {
 	return true
 }
 
-// dropIndexes discards the lazy index cache after a mutation.
+// dropIndexes discards the lazy index and interned-ID caches after a
+// mutation.
 func (r *Relation) dropIndexes() {
 	r.mu.Lock()
 	if len(r.indexes) > 0 {
 		r.indexes = make(map[string]*Index)
 	}
+	r.internedCache = nil
 	r.mu.Unlock()
 }
 

@@ -126,7 +126,7 @@ func TestRelationIndex(t *testing.T) {
 	r.InsertValues(Int(2), Str("beer"))
 
 	ix := r.IndexOn("BID")
-	got := ix.Lookup(Tuple{Int(1)})
+	got, _ := ix.Lookup(Tuple{Int(1)}, nil)
 	if len(got) != 2 {
 		t.Errorf("Lookup(BID=1) returned %d tuples, want 2", len(got))
 	}

@@ -2,8 +2,9 @@
 // the table array must parse, and every embedded op_report must satisfy
 // the metrics schema invariants (a strategy name, positive wall time, a
 // non-empty step list, max_rows <= total_rows, non-negative
-// cardinalities). It is the CI smoke check that keeps the observability
-// layer's JSON contract honest.
+// cardinalities, and — when the report carries flockd's "caches" block —
+// bounded cache gauges). It is the CI smoke check that keeps the
+// observability layer's JSON contract honest.
 //
 // Usage:
 //
@@ -261,6 +262,34 @@ func checkReport(r *obs.RunReport) error {
 	if maxRows != r.MaxRows || totalRows != r.TotalRows {
 		return fmt.Errorf("%s: aggregates (max %d, total %d) disagree with steps (max %d, total %d)",
 			r.Strategy, r.MaxRows, r.TotalRows, maxRows, totalRows)
+	}
+	if r.Caches != nil {
+		if err := checkCaches(r.Caches); err != nil {
+			return fmt.Errorf("%s caches: %w", r.Strategy, err)
+		}
+	}
+	return nil
+}
+
+// checkCaches enforces the serving-layer counter invariants on reports
+// that carry the flockd cache block: gauges stay within their configured
+// bounds, and a bounded cache that reports hits must also report the
+// entries (or evictions) those hits came from.
+func checkCaches(c *obs.CacheStats) error {
+	if c.PlanEntries < 0 || c.MemoEntries < 0 || c.MemoBytes < 0 || c.PreparedFlocks < 0 {
+		return fmt.Errorf("negative gauge: %+v", c)
+	}
+	if c.PlanCapacity > 0 && c.PlanEntries > c.PlanCapacity {
+		return fmt.Errorf("plan_entries %d over plan_capacity %d", c.PlanEntries, c.PlanCapacity)
+	}
+	if c.MemoMaxBytes > 0 && c.MemoBytes > c.MemoMaxBytes {
+		return fmt.Errorf("memo_bytes %d over memo_max_bytes %d", c.MemoBytes, c.MemoMaxBytes)
+	}
+	if c.PlanHits > 0 && c.PlanEntries == 0 && c.PlanEvictions == 0 {
+		return fmt.Errorf("plan_hits %d with no entries or evictions", c.PlanHits)
+	}
+	if (c.MemoExtHits > 0 || c.MemoSurvHits > 0) && c.MemoEntries == 0 && c.MemoEvictions == 0 {
+		return fmt.Errorf("memo hits with no entries or evictions: %+v", c)
 	}
 	return nil
 }

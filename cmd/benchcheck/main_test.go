@@ -186,3 +186,29 @@ func TestBenchcheckRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchcheckCaches validates the serving-layer cache block flockd
+// attaches to its reports: bounded gauges and hit/occupancy consistency.
+func TestBenchcheckCaches(t *testing.T) {
+	report := func(caches string) string {
+		return `[{"id":"E3","op_reports":[{"strategy":"direct","wall_ns":5,"answer_rows":1,"max_rows":1,"total_rows":1,` +
+			`"caches":` + caches + `,"steps":[{"op":"join","rows_out":1}]}]}]`
+	}
+	var out strings.Builder
+	ok := report(`{"plan_entries":2,"plan_capacity":8,"plan_hits":3,"plan_misses":2,"memo_entries":4,"memo_bytes":100,"memo_max_bytes":1000,"memo_surv_hits":1,"db_version":2}`)
+	if err := run(nil, strings.NewReader(ok), &out); err != nil {
+		t.Fatalf("valid cache block rejected: %v", err)
+	}
+	bad := []struct{ name, caches string }{
+		{"entries over capacity", `{"plan_entries":9,"plan_capacity":8}`},
+		{"bytes over bound", `{"memo_entries":1,"memo_bytes":2000,"memo_max_bytes":1000}`},
+		{"plan hits from nowhere", `{"plan_hits":3}`},
+		{"memo hits from nowhere", `{"memo_ext_hits":2}`},
+		{"negative bytes", `{"memo_bytes":-1}`},
+	}
+	for _, c := range bad {
+		if err := run(nil, strings.NewReader(report(c.caches)), &out); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

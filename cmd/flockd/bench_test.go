@@ -1,0 +1,47 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"queryflocks/internal/workload"
+)
+
+// BenchmarkQueryPath measures the serving-layer cache payoff on a
+// repeated ad-hoc /query: the cold path re-parses, re-lints, re-plans,
+// and re-evaluates every request (?cache=0), while the warm path answers
+// from the plan cache and the survivor plane of the subquery memo.
+func BenchmarkQueryPath(b *testing.B) {
+	db := workload.Baskets(workload.BasketConfig{
+		Baskets: 2000, Items: 40, MeanSize: 6, Skew: 0.8, Seed: 11,
+	})
+	post := func(b *testing.B, ts *httptest.Server, query string) {
+		b.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/query"+query, "text/plain", strings.NewReader(pairCountFlock))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	for _, bc := range []struct{ name, query string }{
+		{"cold", "?cache=0"},
+		{"warm", ""},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ts := httptest.NewServer(newServer(db, cachedConfig()).handler())
+			defer ts.Close()
+			post(b, ts, bc.query) // populate the caches once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				post(b, ts, bc.query)
+			}
+		})
+	}
+}

@@ -1,0 +1,490 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"queryflocks/internal/storage"
+)
+
+// This file covers the serving-layer caches (prepared flocks, the LRU
+// plan cache, and the candidate-subquery memo) and the correctness-sweep
+// regressions: naive-strategy resource controls, the 413 body cap, and
+// lint-only admission.
+
+func postPath(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+func decodeQuery(t *testing.T, body []byte) queryResponse {
+	t.Helper()
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	return qr
+}
+
+func rowsJSON(t *testing.T, qr queryResponse) string {
+	t.Helper()
+	b, err := json.Marshal(qr.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// cachedConfig enables all cache layers at comfortable sizes.
+func cachedConfig() serverConfig {
+	return serverConfig{PlanCacheSize: 64, MemoMaxBytes: 8 << 20}
+}
+
+// groupsDB is a database small enough to reason about exactly:
+// r(A,B) where the filter COUNT(answer.X) >= 3 over answer(X) :- r(X,$p)
+// admits $p=1 (three members) and rejects $p=2 (two members).
+func groupsDB() *storage.Database {
+	db := storage.NewDatabase()
+	r := storage.NewRelation("r", "A", "B")
+	for _, row := range [][2]int64{{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2}} {
+		r.InsertValues(storage.Int(row[0]), storage.Int(row[1]))
+	}
+	db.Add(r)
+	return db
+}
+
+const groupsFlock = `
+QUERY:
+answer(X) :- r(X,$p)
+FILTER:
+COUNT(answer.X) >= 3
+`
+
+// TestNaiveStrategyRespectsDeadline is the regression for the resource-
+// control bypass: ?strategy=naive used to ignore the request context and
+// the wall deadline entirely, so a short ?timeout= returned 200 only
+// after the full generate-and-test run finished. It must 504 like every
+// other strategy.
+func TestNaiveStrategyRespectsDeadline(t *testing.T) {
+	ts := httptest.NewServer(newServer(explosiveDB(t, 6, 48), serverConfig{Timeout: time.Hour}).handler())
+	defer ts.Close()
+
+	start := time.Now()
+	status, body := postQuery(t, ts, "?strategy=naive&timeout=10ms", explosiveFlock)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (after %v): %s", status, time.Since(start), body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline was not enforced promptly: %v", elapsed)
+	}
+}
+
+// TestNaiveStrategyRespectsBudget: the same bypass, for the tuple budget.
+func TestNaiveStrategyRespectsBudget(t *testing.T) {
+	ts := httptest.NewServer(newServer(explosiveDB(t, 6, 48), serverConfig{MaxTuples: 10_000}).handler())
+	defer ts.Close()
+
+	status, body := postQuery(t, ts, "?strategy=naive", explosiveFlock)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", status, body)
+	}
+}
+
+// TestOversizedProgramIs413 is the regression for the silent truncation:
+// the body used to be clipped at 1 MiB, and a clipped flock can still
+// parse as a different valid program. Here the padding kept the program
+// valid, so the pre-fix server answered 200 from a truncated read.
+func TestOversizedProgramIs413(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), serverConfig{}).handler())
+	defer ts.Close()
+
+	over := pairCountFlock + strings.Repeat("\n", maxProgramBytes)
+	status, body := postQuery(t, ts, "", over)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d: %s", status, truncate(body))
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("413 must carry a structured error: %v %s", err, truncate(body))
+	}
+
+	// A body exactly at the limit still evaluates.
+	atLimit := pairCountFlock + strings.Repeat("\n", maxProgramBytes-len(pairCountFlock))
+	if len(atLimit) != maxProgramBytes {
+		t.Fatalf("test setup: %d bytes", len(atLimit))
+	}
+	if status, body := postQuery(t, ts, "", atLimit); status != http.StatusOK {
+		t.Fatalf("at-limit body: status %d: %s", status, truncate(body))
+	}
+
+	// /prepare shares the cap.
+	if status, _ := postPath(t, ts, "/prepare", over); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/prepare oversized body: status %d", status)
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 200 {
+		return b[:200]
+	}
+	return b
+}
+
+// TestLintDoesNotConsumeAdmission is the regression for lint-only
+// requests competing with evaluations for admission slots: with the cap
+// saturated, ?lint=1 must still answer while /query is refused.
+func TestLintDoesNotConsumeAdmission(t *testing.T) {
+	srv := newServer(basketsDB(t), serverConfig{MaxQueries: 1})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	srv.sem <- struct{}{} // saturate the only slot
+	if status, body := postQuery(t, ts, "", pairCountFlock); status != http.StatusServiceUnavailable {
+		t.Fatalf("evaluation under a full cap: status %d: %s", status, body)
+	}
+	status, body := postQuery(t, ts, "?lint=1", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("lint under a full cap: status %d: %s", status, body)
+	}
+	var lr lintResponse
+	if err := json.Unmarshal(body, &lr); err != nil || lr.Errors != 0 {
+		t.Fatalf("lint payload: %v %s", err, body)
+	}
+	<-srv.sem
+	if status, body := postQuery(t, ts, "", pairCountFlock); status != http.StatusOK {
+		t.Fatalf("evaluation after release: status %d: %s", status, body)
+	}
+}
+
+// TestPlanCacheHitsAcrossAlphaVariants: a repeated static-strategy query
+// is served from the plan cache, and an alpha-renamed spelling of the
+// same program shares the entry.
+func TestPlanCacheHitsAcrossAlphaVariants(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), cachedConfig()).handler())
+	defer ts.Close()
+
+	status, body := postQuery(t, ts, "?strategy=static", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", status, body)
+	}
+	cold := decodeQuery(t, body)
+	if cold.Report == nil || cold.Report.Caches == nil {
+		t.Fatalf("response carries no cache counters: %s", truncate(body))
+	}
+	if cold.Report.Caches.PlanMisses == 0 || cold.Report.Caches.PlanEntries == 0 {
+		t.Fatalf("cold run should miss and populate the plan cache: %+v", cold.Report.Caches)
+	}
+
+	status, body = postQuery(t, ts, "?strategy=static", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", status, body)
+	}
+	warm := decodeQuery(t, body)
+	if warm.Report.Caches.PlanHits <= cold.Report.Caches.PlanHits {
+		t.Fatalf("repeat did not hit the plan cache: %+v", warm.Report.Caches)
+	}
+	if rowsJSON(t, warm) != rowsJSON(t, cold) {
+		t.Fatal("cached plan changed the answer")
+	}
+
+	// Rename only the variable: parameters name answer columns and are
+	// kept verbatim in the canonical form.
+	renamed := strings.ReplaceAll(pairCountFlock, "B", "Basket")
+	status, body = postQuery(t, ts, "?strategy=static", renamed)
+	if status != http.StatusOK {
+		t.Fatalf("alpha variant: status %d: %s", status, body)
+	}
+	alpha := decodeQuery(t, body)
+	if alpha.Report.Caches.PlanHits <= warm.Report.Caches.PlanHits {
+		t.Fatalf("variable-renamed program did not share the cache entry: %+v", alpha.Report.Caches)
+	}
+}
+
+// TestMemoSharesAcrossThresholds: an identical re-post is served from
+// the survivor plane; a threshold-tightened variant reuses the memoized
+// (filter-independent) extended answer and recomputes only the filter.
+func TestMemoSharesAcrossThresholds(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), cachedConfig()).handler())
+	defer ts.Close()
+
+	_, body := postQuery(t, ts, "", pairCountFlock)
+	first := decodeQuery(t, body)
+	if first.Report.Caches.MemoExtMisses == 0 || first.Report.Caches.MemoEntries == 0 {
+		t.Fatalf("cold run should populate the memo: %+v", first.Report.Caches)
+	}
+
+	_, body = postQuery(t, ts, "", pairCountFlock)
+	second := decodeQuery(t, body)
+	if second.Report.Caches.MemoSurvHits <= first.Report.Caches.MemoSurvHits {
+		t.Fatalf("identical re-post should hit the survivor plane: %+v", second.Report.Caches)
+	}
+	if rowsJSON(t, second) != rowsJSON(t, first) {
+		t.Fatal("memoized answer differs")
+	}
+
+	tightened := strings.Replace(pairCountFlock, ">= 5", ">= 9", 1)
+	_, body = postQuery(t, ts, "", tightened)
+	tight := decodeQuery(t, body)
+	if tight.Report.Caches.MemoExtHits <= second.Report.Caches.MemoExtHits {
+		t.Fatalf("threshold change should reuse the extended answer: %+v", tight.Report.Caches)
+	}
+	if tight.AnswerRows >= first.AnswerRows {
+		t.Fatalf("tightened filter should shrink the answer: %d vs %d", tight.AnswerRows, first.AnswerRows)
+	}
+
+	status, body := postQuery(t, ts, "?cache=0", tightened)
+	if status != http.StatusOK {
+		t.Fatalf("cache=0: status %d: %s", status, body)
+	}
+	if rowsJSON(t, decodeQuery(t, body)) != rowsJSON(t, tight) {
+		t.Fatal("memo-served tightened answer differs from the uncached evaluation")
+	}
+}
+
+// TestMutationInvalidatesCaches: a /mutate publishes a new data version,
+// so warm caches must not serve the old answer.
+func TestMutationInvalidatesCaches(t *testing.T) {
+	ts := httptest.NewServer(newServer(groupsDB(), cachedConfig()).handler())
+	defer ts.Close()
+
+	_, body := postQuery(t, ts, "", groupsFlock)
+	before := decodeQuery(t, body)
+	if before.AnswerRows != 1 {
+		t.Fatalf("pre-mutation answer: %s", body)
+	}
+	postQuery(t, ts, "", groupsFlock) // warm every layer
+
+	// Grow group 2 past the threshold.
+	status, body := postPath(t, ts, "/mutate/r", "4,2\n5,2\n")
+	if status != http.StatusOK {
+		t.Fatalf("/mutate: status %d: %s", status, body)
+	}
+	var mr mutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Inserted != 2 || mr.Version == 0 {
+		t.Fatalf("mutate payload: %+v", mr)
+	}
+
+	_, body = postQuery(t, ts, "", groupsFlock)
+	after := decodeQuery(t, body)
+	if after.AnswerRows != 2 {
+		t.Fatalf("post-mutation cached answer is stale: %s", body)
+	}
+	if after.Report.Caches.DBVersion != mr.Version {
+		t.Fatalf("report version %d, mutation published %d", after.Report.Caches.DBVersion, mr.Version)
+	}
+	_, body = postQuery(t, ts, "?cache=0", groupsFlock)
+	if rowsJSON(t, decodeQuery(t, body)) != rowsJSON(t, after) {
+		t.Fatal("post-mutation cached answer differs from the uncached one")
+	}
+
+	// Unknown relation and bad arity are refused without publishing.
+	if status, _ := postPath(t, ts, "/mutate/nosuch", "1,2\n"); status != http.StatusNotFound {
+		t.Fatalf("mutate unknown relation: status %d", status)
+	}
+	if status, _ := postPath(t, ts, "/mutate/r", "1,2,3\n"); status != http.StatusBadRequest {
+		t.Fatalf("mutate bad arity: status %d", status)
+	}
+}
+
+// TestPrepareInvoke covers the prepared-flock contract: stable content-
+// derived handles, idempotent registration, invoke parity with /query,
+// threshold rebinding, and 404 for unknown handles.
+func TestPrepareInvoke(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), cachedConfig()).handler())
+	defer ts.Close()
+
+	status, body := postPath(t, ts, "/prepare", pairCountFlock)
+	if status != http.StatusOK {
+		t.Fatalf("/prepare: status %d: %s", status, body)
+	}
+	var pr prepareResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Handle == "" || pr.Existing || len(pr.Params) != 2 {
+		t.Fatalf("prepare payload: %+v", pr)
+	}
+
+	// Re-preparing an alpha-variant is idempotent: same handle.
+	renamed := strings.ReplaceAll(pairCountFlock, "B", "Basket")
+	status, body = postPath(t, ts, "/prepare", renamed)
+	if status != http.StatusOK {
+		t.Fatalf("re-prepare: status %d: %s", status, body)
+	}
+	var pr2 prepareResponse
+	if err := json.Unmarshal(body, &pr2); err != nil {
+		t.Fatal(err)
+	}
+	if !pr2.Existing || pr2.Handle != pr.Handle {
+		t.Fatalf("alpha-variant re-prepare: %+v vs %+v", pr2, pr)
+	}
+
+	// Invoke parity with the ad-hoc path.
+	_, body = postQuery(t, ts, "?cache=0", pairCountFlock)
+	want := decodeQuery(t, body)
+	status, body = postPath(t, ts, "/invoke/"+pr.Handle, "")
+	if status != http.StatusOK {
+		t.Fatalf("/invoke: status %d: %s", status, body)
+	}
+	got := decodeQuery(t, body)
+	if got.Handle != pr.Handle {
+		t.Fatalf("invoke response handle: %q", got.Handle)
+	}
+	if rowsJSON(t, got) != rowsJSON(t, want) {
+		t.Fatal("invoke answer differs from /query")
+	}
+
+	// Threshold rebinding matches an edited program, and reuses the
+	// memoized extended answer (the interactive-mining fast path).
+	tightened := strings.Replace(pairCountFlock, ">= 5", ">= 9", 1)
+	_, body = postQuery(t, ts, "?cache=0", tightened)
+	wantTight := decodeQuery(t, body)
+	status, body = postPath(t, ts, "/invoke/"+pr.Handle, `{"threshold": 9}`)
+	if status != http.StatusOK {
+		t.Fatalf("/invoke with threshold: status %d: %s", status, body)
+	}
+	gotTight := decodeQuery(t, body)
+	if rowsJSON(t, gotTight) != rowsJSON(t, wantTight) {
+		t.Fatal("threshold-rebound invoke differs from the edited program")
+	}
+	if gotTight.Report.Caches.MemoExtHits <= got.Report.Caches.MemoExtHits {
+		t.Fatalf("threshold rebinding should hit the extended plane: %+v", gotTight.Report.Caches)
+	}
+
+	if status, _ := postPath(t, ts, "/invoke/nosuch", ""); status != http.StatusNotFound {
+		t.Fatalf("unknown handle: status %d", status)
+	}
+	if status, _ := postPath(t, ts, "/invoke/"+pr.Handle+"?strategy=bogus", ""); status != http.StatusBadRequest {
+		t.Fatalf("bad strategy on invoke: status %d", status)
+	}
+}
+
+// TestAnswersIdenticalAcrossCacheModes is the serving-layer oracle: for
+// every strategy and worker count, the answer must be bit-identical with
+// caches cold, hot, per-request disabled, and configured off.
+func TestAnswersIdenticalAcrossCacheModes(t *testing.T) {
+	strategies := []string{"direct", "naive", "static", "exhaustive", "levelwise", "dynamic"}
+	for _, workers := range []int{1, 2, 8} {
+		cfg := cachedConfig()
+		cfg.Workers = workers
+		cached := httptest.NewServer(newServer(basketsDB(t), cfg).handler())
+		uncached := httptest.NewServer(newServer(basketsDB(t), serverConfig{Workers: workers}).handler())
+
+		var baseline string
+		for _, strat := range strategies {
+			for _, run := range []struct {
+				name  string
+				ts    *httptest.Server
+				query string
+			}{
+				{"cold", cached, "?strategy=" + strat},
+				{"hot", cached, "?strategy=" + strat},
+				{"bypass", cached, "?strategy=" + strat + "&cache=0"},
+				{"disabled", uncached, "?strategy=" + strat},
+			} {
+				status, body := postQuery(t, run.ts, run.query, pairCountFlock)
+				if status != http.StatusOK {
+					t.Fatalf("workers=%d %s/%s: status %d: %s", workers, strat, run.name, status, body)
+				}
+				rows := rowsJSON(t, decodeQuery(t, body))
+				if baseline == "" {
+					baseline = rows
+					continue
+				}
+				if rows != baseline {
+					t.Errorf("workers=%d %s/%s: answer diverges\n%s\nvs\n%s", workers, strat, run.name, rows, baseline)
+				}
+			}
+		}
+		cached.Close()
+		uncached.Close()
+	}
+}
+
+// TestConcurrentCacheChurn hammers queries, threshold variants, and
+// mutations through deliberately tiny caches; it exists to fail under
+// -race and to catch eviction/invalidation crashes under contention.
+func TestConcurrentCacheChurn(t *testing.T) {
+	cfg := serverConfig{PlanCacheSize: 2, MemoMaxBytes: 256 << 10}
+	ts := httptest.NewServer(newServer(basketsDB(t), cfg).handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch {
+				case g == 0 && i%3 == 2:
+					row := fmt.Sprintf("%d,%d\n", 10_000+i, 1+i%20)
+					resp, err := ts.Client().Post(ts.URL+"/mutate/baskets", "text/csv", strings.NewReader(row))
+					if err == nil {
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							errc <- fmt.Errorf("mutate: status %d", resp.StatusCode)
+						}
+					}
+				default:
+					threshold := 3 + (g+i)%4
+					flock := strings.Replace(pairCountFlock, ">= 5", fmt.Sprintf(">= %d", threshold), 1)
+					strat := []string{"direct", "static", "levelwise"}[(g+i)%3]
+					resp, err := ts.Client().Post(ts.URL+"/query?strategy="+strat, "text/plain", strings.NewReader(flock))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							errc <- fmt.Errorf("query %s threshold %d: status %d", strat, threshold, resp.StatusCode)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The byte bound held through the churn.
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		MemoBytes    int64  `json:"memo_bytes"`
+		MemoMaxBytes int64  `json:"memo_max_bytes"`
+		DBVersion    uint64 `json:"db_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MemoBytes < 0 || stats.MemoBytes > stats.MemoMaxBytes {
+		t.Fatalf("memo byte gauge out of bounds: %+v", stats)
+	}
+	if stats.DBVersion == 0 {
+		t.Fatalf("mutations should have bumped the version: %+v", stats)
+	}
+}

@@ -9,19 +9,35 @@
 //
 //	flockd -data DIR [-addr localhost:8080] [-timeout 30s]
 //	       [-max-queries 4] [-max-tuples 0] [-max-rows 0]
-//	       [-workers 0] [-pprof addr]
+//	       [-workers 0] [-plan-cache 256] [-memo-mb 64] [-pprof addr]
 //
 // Endpoints:
 //
 //	GET  /healthz          liveness probe
 //	GET  /rels             loaded relations (JSON: name, columns, rows)
+//	GET  /stats            serving-layer cache counters (obs.CacheStats)
 //	POST /query            flock program in the body; evaluates and
 //	                       returns the answer plus an obs.RunReport
-//	                       (?strategy=, ?timeout= tighten per request)
+//	                       (?strategy=, ?timeout= tighten per request;
+//	                       ?cache=0 bypasses the caches)
+//	POST /prepare          registers a prepared flock, returns its handle
+//	POST /invoke/{handle}  evaluates a prepared flock without re-parsing,
+//	                       re-linting, or re-planning; optional JSON body
+//	                       {"threshold": N} rebinds the filter threshold
+//	POST /mutate/{rel}     appends CSV rows to a relation (copy-on-write)
+//	                       and bumps the data version, invalidating every
+//	                       cached plan and memoized subquery result
 //
-// Statuses: 400 parse/validation errors, 503 over the -max-queries cap,
-// 504 wall deadline or client disconnect, 422 a -max-tuples/-max-rows
-// budget was exceeded, 500 a recovered engine panic.
+// Caching: -plan-cache bounds the LRU plan cache (entries; 0 disables)
+// and -memo-mb the cross-request candidate-subquery memo (MiB of
+// estimated relation payload; 0 disables). Cache keys embed the
+// canonical program text and the data version, so answers are identical
+// with caches hot, cold, or disabled.
+//
+// Statuses: 400 parse/validation errors, 404 unknown handle or relation,
+// 413 body over 1 MiB, 503 over the -max-queries cap, 504 wall deadline
+// or client disconnect, 422 a -max-tuples/-max-rows budget was exceeded,
+// 500 a recovered engine panic.
 //
 // SIGINT/SIGTERM stop accepting connections, drain in-flight queries
 // (bounded by -drain), and exit. -pprof serves net/http/pprof and expvar
@@ -83,11 +99,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	srv := newServer(db, serverConfig{
-		Timeout:    *fs.timeout,
-		MaxQueries: *fs.maxQueries,
-		MaxTuples:  *fs.maxTuples,
-		MaxRows:    *fs.maxRows,
-		Workers:    *fs.workers,
+		Timeout:       *fs.timeout,
+		MaxQueries:    *fs.maxQueries,
+		MaxTuples:     *fs.maxTuples,
+		MaxRows:       *fs.maxRows,
+		Workers:       *fs.workers,
+		PlanCacheSize: *fs.planCache,
+		MemoMaxBytes:  int64(*fs.memoMB) << 20,
 	})
 
 	ln, err := net.Listen("tcp", *fs.addr)
@@ -96,13 +114,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "flockd: listening on %s (%d relations from %s)\n",
 		ln.Addr(), len(db.Names()), *fs.data)
-	return serve(ctx, ln, srv.handler(), *fs.drain, out)
+	return serveHTTP(ctx, ln, srv.handler(), *fs.drain, out)
 }
 
-// serve runs the HTTP server on ln until ctx is canceled, then shuts
+// serveHTTP runs the HTTP server on ln until ctx is canceled, then shuts
 // down gracefully: the listener closes immediately, in-flight requests
-// get up to drain to finish, and only then does serve return.
-func serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, out io.Writer) error {
+// get up to drain to finish, and only then does serveHTTP return.
+func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, out io.Writer) error {
 	httpSrv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -134,6 +152,8 @@ type flockdFlags struct {
 	maxTuples  *int
 	maxRows    *int
 	workers    *int
+	planCache  *int
+	memoMB     *int
 	pprof      *string
 }
 
@@ -148,6 +168,8 @@ func newFlagSet() *flockdFlags {
 	f.maxTuples = fs.Int("max-tuples", 0, "per-query live-tuple budget (0 = unlimited)")
 	f.maxRows = fs.Int("max-rows", 0, "per-query answer-row budget (0 = unlimited)")
 	f.workers = fs.Int("workers", 0, "join/group-by worker count (0 = one per CPU, 1 = sequential)")
+	f.planCache = fs.Int("plan-cache", 256, "LRU plan-cache capacity in entries (0 = disabled)")
+	f.memoMB = fs.Int("memo-mb", 64, "candidate-subquery memo bound in MiB (0 = disabled)")
 	f.pprof = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	return f
 }
@@ -164,6 +186,9 @@ func (f *flockdFlags) validate() error {
 	}
 	if *f.maxTuples < 0 || *f.maxRows < 0 {
 		return fmt.Errorf("-max-tuples and -max-rows must be >= 0")
+	}
+	if *f.planCache < 0 || *f.memoMB < 0 {
+		return fmt.Errorf("-plan-cache and -memo-mb must be >= 0")
 	}
 	return nil
 }

@@ -2,21 +2,32 @@ package main
 
 import (
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"queryflocks/internal/analysis"
 	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
 	"queryflocks/internal/obs"
 	"queryflocks/internal/planner"
+	"queryflocks/internal/serve"
 	"queryflocks/internal/storage"
 )
+
+// maxProgramBytes is the request-body cap for posted programs. Bodies are
+// read with one spare byte so an over-limit program is *detected* and
+// refused with 413 — silently truncating at the limit is dangerous
+// because a truncated flock can still parse as a different valid program.
+const maxProgramBytes = 1 << 20
 
 // serverConfig bounds every query the service runs. Timeout and limits
 // compose with each request's own context, so a client disconnect, the
@@ -27,7 +38,9 @@ type serverConfig struct {
 	// may lower it with ?timeout=, never raise it.
 	Timeout time.Duration
 	// MaxQueries is the concurrent-query admission cap; requests beyond
-	// it are refused with 503 rather than queued (0 = no cap).
+	// it are refused with 503 rather than queued (0 = no cap). The cap
+	// covers planning and evaluation only — lint-only requests and cache
+	// lookups never consume a slot.
 	MaxQueries int
 	// MaxTuples and MaxRows are the per-query resource budgets
 	// (eval.Limits semantics; 0 = unlimited).
@@ -35,43 +48,93 @@ type serverConfig struct {
 	MaxRows   int
 	// Workers is the engine worker knob (0 = one per CPU).
 	Workers int
+	// PlanCacheSize bounds the LRU plan cache (entries; 0 disables).
+	PlanCacheSize int
+	// MemoMaxBytes bounds the candidate-subquery memo (estimated bytes;
+	// 0 disables).
+	MemoMaxBytes int64
 }
 
-// server evaluates flocks over a fixed database via HTTP.
+// server evaluates flocks over a served database via HTTP.
 //
-//	GET  /healthz  liveness probe
-//	GET  /rels     the loaded relations (name, columns, rows)
-//	POST /query    body = flock source; evaluates and returns JSON
+//	GET  /healthz          liveness probe
+//	GET  /rels             the loaded relations (name, columns, rows)
+//	GET  /stats            serving-layer cache counters (obs.CacheStats)
+//	POST /query            body = flock source; evaluates and returns JSON
+//	POST /prepare          body = flock source; registers a prepared flock
+//	                       and returns its stable handle
+//	POST /invoke/{handle}  evaluates a prepared flock; optional JSON body
+//	                       {"threshold": N} rebinds the filter threshold
+//	POST /mutate/{rel}     body = CSV rows (no header); appends to the
+//	                       relation, bumps the data version, and thereby
+//	                       invalidates every cached plan and memo entry
 //
-// /query accepts ?strategy= (direct|naive|static|exhaustive|levelwise|
-// dynamic, default direct) and ?timeout= (a Go duration that may only
-// tighten the server-wide limit).
+// /query and /invoke accept ?strategy= (direct|naive|static|exhaustive|
+// levelwise|dynamic, default direct), ?timeout= (a Go duration that may
+// only tighten the server-wide limit), and ?cache=0 (bypass the plan
+// cache and memo for this request).
 //
-// Every posted program is linted (internal/analysis, schema-checked
-// against the loaded database) before any evaluation starts: programs
-// with error-severity diagnostics are rejected with a 400 whose payload
-// carries the structured diagnostics, and warning diagnostics ride along
-// in the success payload's "warnings" field. ?lint=1 runs only the
-// analyzer and returns its diagnostics without evaluating.
+// Every posted program is parsed once; the parse result is shared by the
+// linter (internal/analysis), the evaluator, and the canonicalizer that
+// derives cache keys. Programs with error-severity diagnostics are
+// rejected with a 400 whose payload carries the structured diagnostics,
+// and warning diagnostics ride along in the success payload's "warnings"
+// field. ?lint=1 runs only the analyzer and returns its diagnostics
+// without evaluating (and without consuming an admission slot).
+//
+// Caching: three layers, all keyed through the canonical (alpha-renamed)
+// program text and the database's data-version counter. The prepared-
+// flock registry skips parse/lint/plan on /invoke; the LRU plan cache
+// skips analysis and planning for repeated ad-hoc /query programs; the
+// candidate-subquery memo (core.SubqueryMemo) shares §3.1 subquery
+// results across requests — including across threshold changes, whose
+// extended answers are filter-independent. A mutation publishes a bumped
+// copy-on-write database, so in-flight requests keep their snapshot and
+// stale cache entries become unreachable by key.
 type server struct {
-	db  *storage.Database
 	cfg serverConfig
 	sem chan struct{} // admission slots; nil when uncapped
+
+	mu sync.RWMutex // guards db (copy-on-write pointer swap on mutation)
+	db *storage.Database
+
+	plans    *serve.PlanCache
+	memo     *serve.Memo
+	prepared *serve.Registry
 }
 
 func newServer(db *storage.Database, cfg serverConfig) *server {
-	s := &server{db: db, cfg: cfg}
+	s := &server{
+		db:       db,
+		cfg:      cfg,
+		plans:    serve.NewPlanCache(cfg.PlanCacheSize),
+		memo:     serve.NewMemo(cfg.MemoMaxBytes),
+		prepared: serve.NewRegistry(),
+	}
 	if cfg.MaxQueries > 0 {
 		s.sem = make(chan struct{}, cfg.MaxQueries)
 	}
 	return s
 }
 
+// snapshot returns the current database. The pointer is immutable data:
+// mutations publish a new database rather than changing this one, so a
+// request evaluates against one consistent version end to end.
+func (s *server) snapshot() *storage.Database {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/rels", s.handleRels)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/invoke/", s.handleInvoke)
+	mux.HandleFunc("/mutate/", s.handleMutate)
 	return mux
 }
 
@@ -88,21 +151,42 @@ type relInfo struct {
 }
 
 func (s *server) handleRels(w http.ResponseWriter, r *http.Request) {
-	names := append([]string(nil), s.db.Names()...)
+	db := s.snapshot()
+	names := append([]string(nil), db.Names()...)
 	sort.Strings(names)
 	infos := make([]relInfo, 0, len(names))
 	for _, n := range names {
-		rel := s.db.MustRelation(n)
+		rel := db.MustRelation(n)
 		infos = append(infos, relInfo{Name: n, Columns: rel.Columns(), Rows: rel.Len()})
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
 
-// queryResponse is the /query success payload: the answer relation plus
-// the run's operator report (the obs.RunReport schema of flockbench
-// -json and flockql -metrics json).
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cacheStats(s.snapshot()))
+}
+
+// cacheStats samples all three cache layers into the obs counter block.
+func (s *server) cacheStats(db *storage.Database) *obs.CacheStats {
+	cs := &obs.CacheStats{PreparedFlocks: s.prepared.Len(), DBVersion: db.Version()}
+	ps := s.plans.Stats()
+	cs.PlanEntries, cs.PlanCapacity = ps.Entries, ps.Capacity
+	cs.PlanHits, cs.PlanMisses, cs.PlanEvictions = ps.Hits, ps.Misses, ps.Evictions
+	ms := s.memo.Stats()
+	cs.MemoEntries, cs.MemoBytes, cs.MemoMaxBytes = ms.Entries, ms.Bytes, ms.MaxBytes
+	cs.MemoExtHits, cs.MemoExtMisses = ms.ExtHits, ms.ExtMisses
+	cs.MemoSurvHits, cs.MemoSurvMisses = ms.SurvHits, ms.SurvMiss
+	cs.MemoEvictions = ms.Evictions
+	return cs
+}
+
+// queryResponse is the /query and /invoke success payload: the answer
+// relation plus the run's operator report (the obs.RunReport schema of
+// flockbench -json and flockql -metrics json), including the serving
+// layer's cumulative cache counters under "caches".
 type queryResponse struct {
 	Strategy   string                `json:"strategy"`
+	Handle     string                `json:"handle,omitempty"`
 	AnswerRows int                   `json:"answer_rows"`
 	Columns    []string              `json:"columns"`
 	Rows       [][]string            `json:"rows"`
@@ -111,9 +195,9 @@ type queryResponse struct {
 	Report     *obs.RunReport        `json:"report,omitempty"`
 }
 
-// errorResponse is the payload of every non-200 /query outcome. Lint
-// rejections carry the analyzer's structured diagnostics alongside the
-// one-line error.
+// errorResponse is the payload of every non-200 outcome. Lint rejections
+// carry the analyzer's structured diagnostics alongside the one-line
+// error.
 type errorResponse struct {
 	Error       string                `json:"error"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
@@ -127,31 +211,102 @@ type lintResponse struct {
 	Warnings    int                   `json:"warnings"`
 }
 
+// prepareResponse is the /prepare payload: the stable content-derived
+// handle for POST /invoke/{handle}.
+type prepareResponse struct {
+	Handle   string                `json:"handle"`
+	Params   []string              `json:"params"`
+	Existing bool                  `json:"existing"`
+	Warnings []analysis.Diagnostic `json:"warnings,omitempty"`
+}
+
+// mutateResponse is the /mutate payload.
+type mutateResponse struct {
+	Relation string `json:"relation"`
+	Inserted int    `json:"inserted"`
+	Rows     int    `json:"rows"`
+	Version  uint64 `json:"version"`
+}
+
+// planEntry is one plan-cache value: everything needed to evaluate a
+// program again without re-analyzing or re-planning it. plan is nil for
+// strategies that do not execute a §4.2 plan (direct, naive, dynamic).
+type planEntry struct {
+	flock    *core.Flock
+	plan     *core.Plan
+	warnings []analysis.Diagnostic
+}
+
+// planKey composes a plan-cache key: strategy and data version scope the
+// canonical program text, so a strategy switch or a mutation can never
+// be answered by the wrong plan.
+func planKey(canon, strategy string, version uint64) string {
+	return fmt.Sprintf("%s|v%d|%s", strategy, version, canon)
+}
+
+// validStrategy is the closed set /query and /invoke accept.
+func validStrategy(s string) bool {
+	switch s {
+	case "direct", "naive", "static", "exhaustive", "levelwise", "dynamic":
+		return true
+	}
+	return false
+}
+
+// needsPlan reports whether the strategy executes a prebuilt §4.2 plan.
+func needsPlan(s string) bool {
+	return s == "static" || s == "exhaustive" || s == "levelwise"
+}
+
+// memoStrategy reports whether the strategy routes FILTER computations
+// through the candidate-subquery memo. naive is the definitional oracle
+// (it must not share state with what it checks) and dynamic re-decides
+// its plan from observed sizes mid-run, so both stay memo-free.
+func memoStrategy(s string) bool {
+	return s == "direct" || s == "static" || s == "exhaustive" || s == "levelwise"
+}
+
+// readProgram reads a request body under the program-size cap, reporting
+// an over-limit body as 413 instead of truncating it.
+func readProgram(r *http.Request) ([]byte, int, error) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxProgramBytes+1))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if len(src) > maxProgramBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("program exceeds the %d-byte limit (a truncated flock could evaluate as a different program)", maxProgramBytes)
+	}
+	return src, 0, nil
+}
+
+// admit claims an admission slot (refusing rather than queueing, so an
+// overloaded service degrades predictably and load-balancers can react);
+// the returned release must be called when the evaluation finishes.
+func (s *server) admit() (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		return nil, false
+	}
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a flock program to /query"})
 		return
 	}
-
-	// Admission control: refuse rather than queue, so an overloaded
-	// service degrades predictably and load-balancers can react.
-	if s.sem != nil {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			writeJSON(w, http.StatusServiceUnavailable,
-				errorResponse{Error: fmt.Sprintf("over the concurrent-query cap (%d); retry later", s.cfg.MaxQueries)})
-			return
-		}
-	}
-
-	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	src, status, err := readProgram(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
-	strategy := r.URL.Query().Get("strategy")
+	q := r.URL.Query()
+	strategy := q.Get("strategy")
 	if strategy == "" {
 		strategy = "direct"
 	}
@@ -160,27 +315,134 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	db := s.snapshot()
+	useCache := q.Get("cache") != "0"
+	lintOnly := q.Get("lint") == "1"
 
-	// Static pre-admission check: the analyzer runs (schema-aware, since
-	// the served database is fixed) before any evaluation work starts.
-	// Error-severity findings reject the program with the structured
-	// diagnostics; warnings are kept to ride along in the success payload.
-	diags := analysis.AnalyzeSource(string(src), analysis.Options{DB: s.db})
-	if r.URL.Query().Get("lint") == "1" {
-		lr := lintResponse{Diagnostics: diags}
-		if lr.Diagnostics == nil {
-			lr.Diagnostics = []analysis.Diagnostic{}
+	// One parse, shared by the linter, the canonicalizer, and the
+	// evaluator (the source used to be parsed twice, once per consumer).
+	fs, perr := datalog.ParseFlock(analysis.StripExplain(string(src)))
+	if perr != nil {
+		d := analysis.ParseDiagnostic(perr, analysis.Options{})
+		if lintOnly {
+			writeJSON(w, http.StatusOK, lintResponse{Diagnostics: []analysis.Diagnostic{d}, Errors: 1})
+			return
 		}
-		for _, d := range diags {
-			if d.Severity == analysis.SevError {
-				lr.Errors++
-			} else {
-				lr.Warnings++
-			}
-		}
-		writeJSON(w, http.StatusOK, lr)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error(), Diagnostics: []analysis.Diagnostic{d}})
 		return
 	}
+	if lintOnly {
+		// Lint-only traffic never competes for admission slots.
+		writeJSON(w, http.StatusOK, lintResult(analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})))
+		return
+	}
+	if !validStrategy(strategy) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q", strategy)})
+		return
+	}
+
+	// Plan-cache lookup: a hit skips analysis, flock construction, and
+	// planning. Alpha-equivalent programs share an entry via the
+	// canonical text; the embedded data version keeps entries from
+	// answering across mutations.
+	canon := analysis.CanonicalProgram(fs)
+	key := planKey(canon, strategy, db.Version())
+	var ent *planEntry
+	if useCache {
+		if v, ok := s.plans.Get(key); ok {
+			ent = v.(*planEntry)
+		}
+	}
+	if ent == nil {
+		// Static pre-admission check: the analyzer runs (schema-aware,
+		// against this request's snapshot) before any evaluation work.
+		// Error-severity findings reject the program with the structured
+		// diagnostics; warnings ride along in the success payload.
+		diags := analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})
+		if analysis.HasErrors(diags) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error:       "flock rejected by static analysis; see diagnostics",
+				Diagnostics: diags,
+			})
+			return
+		}
+		flock, err := core.NewWithViews(fs.Views, fs.Query, fs.Filter)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if err := flock.CheckDatabase(db); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		ent = &planEntry{flock: flock, warnings: diags}
+	}
+
+	// Admission covers the expensive work only: planning and evaluation.
+	release, ok := s.admit()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("over the concurrent-query cap (%d); retry later", s.cfg.MaxQueries)})
+		return
+	}
+	defer release()
+	if ent.plan == nil && needsPlan(strategy) {
+		plan, err := buildPlan(strategy, ent.flock, db)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		ent.plan = plan
+	}
+	if useCache {
+		s.plans.Put(key, ent)
+	}
+	s.respondEval(w, r.Context(), db, ent, strategy, timeout, useCache, "")
+}
+
+// lintResult folds analyzer diagnostics into the ?lint=1 payload.
+func lintResult(diags []analysis.Diagnostic) lintResponse {
+	lr := lintResponse{Diagnostics: diags}
+	if lr.Diagnostics == nil {
+		lr.Diagnostics = []analysis.Diagnostic{}
+	}
+	for _, d := range diags {
+		if d.Severity == analysis.SevError {
+			lr.Errors++
+		} else {
+			lr.Warnings++
+		}
+	}
+	return lr
+}
+
+// preparedFlock is one registry entry: the parse result and validated
+// flock, retained so /invoke skips parse, lint, and construction.
+type preparedFlock struct {
+	fs       *datalog.FlockSource
+	flock    *core.Flock
+	canon    string
+	warnings []analysis.Diagnostic
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a flock program to /prepare"})
+		return
+	}
+	src, status, err := readProgram(r)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	db := s.snapshot()
+	fs, perr := datalog.ParseFlock(analysis.StripExplain(string(src)))
+	if perr != nil {
+		d := analysis.ParseDiagnostic(perr, analysis.Options{})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error(), Diagnostics: []analysis.Diagnostic{d}})
+		return
+	}
+	diags := analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})
 	if analysis.HasErrors(diags) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error:       "flock rejected by static analysis; see diagnostics",
@@ -188,20 +450,192 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-
-	flock, err := core.Parse(string(src))
+	flock, err := core.NewWithViews(fs.Views, fs.Query, fs.Filter)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	if err := flock.CheckDatabase(s.db); err != nil {
+	if err := flock.CheckDatabase(db); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	canon := analysis.CanonicalProgram(fs)
+	handle, existed := s.prepared.Register(canon, &preparedFlock{fs: fs, flock: flock, canon: canon, warnings: diags})
+	writeJSON(w, http.StatusOK, prepareResponse{
+		Handle: handle, Params: flock.ParamColumns(), Existing: existed, Warnings: diags,
+	})
+}
+
+// invokeRequest is the optional /invoke/{handle} JSON body. Threshold,
+// when present, rebinds the prepared flock's filter threshold for this
+// invocation — the interactive-mining knob: tightening it reuses the
+// memoized extended answers, which are threshold-independent.
+type invokeRequest struct {
+	Threshold *json.Number `json:"threshold"`
+}
+
+func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST to /invoke/{handle}"})
+		return
+	}
+	handle := strings.TrimPrefix(r.URL.Path, "/invoke/")
+	v, ok := s.prepared.Get(handle)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no prepared flock %q (POST the program to /prepare first)", handle)})
+		return
+	}
+	p := v.(*preparedFlock)
+
+	q := r.URL.Query()
+	strategy := q.Get("strategy")
+	if strategy == "" {
+		strategy = "direct"
+	}
+	if !validStrategy(strategy) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown strategy %q", strategy)})
+		return
+	}
+	timeout, err := requestTimeout(r, s.cfg.Timeout)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	var req invokeRequest
+	if len(strings.TrimSpace(string(body))) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad invoke body: %v", err)})
+			return
+		}
+	}
+
+	db := s.snapshot()
+	useCache := q.Get("cache") != "0"
+	flock, canon, fs := p.flock, p.canon, p.fs
+	if req.Threshold != nil {
+		spec := fs.Filter
+		spec.Threshold = storage.ParseValue(req.Threshold.String())
+		rebound, err := core.NewWithViews(fs.Views, fs.Query, spec)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad threshold binding: %v", err)})
+			return
+		}
+		flock = rebound
+		canon = analysis.CanonicalProgram(&datalog.FlockSource{Views: fs.Views, Query: fs.Query, Filter: spec})
+	}
+
+	key := planKey(canon, strategy, db.Version())
+	var ent *planEntry
+	if useCache {
+		if v, ok := s.plans.Get(key); ok {
+			ent = v.(*planEntry)
+		}
+	}
+	if ent == nil {
+		// The program was fully checked at prepare time; only the
+		// database binding needs re-verification (the schema could in
+		// principle drift across mutations).
+		if err := flock.CheckDatabase(db); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		ent = &planEntry{flock: flock, warnings: p.warnings}
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("over the concurrent-query cap (%d); retry later", s.cfg.MaxQueries)})
+		return
+	}
+	defer release()
+	if ent.plan == nil && needsPlan(strategy) {
+		plan, err := buildPlan(strategy, ent.flock, db)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		ent.plan = plan
+	}
+	if useCache {
+		s.plans.Put(key, ent)
+	}
+	s.respondEval(w, r.Context(), db, ent, strategy, timeout, useCache, handle)
+}
+
+// handleMutate appends CSV rows (no header; columns in relation order) to
+// the named relation. The mutation is copy-on-write: a clone of the
+// relation and catalog is built, the data-version counter is bumped, and
+// the new database is published atomically — in-flight requests keep
+// evaluating their snapshot, and every cache entry keyed on the old
+// version becomes unreachable.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST CSV rows to /mutate/{relation}"})
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/mutate/")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProgramBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(body) > maxProgramBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("mutation exceeds the %d-byte limit", maxProgramBytes)})
+		return
+	}
+	records, err := csv.NewReader(strings.NewReader(string(body))).ReadAll()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad CSV: %v", err)})
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, err := s.db.Relation(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	next := old.Clone()
+	inserted := 0
+	for i, rec := range records {
+		if len(rec) != next.Arity() {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("row %d has %d fields but relation %s has %d columns", i+1, len(rec), name, next.Arity())})
+			return
+		}
+		t := make(storage.Tuple, len(rec))
+		for j, field := range rec {
+			t[j] = storage.ParseValue(field)
+		}
+		if next.Insert(t) {
+			inserted++
+		}
+	}
+	db := s.db.Clone()
+	db.Add(next)
+	db.BumpVersion()
+	s.db = db
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Relation: name, Inserted: inserted, Rows: next.Len(), Version: db.Version(),
+	})
+}
+
+// respondEval runs one evaluation (shared by /query and /invoke) and
+// writes the success or error payload.
+func (s *server) respondEval(w http.ResponseWriter, rctx context.Context, db *storage.Database,
+	ent *planEntry, strategy string, timeout time.Duration, useCache bool, handle string) {
 
 	// The request context carries the client-disconnect signal; the wall
 	// limit rides on it so either aborts the evaluation cooperatively.
-	ctx := r.Context()
+	ctx := rctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -211,20 +645,24 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr := &eval.Trace{}
 	tr.Collector() // anchor the wall-clock/alloc baseline before evaluation
 	start := time.Now()
-	answer, err := s.evaluate(ctx, flock, strategy, tr)
+	answer, err := s.evaluate(ctx, db, ent, strategy, tr, useCache)
 	if err != nil {
 		writeJSON(w, statusForEvalError(err), errorResponse{Error: err.Error()})
 		return
 	}
 	report := tr.Report(strategy, s.cfg.Workers, answer.Len())
+	if report != nil {
+		report.Caches = s.cacheStats(db)
+	}
 	obs.PublishReport(report)
 
 	resp := queryResponse{
 		Strategy:   strategy,
+		Handle:     handle,
 		AnswerRows: answer.Len(),
 		Columns:    answer.Columns(),
 		WallNs:     time.Since(start).Nanoseconds(),
-		Warnings:   diags, // only warning/info diagnostics survive to here
+		Warnings:   ent.warnings, // only warning/info diagnostics survive to here
 		Report:     report,
 	}
 	resp.Rows = make([][]string, 0, answer.Len())
@@ -241,55 +679,50 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // errPanic marks an evaluation that died in an engine invariant panic.
 var errPanic = errors.New("internal panic")
 
+// buildPlan derives the §4.2 plan the strategy executes.
+func buildPlan(strategy string, flock *core.Flock, db *storage.Database) (*core.Plan, error) {
+	switch strategy {
+	case "static":
+		return planner.PlanStatic(flock, planner.NewEstimator(db), nil)
+	case "exhaustive":
+		return planner.PlanExhaustive(flock, planner.NewEstimator(db), nil)
+	case "levelwise":
+		return planner.PlanLevelwise(flock, 0)
+	default:
+		return nil, fmt.Errorf("strategy %q does not use a prebuilt plan", strategy)
+	}
+}
+
 // evaluate runs one flock under the request's context and the server's
 // resource budgets. Engine panics are recovered into errors so a bad
 // query cannot take the service down.
-func (s *server) evaluate(ctx context.Context, flock *core.Flock, strategy string, tr *eval.Trace) (answer *storage.Relation, err error) {
+func (s *server) evaluate(ctx context.Context, db *storage.Database, ent *planEntry,
+	strategy string, tr *eval.Trace, useCache bool) (answer *storage.Relation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			answer, err = nil, fmt.Errorf("%w: %v", errPanic, r)
 		}
 	}()
+	flock := ent.flock
 	limits := eval.Limits{MaxTuples: s.cfg.MaxTuples, MaxRows: s.cfg.MaxRows}
 	ev := &core.EvalOptions{Workers: s.cfg.Workers, Trace: tr, Ctx: ctx, Limits: limits}
+	if useCache && s.memo != nil && memoStrategy(strategy) {
+		ev.Memo = s.memo
+		ev.MemoSalt = core.MemoContext(db, flock)
+	}
 	switch strategy {
 	case "direct":
-		return flock.Eval(s.db, ev)
+		return flock.Eval(db, ev)
 	case "naive":
-		// The reference evaluator takes no options; it is for tiny data.
-		return flock.EvalNaive(s.db)
-	case "static":
-		plan, err := planner.PlanStatic(flock, planner.NewEstimator(s.db), nil)
-		if err != nil {
-			return nil, err
-		}
-		res, err := plan.Execute(s.db, ev)
-		if err != nil {
-			return nil, err
-		}
-		return res.Answer, nil
-	case "exhaustive":
-		plan, err := planner.PlanExhaustive(flock, planner.NewEstimator(s.db), nil)
-		if err != nil {
-			return nil, err
-		}
-		res, err := plan.Execute(s.db, ev)
-		if err != nil {
-			return nil, err
-		}
-		return res.Answer, nil
-	case "levelwise":
-		plan, err := planner.PlanLevelwise(flock, 0)
-		if err != nil {
-			return nil, err
-		}
-		res, err := plan.Execute(s.db, ev)
+		return flock.EvalNaiveOpts(db, ev)
+	case "static", "exhaustive", "levelwise":
+		res, err := ent.plan.Execute(db, ev)
 		if err != nil {
 			return nil, err
 		}
 		return res.Answer, nil
 	case "dynamic":
-		res, err := planner.EvalDynamic(s.db, flock, &planner.DynamicOptions{
+		res, err := planner.EvalDynamic(db, flock, &planner.DynamicOptions{
 			Workers: s.cfg.Workers, Trace: tr, Ctx: ctx, Limits: limits,
 		})
 		if err != nil {

@@ -377,7 +377,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
 	var drainLog strings.Builder
-	go func() { served <- serve(ctx, ln, srv.handler(), 30*time.Second, &drainLog) }()
+	go func() { served <- serveHTTP(ctx, ln, srv.handler(), 30*time.Second, &drainLog) }()
 
 	// Start a query that runs ~200ms, then request shutdown while it is
 	// in flight; the drain must let it finish and deliver its response.

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"strings"
+
+	"queryflocks/internal/datalog"
+)
+
+// This file canonicalizes whole flock programs for the serving layer's
+// caches. The canonical text of a program is its paper-notation rendering
+// after per-rule variable alpha-renaming (datalog.CanonicalRule), so two
+// programs that differ only in variable names, whitespace, or comments
+// share one cache key. Parameters are kept verbatim: they name the
+// answer columns and are semantically significant.
+
+// CanonicalProgram renders a parsed flock program in canonical form:
+// VIEWS (if any), QUERY rules, and the FILTER condition, each section on
+// its own lines, with every rule alpha-renamed. Rule and view order is
+// preserved — it participates in plan derivation (§4.2 rule 3) and view
+// stratification.
+func CanonicalProgram(fs *datalog.FlockSource) string {
+	var b strings.Builder
+	if len(fs.Views) > 0 {
+		b.WriteString("VIEWS:\n")
+		for _, v := range fs.Views {
+			b.WriteString(datalog.CanonicalRule(v))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("QUERY:\n")
+	for _, r := range fs.Query {
+		b.WriteString(datalog.CanonicalRule(r))
+		b.WriteByte('\n')
+	}
+	b.WriteString("FILTER:\n")
+	// The filter is rendered positionally (datalog.CanonicalFilter): its
+	// target must survive the alpha-renaming applied to the rules above,
+	// and only the head-argument position does.
+	var head *datalog.Atom
+	if len(fs.Query) > 0 {
+		head = fs.Query[0].Head
+	}
+	b.WriteString(datalog.CanonicalFilter(fs.Filter, head))
+	return b.String()
+}
+
+// ParseDiagnostic converts a parse error into the QF001 diagnostic the
+// front-ends report, recovering the source position when the parser
+// provided one. It is the exported form of the conversion AnalyzeSource
+// applies, for callers that parse once themselves and share the result
+// between the analyzer and the evaluator.
+func ParseDiagnostic(err error, opts Options) Diagnostic {
+	return syntaxDiagnostic(err, opts)
+}

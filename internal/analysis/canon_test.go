@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"queryflocks/internal/datalog"
+)
+
+func canonOf(t *testing.T, src string) string {
+	t.Helper()
+	fs, err := datalog.ParseFlock(StripExplain(src))
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return CanonicalProgram(fs)
+}
+
+func TestCanonicalProgramAlphaInvariant(t *testing.T) {
+	base := canonOf(t, `QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 5`)
+
+	variants := []string{
+		// Renamed head/body variable.
+		`QUERY:
+answer(Basket) :- baskets(Basket,$1) AND baskets(Basket,$2) AND $1 < $2
+FILTER:
+COUNT(answer.Basket) >= 5`,
+		// Whitespace and an EXPLAIN prefix.
+		`EXPLAIN
+QUERY:
+  answer( B )   :-   baskets(B, $1)  AND baskets(B, $2) AND $1 < $2
+FILTER:
+  COUNT( answer.B ) >= 5`,
+	}
+	for i, v := range variants {
+		if got := canonOf(t, v); got != base {
+			t.Errorf("variant %d canonicalizes differently:\n%s\nvs base:\n%s", i, got, base)
+		}
+	}
+}
+
+func TestCanonicalProgramFilterIsPositional(t *testing.T) {
+	c := canonOf(t, `QUERY:
+answer(Basket) :- baskets(Basket,$1)
+FILTER:
+COUNT(answer.Basket) >= 5`)
+	if !strings.Contains(c, "answer.#0") {
+		t.Fatalf("filter target should be positional, got:\n%s", c)
+	}
+	if strings.Contains(c, "answer.Basket") {
+		t.Fatalf("source variable name leaked into the canonical filter:\n%s", c)
+	}
+}
+
+func TestCanonicalProgramDistinguishesSemantics(t *testing.T) {
+	mk := func(threshold, param string) string {
+		return canonOf(t, `QUERY:
+answer(B) :- baskets(B,`+param+`)
+FILTER:
+COUNT(answer.B) >= `+threshold)
+	}
+	if mk("5", "$1") == mk("6", "$1") {
+		t.Fatal("different thresholds must not share a canonical form")
+	}
+	if mk("5", "$1") == mk("5", "$item") {
+		t.Fatal("parameters are semantically significant and must stay verbatim")
+	}
+}

@@ -46,6 +46,15 @@ type EvalOptions struct {
 	// evaluation (e.g. every step of a plan); when nil, one is derived
 	// from Ctx and Limits per top-level Eval/Execute call.
 	Gate *eval.Gate
+	// Memo, when non-nil, memoizes FILTER computations across evaluations
+	// (see memo.go): extended answers keyed filter-free — so a threshold-
+	// tightened re-run reuses the mined candidate tuples — and survivor
+	// sets keyed on query plus filter. Callers must also set MemoSalt.
+	Memo SubqueryMemo
+	// MemoSalt scopes memo keys to a database version and view context;
+	// derive it with MemoContext. An empty salt with a non-nil Memo would
+	// let results leak across data versions, so flockd always sets both.
+	MemoSalt string
 }
 
 func (o *EvalOptions) evalOpts() *eval.Options {
@@ -127,6 +136,9 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 
 	if filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
+	}
+	if opts != nil && opts.Memo != nil {
+		return evalFilteredMemo(db, params, query, filter, name, opts)
 	}
 	if opts.execMode().Streaming() {
 		plan, err := compileFiltered(db, params, query, filter, name, opts, nil)

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/storage"
+)
+
+// mapMemo is a minimal in-test SubqueryMemo: an unbounded map per plane
+// with traffic counters, so tests can assert which plane served a run
+// without depending on the serving-layer LRU.
+type mapMemo struct {
+	ext, surv                            map[string]*storage.Relation
+	extHits, extMiss, survHits, survMiss int
+}
+
+func newMapMemo() *mapMemo {
+	return &mapMemo{ext: map[string]*storage.Relation{}, surv: map[string]*storage.Relation{}}
+}
+
+func (m *mapMemo) Extended(key string) (*storage.Relation, bool) {
+	rel, ok := m.ext[key]
+	if ok {
+		m.extHits++
+	} else {
+		m.extMiss++
+	}
+	return rel, ok
+}
+func (m *mapMemo) PutExtended(key string, rel *storage.Relation) { m.ext[key] = rel }
+func (m *mapMemo) Survivors(key string) (*storage.Relation, bool) {
+	rel, ok := m.surv[key]
+	if ok {
+		m.survHits++
+	} else {
+		m.survMiss++
+	}
+	return rel, ok
+}
+func (m *mapMemo) PutSurvivors(key string, rel *storage.Relation) { m.surv[key] = rel }
+
+// TestMemoMatchesDirectRandomized is the memo-route oracle: on random
+// instances, direct evaluation and plan execution must return the same
+// answer with the memo cold, with the memo hot, and without a memo —
+// and the hot direct run must be served from the survivor plane.
+func TestMemoMatchesDirectRandomized(t *testing.T) {
+	const trials = 150
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		db := randomFlockDB(rng)
+		f := randomFlock(rng)
+		want, err := f.Eval(db, nil)
+		if err != nil {
+			t.Fatalf("trial %d plain: %v", trial, err)
+		}
+
+		memo := newMapMemo()
+		opts := &EvalOptions{Memo: memo, MemoSalt: MemoContext(db, f)}
+		cold, err := f.Eval(db, opts)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		if !cold.Equal(want) {
+			t.Fatalf("trial %d: cold memo != plain\nflock:\n%s\ncold:\n%s\nwant:\n%s",
+				trial, f, cold.Dump(), want.Dump())
+		}
+		before := memo.survHits
+		hot, err := f.Eval(db, opts)
+		if err != nil {
+			t.Fatalf("trial %d hot: %v", trial, err)
+		}
+		if !hot.Equal(want) {
+			t.Fatalf("trial %d: hot memo != plain\nflock:\n%s", trial, f)
+		}
+		if memo.survHits <= before {
+			t.Fatalf("trial %d: hot run did not hit the survivor plane", trial)
+		}
+
+		plan, err := randomLegalPlan(f, rng)
+		if err != nil {
+			t.Fatalf("trial %d plan build: %v", trial, err)
+		}
+		pmemo := newMapMemo()
+		popts := &EvalOptions{Memo: pmemo, MemoSalt: MemoContext(db, f)}
+		for pass := 0; pass < 2; pass++ {
+			res, err := plan.Execute(db, popts)
+			if err != nil {
+				t.Fatalf("trial %d plan pass %d: %v\nplan:\n%s", trial, pass, err, plan)
+			}
+			if !res.Answer.Equal(want) {
+				t.Fatalf("trial %d plan pass %d: plan+memo != plain\nflock:\n%s\nplan:\n%s\ngot:\n%s\nwant:\n%s",
+					trial, pass, f, plan, res.Answer.Dump(), want.Dump())
+			}
+		}
+		if pmemo.survHits == 0 {
+			t.Fatalf("trial %d: second plan pass did not hit the memo", trial)
+		}
+	}
+}
+
+func countFlock(t *testing.T, threshold int64) *Flock {
+	t.Helper()
+	u := datalog.Union{datalog.NewRule(
+		datalog.NewAtom("answer", datalog.Var("X")),
+		datalog.NewAtom("r", datalog.Var("X"), datalog.Param("p")),
+	)}
+	f, err := New(u, datalog.FilterSpec{
+		Agg: datalog.AggCount, Op: datalog.Ge, Threshold: storage.Int(threshold),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func memoDB() *storage.Database {
+	db := storage.NewDatabase()
+	r := storage.NewRelation("r", "A", "B")
+	for _, row := range [][2]int64{{1, 1}, {2, 1}, {3, 1}, {1, 2}, {2, 2}} {
+		r.InsertValues(storage.Int(row[0]), storage.Int(row[1]))
+	}
+	db.Add(r)
+	return db
+}
+
+// TestMemoThresholdTighteningReusesExtended checks the §3.1 factoring
+// the memo is built on: the extended answer is filter-independent, so a
+// threshold-tightened flock reuses it (extended hit) while recomputing
+// only the group-and-filter pass (survivor miss).
+func TestMemoThresholdTighteningReusesExtended(t *testing.T) {
+	db := memoDB()
+	memo := newMapMemo()
+	loose, tight := countFlock(t, 2), countFlock(t, 3)
+
+	got, err := loose.Eval(db, &EvalOptions{Memo: memo, MemoSalt: MemoContext(db, loose)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 { // p=1 has 3 baskets, p=2 has 2
+		t.Fatalf("loose answer:\n%s", got.Dump())
+	}
+
+	got, err = tight.Eval(db, &EvalOptions{Memo: memo, MemoSalt: MemoContext(db, tight)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("tight answer:\n%s", got.Dump())
+	}
+	if memo.extHits == 0 {
+		t.Fatal("tightened threshold should reuse the memoized extended answer")
+	}
+	if memo.survHits != 0 {
+		t.Fatal("tightened threshold must not reuse the other threshold's survivors")
+	}
+
+	want, err := tight.Eval(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("memoized tight answer differs from plain:\n%s\nvs\n%s", got.Dump(), want.Dump())
+	}
+}
+
+// TestMemoSaltSeparatesVersions checks invalidation-by-key-construction:
+// after a data change and a version bump, MemoContext yields a fresh
+// salt, so nothing from the old version is reused.
+func TestMemoSaltSeparatesVersions(t *testing.T) {
+	db := memoDB()
+	memo := newMapMemo()
+	f := countFlock(t, 3)
+
+	old, err := f.Eval(db, &EvalOptions{Memo: memo, MemoSalt: MemoContext(db, f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != 1 {
+		t.Fatalf("pre-mutation answer:\n%s", old.Dump())
+	}
+
+	next := db.Clone()
+	base, err := db.Relation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := base.Clone()
+	grown.InsertValues(storage.Int(4), storage.Int(2))
+	next.Add(grown)
+	next.BumpVersion()
+	if MemoContext(next, f) == MemoContext(db, f) {
+		t.Fatal("version bump must change the memo salt")
+	}
+
+	got, err := f.Eval(next, &EvalOptions{Memo: memo, MemoSalt: MemoContext(next, f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.extHits != 0 || memo.survHits != 0 {
+		t.Fatalf("post-mutation run reused stale entries: %+v", memo)
+	}
+	if got.Len() != 2 { // p=2 now has 3 baskets too
+		t.Fatalf("post-mutation answer:\n%s", got.Dump())
+	}
+	// The old snapshot still answers from its own keys.
+	if again, err := f.Eval(db, &EvalOptions{Memo: memo, MemoSalt: MemoContext(db, f)}); err != nil || !again.Equal(old) {
+		t.Fatalf("old-version re-run: %v\n%s", err, again.Dump())
+	}
+	if memo.survHits == 0 {
+		t.Fatal("old-version re-run should have hit its survivors")
+	}
+}
+
+// TestMemoKeysAlphaInvariant: alpha-renamed unions derive the same
+// extended key, and distinct data or parameter shapes do not collide.
+func TestMemoKeysAlphaInvariant(t *testing.T) {
+	mk := func(v string) datalog.Union {
+		return datalog.Union{datalog.NewRule(
+			datalog.NewAtom("answer", datalog.Var(v)),
+			datalog.NewAtom("r", datalog.Var(v), datalog.Param("p")),
+		)}
+	}
+	params := []datalog.Param{"p"}
+	a := extendedKey("salt", params, mk("X"))
+	b := extendedKey("salt", params, mk("Zed"))
+	if a != b {
+		t.Fatalf("alpha-renamed unions must share a key: %q vs %q", a, b)
+	}
+	if extendedKey("other", params, mk("X")) == a {
+		t.Fatal("different salts must not collide")
+	}
+	f := countFlock(t, 2)
+	if survivorKey(a, f.Filter) == survivorKey(a, countFlock(t, 3).Filter) {
+		t.Fatal("different thresholds must use different survivor keys")
+	}
+	if survivorKey(a, f.Filter) != survivorKey(a, countFlock(t, 2).Filter) {
+		t.Fatal("equal filters must share a survivor key")
+	}
+}

@@ -31,13 +31,24 @@ const NaiveLimit = 1_000_000
 // (PassesEmpty is rejected at construction of the evaluation), so the
 // enumeration is complete.
 func (f *Flock) EvalNaive(db *storage.Database) (*storage.Relation, error) {
+	return f.EvalNaiveOpts(db, nil)
+}
+
+// EvalNaiveOpts is EvalNaive under EvalOptions: the request context, wall
+// clock, and tuple/row budgets flow through the shared gate into every
+// per-assignment query evaluation, and the enumeration itself checks the
+// gate between assignments — so a served naive query can be canceled and
+// budgeted like every other strategy instead of running to completion.
+// Answers are identical to EvalNaive whenever no limit fires.
+func (f *Flock) EvalNaiveOpts(db *storage.Database, opts *EvalOptions) (*storage.Relation, error) {
 	if f.Filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", f.Filter)
 	}
 	if err := f.CheckDatabase(db); err != nil {
 		return nil, err
 	}
-	db, err := f.MaterializeViews(db, nil)
+	opts = opts.withGate() // views and every assignment share one clock/budget
+	db, err := f.MaterializeViews(db, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -54,18 +65,25 @@ func (f *Flock) EvalNaive(db *storage.Database) (*storage.Relation, error) {
 		}
 	}
 
+	gate := opts.gate()
 	out := storage.NewRelation("flock", f.ParamColumns()...)
 	assignment := make(datalog.Substitution, len(f.Params))
 	tuple := make(storage.Tuple, len(f.Params))
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
 		if i == len(f.Params) {
-			pass, err := f.testAssignment(db, assignment)
+			if err := gate.Check(); err != nil {
+				return err
+			}
+			pass, err := f.testAssignment(db, assignment, opts)
 			if err != nil {
 				return err
 			}
 			if pass {
 				out.Insert(tuple.Clone())
+				if err := gate.CheckOutput(out.Len()); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
@@ -86,12 +104,13 @@ func (f *Flock) EvalNaive(db *storage.Database) (*storage.Relation, error) {
 }
 
 // testAssignment instantiates every rule with the assignment, evaluates
-// the union, and applies the filter.
-func (f *Flock) testAssignment(db *storage.Database, s datalog.Substitution) (bool, error) {
+// the union (under the shared gate, so cancellation and the tuple budget
+// reach into each per-assignment evaluation), and applies the filter.
+func (f *Flock) testAssignment(db *storage.Database, s datalog.Substitution, opts *EvalOptions) (bool, error) {
 	acc := f.Filter.NewGroup()
 	seen := make(map[string]struct{})
 	for _, r := range f.Query {
-		res, err := eval.EvalGround(db, r.Substitute(s), nil)
+		res, err := eval.EvalGround(db, r.Substitute(s), opts.subquery().evalOpts())
 		if err != nil {
 			return false, err
 		}

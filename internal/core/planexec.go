@@ -54,12 +54,26 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 	}
 	scratch := mat.Clone()
 	res := &PlanResult{}
+	// With a memo mounted, each step's keys are scoped by a salt chained
+	// over the steps before it: step queries reference earlier step
+	// relations by name, and the chain binds each name to its derivation
+	// so equal step texts from different plans cannot alias (memo.go).
+	memoSalt := ""
+	if opts != nil && opts.Memo != nil {
+		memoSalt = opts.MemoSalt
+	}
 	for si, step := range p.Steps {
 		// Only the final step's relation is the flock's answer; earlier
 		// steps are intermediates and escape the answer-row cap.
 		stepOpts := opts
 		if si < len(p.Steps)-1 {
 			stepOpts = opts.subquery()
+		}
+		if opts != nil && opts.Memo != nil {
+			c := *stepOpts
+			c.MemoSalt = memoSalt
+			stepOpts = &c
+			memoSalt = chainSalt(memoSalt, step, p.Flock.Filter)
 		}
 		var start time.Time
 		if opts != nil && opts.Trace != nil {
@@ -94,6 +108,16 @@ func (p *Plan) Execute(db *storage.Database, opts *EvalOptions) (*PlanResult, er
 // step is compiled at execution time so the join order sees the actual
 // sizes of earlier step relations.
 func executeStep(scratch *storage.Database, p *Plan, step FilterStep, opts *EvalOptions) (*storage.Relation, error) {
+	if opts != nil && opts.Memo != nil {
+		// The memo route materializes (a hit returns a stored relation);
+		// register the result like the materializing branch does.
+		rel, err := evalFiltered(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
+		if err != nil {
+			return nil, err
+		}
+		scratch.Add(rel)
+		return rel, nil
+	}
 	if opts.execMode().Streaming() {
 		register := func(rel *storage.Relation) error {
 			scratch.Add(rel)

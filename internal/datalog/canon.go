@@ -1,0 +1,97 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders rules and unions in a canonical form: variables are
+// renamed to V0, V1, ... in order of first occurrence (head first, then
+// body, left to right), and the result is printed with the standard
+// pretty-printer. Two rules that differ only in variable naming or
+// surface whitespace therefore render identically, while parameters —
+// which are semantic (they name the flock's answer columns) — and
+// constants are kept verbatim. The canonical text is the alpha-
+// equivalence cache key used by the serving layer's plan cache and the
+// cross-request candidate-subquery memo.
+
+// CanonicalRule returns the rule's canonical rendering: the standard
+// String form after renaming variables by first occurrence. The rule
+// itself is not modified.
+func CanonicalRule(r *Rule) string {
+	return canonicalizeRule(r).String()
+}
+
+// CanonicalUnion returns the union's canonical rendering, one canonical
+// rule per line in the union's given order. (Rule order is preserved: it
+// is part of a plan's positional derivation contract, §4.2 rule 3.)
+func CanonicalUnion(u Union) string {
+	parts := make([]string, len(u))
+	for i, r := range u {
+		parts[i] = CanonicalRule(r)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// CanonicalFilter renders a filter condition positionally against the
+// query head: a named target column becomes its head-argument index
+// ("COUNT(answer.#0) >= 5"). The verbatim FilterSpec.String rendering
+// names the target through a head *variable*, which alpha-renaming
+// changes — two alpha-equivalent programs would then canonicalize to
+// different texts. Positions survive renaming, so this form is the one
+// the serving-layer cache keys embed. A target that does not resolve
+// against the head (an invalid program) falls back to the verbatim
+// rendering, keeping the result deterministic.
+func CanonicalFilter(spec FilterSpec, head *Atom) string {
+	target := "answer(*)"
+	if spec.Target != "" {
+		pos := -1
+		if head != nil {
+			for i, t := range head.Args {
+				if v, ok := t.(Var); ok && string(v) == spec.Target {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			return spec.String()
+		}
+		target = fmt.Sprintf("answer.#%d", pos)
+	}
+	return fmt.Sprintf("%s(%s) %s %s", spec.Agg, target, spec.Op, spec.Threshold.Literal())
+}
+
+// canonicalizeRule returns a copy of r with every variable renamed to
+// V<n> in order of first occurrence.
+func canonicalizeRule(r *Rule) *Rule {
+	out := r.Clone()
+	names := make(map[Var]Var)
+	ren := func(t Term) Term {
+		v, ok := t.(Var)
+		if !ok {
+			return t
+		}
+		nv, seen := names[v]
+		if !seen {
+			nv = Var(fmt.Sprintf("V%d", len(names)))
+			names[v] = nv
+		}
+		return nv
+	}
+	for i, t := range out.Head.Args {
+		out.Head.Args[i] = ren(t)
+	}
+	for _, sg := range out.Body {
+		switch g := sg.(type) {
+		case *Atom:
+			for i, t := range g.Args {
+				g.Args[i] = ren(t)
+			}
+		case *Comparison:
+			g.Left = ren(g.Left)
+			g.Right = ren(g.Right)
+		}
+	}
+	return out
+}

@@ -89,6 +89,10 @@ type Event struct {
 	// integer hot path.
 	IDBatches    int `json:"id_batches,omitempty"`
 	BoxedBatches int `json:"boxed_batches,omitempty"`
+	// Cached reports that the operator's input (or its entire result) was
+	// served from the cross-request candidate-subquery memo instead of
+	// being recomputed.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // String renders the event one-line, prefix included.
@@ -157,6 +161,9 @@ func (e Event) cardinalities() string {
 	}
 	if e.Workers > 1 {
 		parts = append(parts, fmt.Sprintf("w=%d", e.Workers))
+	}
+	if e.Cached {
+		parts = append(parts, "memo")
 	}
 	if e.Wall > 0 {
 		parts = append(parts, e.Wall.Round(time.Microsecond).String())
@@ -329,8 +336,48 @@ type RunReport struct {
 	// fresh ID.
 	InternHits   uint64 `json:"intern_hits,omitempty"`
 	InternMisses uint64 `json:"intern_misses,omitempty"`
+	// Caches is the serving layer's cache counter block, attached by
+	// flockd to every evaluated response; nil for non-served runs.
+	Caches *CacheStats `json:"caches,omitempty"`
 	// Steps is the per-operator event list, in execution order.
 	Steps []Event `json:"steps"`
+}
+
+// CacheStats is the serving layer's cache counter block: the LRU plan
+// cache, the byte-bounded candidate-subquery memo, and the prepared-flock
+// registry, plus the database version the counters were sampled against.
+// All hit/miss/eviction counters are cumulative since process start,
+// mirroring the dictionary's intern_hits/intern_misses convention —
+// per-request deltas are the difference between two samples.
+type CacheStats struct {
+	// PlanEntries/PlanCapacity describe the plan cache's occupancy; the
+	// hit/miss/eviction counters its cumulative traffic.
+	PlanEntries   int    `json:"plan_entries"`
+	PlanCapacity  int    `json:"plan_capacity,omitempty"`
+	PlanHits      uint64 `json:"plan_hits"`
+	PlanMisses    uint64 `json:"plan_misses"`
+	PlanEvictions uint64 `json:"plan_evictions,omitempty"`
+
+	// MemoEntries/MemoBytes/MemoMaxBytes describe the candidate-subquery
+	// memo's occupancy against its byte bound. Extended-answer lookups
+	// (filter-free: shared across threshold variants) and survivor-set
+	// lookups (query+filter) are counted separately — a threshold-
+	// tightened re-run shows as an ext hit plus a surv miss.
+	MemoEntries    int    `json:"memo_entries"`
+	MemoBytes      int64  `json:"memo_bytes"`
+	MemoMaxBytes   int64  `json:"memo_max_bytes,omitempty"`
+	MemoExtHits    uint64 `json:"memo_ext_hits"`
+	MemoExtMisses  uint64 `json:"memo_ext_misses"`
+	MemoSurvHits   uint64 `json:"memo_surv_hits"`
+	MemoSurvMisses uint64 `json:"memo_surv_misses"`
+	MemoEvictions  uint64 `json:"memo_evictions,omitempty"`
+
+	// PreparedFlocks is the prepared-flock registry size.
+	PreparedFlocks int `json:"prepared_flocks"`
+	// DBVersion is the served database's data-mutation counter; every
+	// plan-cache and memo key embeds it, so a bump strands all prior
+	// entries (invalidation without scanning).
+	DBVersion uint64 `json:"db_version"`
 }
 
 // Tree renders the report as an execution tree: pipeline operators (join,

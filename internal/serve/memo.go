@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"queryflocks/internal/storage"
+)
+
+// Memo is the byte-bounded LRU implementation of core.SubqueryMemo: one
+// LRU over both memo planes (extended answers under an "e|" key prefix,
+// survivor sets under "s|"), bounded by an estimate of the relations'
+// resident bytes. Relations handed to Put become shared and immutable —
+// every later hit returns the same *storage.Relation, which is safe
+// because Relation reads (including lazy index builds) are concurrent-
+// safe once mutation stops.
+//
+// Safe for concurrent use; a nil *Memo is a valid always-miss memo, but
+// callers should then leave EvalOptions.Memo nil entirely so the engine
+// skips the memo route.
+type Memo struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+
+	extHits, extMisses   uint64
+	survHits, survMisses uint64
+	evictions            uint64
+}
+
+type memoElem struct {
+	key  string
+	rel  *storage.Relation
+	size int64
+}
+
+// NewMemo returns a memo bounded to maxBytes of estimated relation
+// payload; maxBytes <= 0 yields nil (memoization disabled).
+func NewMemo(maxBytes int64) *Memo {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Memo{maxBytes: maxBytes, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// relBytes estimates a relation's resident footprint: per-tuple slice and
+// map-key overhead plus boxed values, and a fixed floor so even empty
+// relations count against the bound.
+func relBytes(rel *storage.Relation) int64 {
+	return int64(rel.Len())*int64(48+24*rel.Arity()) + 256
+}
+
+// Extended returns the memoized extended answer for key.
+func (m *Memo) Extended(key string) (*storage.Relation, bool) {
+	if m == nil {
+		return nil, false
+	}
+	return m.get("e|"+key, &m.extHits, &m.extMisses)
+}
+
+// PutExtended stores an extended answer.
+func (m *Memo) PutExtended(key string, rel *storage.Relation) {
+	m.put("e|"+key, rel)
+}
+
+// Survivors returns the memoized survivor set for key.
+func (m *Memo) Survivors(key string) (*storage.Relation, bool) {
+	if m == nil {
+		return nil, false
+	}
+	return m.get("s|"+key, &m.survHits, &m.survMisses)
+}
+
+// PutSurvivors stores a survivor set.
+func (m *Memo) PutSurvivors(key string, rel *storage.Relation) {
+	m.put("s|"+key, rel)
+}
+
+func (m *Memo) get(key string, hits, misses *uint64) (*storage.Relation, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		*misses++
+		return nil, false
+	}
+	*hits++
+	m.ll.MoveToFront(el)
+	return el.Value.(*memoElem).rel, true
+}
+
+// put stores rel under key, evicting least-recently-used entries past the
+// byte bound. An entry bigger than a quarter of the bound is not cached
+// at all — one oversized result must not flush the whole memo.
+func (m *Memo) put(key string, rel *storage.Relation) {
+	if m == nil {
+		return
+	}
+	size := relBytes(rel)
+	if size > m.maxBytes/4 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[key]; ok {
+		e := el.Value.(*memoElem)
+		m.bytes += size - e.size
+		e.rel, e.size = rel, size
+		m.ll.MoveToFront(el)
+	} else {
+		m.entries[key] = m.ll.PushFront(&memoElem{key: key, rel: rel, size: size})
+		m.bytes += size
+	}
+	for m.bytes > m.maxBytes && m.ll.Len() > 1 {
+		tail := m.ll.Back()
+		e := tail.Value.(*memoElem)
+		m.ll.Remove(tail)
+		delete(m.entries, e.key)
+		m.bytes -= e.size
+		m.evictions++
+	}
+}
+
+// MemoStats is a snapshot of the memo's occupancy and cumulative
+// traffic counters. Extended and survivor lookups are counted apart: a
+// threshold-tightened re-run of a flock shows as an extended hit plus a
+// survivor miss.
+type MemoStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	ExtHits   uint64
+	ExtMisses uint64
+	SurvHits  uint64
+	SurvMiss  uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot (zero for a nil memo).
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Entries: m.ll.Len(), Bytes: m.bytes, MaxBytes: m.maxBytes,
+		ExtHits: m.extHits, ExtMisses: m.extMisses,
+		SurvHits: m.survHits, SurvMiss: m.survMisses,
+		Evictions: m.evictions,
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is a count-bounded LRU of prepared evaluation entries, keyed
+// on (canonical program text, strategy, database version) — the caller
+// composes the key string. A hit skips analysis, flock construction, and
+// planning for ad-hoc /query traffic; alpha-equivalent programs share an
+// entry because the canonical text is the key's first component. Safe for
+// concurrent use; a nil *PlanCache is a valid always-miss cache.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type planElem struct {
+	key string
+	val any
+}
+
+// NewPlanCache returns a cache bounded to capacity entries; a capacity
+// <= 0 yields nil (caching disabled).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// Get returns the cached entry for key and marks it most recently used.
+func (c *PlanCache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*planElem).val, true
+}
+
+// Put stores an entry, evicting from the LRU tail past the capacity.
+// Storing an existing key replaces its value.
+func (c *PlanCache) Put(key string, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planElem).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&planElem{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*planElem).key)
+		c.evictions++
+	}
+}
+
+// PlanStats is a snapshot of the cache's occupancy and cumulative
+// traffic counters.
+type PlanStats struct {
+	Entries   int
+	Capacity  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats returns a snapshot (zero for a nil cache).
+func (c *PlanCache) Stats() PlanStats {
+	if c == nil {
+		return PlanStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanStats{Entries: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

@@ -1,0 +1,72 @@
+// Package serve holds flockd's serving-layer cache subsystems: a
+// count-bounded LRU plan cache keyed on canonical program text, a
+// byte-bounded LRU memo of candidate-subquery results (the
+// core.SubqueryMemo implementation), and the prepared-flock registry
+// behind POST /prepare. The structures are deliberately value-agnostic
+// (the plan cache and registry store `any`) so the package depends only
+// on storage and stays reusable by other front-ends.
+//
+// Invalidation is by key construction, not by scanning: every plan-cache
+// and memo key embeds the database's data-version counter
+// (storage.Database.Version), so a mutation that publishes a bumped copy
+// strands all prior entries — they age out through normal LRU pressure
+// and can never answer a request against the new data.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Handle derives the stable prepared-flock handle for a canonical program
+// text: a short content hash, so preparing the same (alpha-equivalent)
+// program twice — even across server restarts — yields the same handle.
+func Handle(canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return "f" + hex.EncodeToString(sum[:6])
+}
+
+// Registry is the prepared-flock table: canonical program text to an
+// opaque prepared entry, addressed by the content-derived Handle. Safe
+// for concurrent use. Registration is idempotent — re-preparing an
+// alpha-equivalent program returns the existing handle.
+type Registry struct {
+	mu       sync.RWMutex
+	byHandle map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byHandle: make(map[string]any)}
+}
+
+// Register stores v under the handle derived from canon, unless that
+// handle is already registered. It returns the handle and whether an
+// entry already existed (the existing entry is kept; prepared flocks are
+// immutable once registered).
+func (r *Registry) Register(canon string, v any) (handle string, existed bool) {
+	handle = Handle(canon)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byHandle[handle]; ok {
+		return handle, true
+	}
+	r.byHandle[handle] = v
+	return handle, false
+}
+
+// Get returns the entry registered under handle, if any.
+func (r *Registry) Get(handle string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.byHandle[handle]
+	return v, ok
+}
+
+// Len returns the number of prepared flocks.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byHandle)
+}

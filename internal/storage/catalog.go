@@ -13,6 +13,11 @@ type Database struct {
 	rels  map[string]*Relation
 	order []string // registration order, for deterministic listings
 	dict  *dictBox // shared value dictionary (see Dict)
+
+	// version is the data-mutation counter (see Version). It is part of
+	// every serving-layer cache key, so bumping it invalidates cached
+	// plans and memoized candidate-subquery results without touching them.
+	version uint64
 }
 
 // dictBox holds a database's lazily built dictionary. The box (not just
@@ -90,12 +95,33 @@ func (db *Database) Has(name string) bool {
 // Names returns the relation names in registration order.
 func (db *Database) Names() []string { return db.order }
 
+// Version returns the database's data-mutation counter. Serving-layer
+// caches (plan cache, candidate-subquery memo) key their entries on this
+// value, so results computed against one version can never answer a
+// request against another. The counter is not synchronized: callers that
+// mutate shared databases concurrently must publish a bumped copy (see
+// Clone + BumpVersion) rather than mutate in place.
+func (db *Database) Version() uint64 { return db.version }
+
+// SetVersion overwrites the data-mutation counter (used when loading a
+// snapshot that carries its own version).
+func (db *Database) SetVersion(v uint64) { db.version = v }
+
+// BumpVersion increments the data-mutation counter and returns the new
+// value. Call it after any change to stored tuples; every cache entry
+// keyed on the previous version becomes unreachable.
+func (db *Database) BumpVersion() uint64 {
+	db.version++
+	return db.version
+}
+
 // Clone returns a database sharing the relation objects but with an
 // independent name table, so plan executors can register temporary
 // relations without mutating the caller's database.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
-	out.dict = db.dict // share the dictionary box (see dictBox)
+	out.dict = db.dict       // share the dictionary box (see dictBox)
+	out.version = db.version // a clone answers for the same data version
 	for _, n := range db.order {
 		out.Add(db.rels[n])
 	}

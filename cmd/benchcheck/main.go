@@ -12,7 +12,11 @@
 //
 // -require-ops lists operator kinds that must appear somewhere across the
 // reports; -min-reports is the minimum number of op_reports expected in
-// total. Embedded "pipeline" entries (the three-executor comparison) are
+// total; -require-storage demands at least one report with storage-engine
+// I/O (segments_opened > 0), the gate the CI disk-engine step uses.
+// Reports carrying storage counters are checked for internal consistency
+// (index blocks and delta rows imply opened segments, opened segments
+// imply bytes read). Embedded "pipeline" entries (the three-executor comparison) are
 // validated too, and -pipeline-baseline FILE additionally fails the check
 // when any (experiment, workload) pair allocates more than 1.1x its
 // committed alloc_stream_bytes — the CI columnar-regression gate.
@@ -73,6 +77,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	requireOps := fs.String("require-ops", "", "comma-separated operator kinds that must appear (e.g. join,group,step)")
 	minReports := fs.Int("min-reports", 1, "minimum total op_reports across all tables")
+	requireStorage := fs.Bool("require-storage", false, "require at least one report with storage-engine I/O (segments_opened > 0)")
 	baseline := fs.String("pipeline-baseline", "", "BENCH_pipeline.json-schema file; fail if any matching (id,name) allocates more than 1.1x its baseline alloc_stream_bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +92,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	seenOps := map[obs.Op]bool{}
-	reports, pipelines := 0, 0
+	reports, pipelines, storageReports := 0, 0, 0
 	for _, t := range tables {
 		if t.ID == "" {
 			return fmt.Errorf("table with empty id")
@@ -96,6 +101,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			reports++
 			if err := checkReport(r); err != nil {
 				return fmt.Errorf("%s op_reports[%d]: %w", t.ID, i, err)
+			}
+			if r.SegmentsOpened > 0 {
+				storageReports++
 			}
 			for _, s := range r.Steps {
 				seenOps[s.Op] = true
@@ -115,6 +123,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if reports < *minReports {
 		return fmt.Errorf("%d op_reports, want at least %d (run an instrumented experiment with -json)", reports, *minReports)
+	}
+	if *requireStorage && storageReports == 0 {
+		return fmt.Errorf("no report carries storage-engine I/O (segments_opened > 0); run a data-directory experiment (e.g. E12)")
 	}
 	for _, op := range splitOps(*requireOps) {
 		if !seenOps[op] {
@@ -267,6 +278,24 @@ func checkReport(r *obs.RunReport) error {
 		if err := checkCaches(r.Caches); err != nil {
 			return fmt.Errorf("%s caches: %w", r.Strategy, err)
 		}
+	}
+	return checkStorage(r)
+}
+
+// checkStorage enforces the storage-engine counter invariants: reading
+// an index block or a delta row means a segment file was opened, and an
+// opened segment always reads at least its header bytes. A violation
+// means the I/O accounting in storage.IOStats and the report plumbing
+// have drifted.
+func checkStorage(r *obs.RunReport) error {
+	if r.IndexBlocksRead > 0 && r.SegmentsOpened == 0 {
+		return fmt.Errorf("%s: index_blocks_read %d with segments_opened 0", r.Strategy, r.IndexBlocksRead)
+	}
+	if r.DeltaRows > 0 && r.SegmentsOpened == 0 {
+		return fmt.Errorf("%s: delta_rows %d with segments_opened 0", r.Strategy, r.DeltaRows)
+	}
+	if r.SegmentsOpened > 0 && r.StorageBytesRead == 0 {
+		return fmt.Errorf("%s: segments_opened %d with storage_bytes_read 0", r.Strategy, r.SegmentsOpened)
 	}
 	return nil
 }

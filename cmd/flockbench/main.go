@@ -7,7 +7,7 @@
 //
 //	flockbench [-exp E1,E3] [-scale 1.0] [-seed 1998] [-workers 0] [-json] [-pprof addr] [-timeout 30s]
 //
-// Without -exp, the whole suite (E1–E11) runs in order; -exp selects a
+// Without -exp, the whole suite (E1–E12) runs in order; -exp selects a
 // comma-separated subset; -json emits the tables as a JSON array. E11 sweeps the parallel worker knob and, under
 // -json, reports machine-readable ns/op plus the speedup over workers=1
 // in each table's "metrics" field; -workers sets the worker count the
@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		pprof   = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		timeout = fs.Duration("timeout", 0, "wall-clock limit per strategy evaluation (0 = none); exceeding runs abort with a typed error")
 		pipeOut = fs.String("pipeline-out", "", "write the executor pipeline comparison (BENCH_pipeline.json schema) to this file; implies metrics collection")
+		dataDir = fs.String("data-dir", "", "persistent storage data directory for the engine experiments (E12); empty uses a temp dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,7 +79,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers,
-		Metrics: *asJSON || *pprof != "" || *pipeOut != "", Timeout: *timeout}
+		Metrics: *asJSON || *pprof != "" || *pipeOut != "", Timeout: *timeout,
+		DataDir: *dataDir}
 	suite := experiments.Suite()
 	if *exp != "" {
 		suite = suite[:0:0]

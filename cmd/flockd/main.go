@@ -10,6 +10,14 @@
 //	flockd -data DIR [-addr localhost:8080] [-timeout 30s]
 //	       [-max-queries 4] [-max-tuples 0] [-max-rows 0]
 //	       [-workers 0] [-plan-cache 256] [-memo-mb 64] [-pprof addr]
+//	flockd -data-dir DIR [-engine memory|disk] [...]
+//
+// With -data-dir the server opens a data directory created by flockgen
+// -data-dir (segments + dictionary + catalog) under the chosen storage
+// engine; -engine disk streams relations from the sorted segment files
+// instead of materializing them. Mutations then append durably to the
+// directory's delta layer and prepared flocks are persisted in it, so
+// both survive restarts.
 //
 // Endpoints:
 //
@@ -90,12 +98,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "flockd: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 
-	db, err := storage.LoadDir(*fs.data)
+	var (
+		db     *storage.Database
+		dir    *storage.Dir
+		source string
+		err    error
+	)
+	if *fs.dataDir != "" {
+		// A data directory created by flockgen -data-dir (or
+		// storage.CreateDir): segments, dictionary, catalog, and deltas,
+		// served by the chosen engine. Mutations append to the delta layer
+		// and survive restarts, as do prepared-flock registrations.
+		engine, perr := storage.ParseEngine(*fs.engine)
+		if perr != nil {
+			return perr
+		}
+		db, dir, err = storage.OpenDir(*fs.dataDir, engine)
+		source = fmt.Sprintf("%s (engine=%s)", *fs.dataDir, engine)
+	} else {
+		db, err = storage.LoadDir(*fs.data)
+		source = *fs.data
+	}
 	if err != nil {
 		return err
 	}
 	if len(db.Names()) == 0 {
-		return fmt.Errorf("no relations found in %s", *fs.data)
+		return fmt.Errorf("no relations found in %s", source)
 	}
 
 	srv := newServer(db, serverConfig{
@@ -106,14 +134,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Workers:       *fs.workers,
 		PlanCacheSize: *fs.planCache,
 		MemoMaxBytes:  int64(*fs.memoMB) << 20,
+		Dir:           dir,
 	})
+	srv.loadPrepared(out)
 
 	ln, err := net.Listen("tcp", *fs.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "flockd: listening on %s (%d relations from %s)\n",
-		ln.Addr(), len(db.Names()), *fs.data)
+		ln.Addr(), len(db.Names()), source)
 	return serveHTTP(ctx, ln, srv.handler(), *fs.drain, out)
 }
 
@@ -145,6 +175,8 @@ func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler, drain time.
 type flockdFlags struct {
 	fs         *flag.FlagSet
 	data       *string
+	dataDir    *string
+	engine     *string
 	addr       *string
 	timeout    *time.Duration
 	drain      *time.Duration
@@ -161,6 +193,8 @@ func newFlagSet() *flockdFlags {
 	fs := flag.NewFlagSet("flockd", flag.ContinueOnError)
 	f := &flockdFlags{fs: fs}
 	f.data = fs.String("data", ".", "directory of CSV relations (header row = column names)")
+	f.dataDir = fs.String("data-dir", "", "data directory created by flockgen -data-dir; overrides -data and makes /mutate and /prepare durable")
+	f.engine = fs.String("engine", "memory", "storage engine for -data-dir: memory (materialize at open) or disk (stream from segments)")
 	f.addr = fs.String("addr", "localhost:8080", "listen address (port 0 picks a free port)")
 	f.timeout = fs.Duration("timeout", 30*time.Second, "per-query wall-clock limit (0 = none); ?timeout= may tighten it")
 	f.drain = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
@@ -189,6 +223,12 @@ func (f *flockdFlags) validate() error {
 	}
 	if *f.planCache < 0 || *f.memoMB < 0 {
 		return fmt.Errorf("-plan-cache and -memo-mb must be >= 0")
+	}
+	if _, err := storage.ParseEngine(*f.engine); err != nil {
+		return err
+	}
+	if *f.engine == "disk" && *f.dataDir == "" {
+		return fmt.Errorf("-engine disk requires -data-dir (CSV loading is memory-only)")
 	}
 	return nil
 }

@@ -7,7 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -53,6 +56,9 @@ type serverConfig struct {
 	// MemoMaxBytes bounds the candidate-subquery memo (estimated bytes;
 	// 0 disables).
 	MemoMaxBytes int64
+	// Dir, when non-nil, is the opened data directory: mutations append
+	// durably to its delta layer and prepared flocks persist in it.
+	Dir *storage.Dir
 }
 
 // server evaluates flocks over a served database via HTTP.
@@ -101,15 +107,21 @@ type server struct {
 	plans    *serve.PlanCache
 	memo     *serve.Memo
 	prepared *serve.Registry
+
+	// preparedMu guards preparedSrcs, the handle -> source table persisted
+	// to the data directory (nil Dir = in-memory only).
+	preparedMu   sync.Mutex
+	preparedSrcs map[string]string
 }
 
 func newServer(db *storage.Database, cfg serverConfig) *server {
 	s := &server{
-		db:       db,
-		cfg:      cfg,
-		plans:    serve.NewPlanCache(cfg.PlanCacheSize),
-		memo:     serve.NewMemo(cfg.MemoMaxBytes),
-		prepared: serve.NewRegistry(),
+		db:           db,
+		cfg:          cfg,
+		plans:        serve.NewPlanCache(cfg.PlanCacheSize),
+		memo:         serve.NewMemo(cfg.MemoMaxBytes),
+		prepared:     serve.NewRegistry(),
+		preparedSrcs: make(map[string]string),
 	}
 	if cfg.MaxQueries > 0 {
 		s.sem = make(chan struct{}, cfg.MaxQueries)
@@ -156,8 +168,8 @@ func (s *server) handleRels(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(names)
 	infos := make([]relInfo, 0, len(names))
 	for _, n := range names {
-		rel := db.MustRelation(n)
-		infos = append(infos, relInfo{Name: n, Columns: rel.Columns(), Rows: rel.Len()})
+		src := db.MustSource(n)
+		infos = append(infos, relInfo{Name: n, Columns: src.Columns(), Rows: src.Len()})
 	}
 	writeJSON(w, http.StatusOK, infos)
 }
@@ -461,9 +473,112 @@ func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	canon := analysis.CanonicalProgram(fs)
 	handle, existed := s.prepared.Register(canon, &preparedFlock{fs: fs, flock: flock, canon: canon, warnings: diags})
+	if !existed {
+		if err := s.persistPrepared(handle, string(src)); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("persisting prepared flock: %v", err)})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, prepareResponse{
 		Handle: handle, Params: flock.ParamColumns(), Existing: existed, Warnings: diags,
 	})
+}
+
+// preparedFile is the sidecar in the data directory holding every
+// prepared program's source, so registrations survive flockd restarts.
+const preparedFile = "prepared.json"
+
+// preparedRecord is one persisted prepared-flock entry.
+type preparedRecord struct {
+	Handle  string `json:"handle"`
+	Program string `json:"program"`
+}
+
+// persistPrepared records a registration and, when serving a data
+// directory, rewrites the prepared-flock sidecar (temp file + rename, so
+// a crash mid-write leaves the previous snapshot intact).
+func (s *server) persistPrepared(handle, src string) error {
+	s.preparedMu.Lock()
+	defer s.preparedMu.Unlock()
+	s.preparedSrcs[handle] = src
+	if s.cfg.Dir == nil {
+		return nil
+	}
+	recs := make([]preparedRecord, 0, len(s.preparedSrcs))
+	for h, p := range s.preparedSrcs {
+		recs = append(recs, preparedRecord{Handle: h, Program: p})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Handle < recs[j].Handle })
+	raw, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.Dir.Path(), preparedFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadPrepared restores persisted prepared flocks from the data
+// directory, re-validating each program against the freshly opened
+// database — entries that no longer parse, lint clean, or match the
+// schema are dropped with a warning rather than served stale.
+func (s *server) loadPrepared(out io.Writer) {
+	if s.cfg.Dir == nil {
+		return
+	}
+	raw, err := os.ReadFile(filepath.Join(s.cfg.Dir.Path(), preparedFile))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(out, "flockd: ignoring prepared-flock sidecar: %v\n", err)
+		}
+		return
+	}
+	var recs []preparedRecord
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		fmt.Fprintf(out, "flockd: ignoring prepared-flock sidecar: %v\n", err)
+		return
+	}
+	db := s.snapshot()
+	restored := 0
+	for _, rec := range recs {
+		p, err := s.validatePrepared(db, rec.Program)
+		if err != nil {
+			fmt.Fprintf(out, "flockd: dropping prepared flock %s: %v\n", rec.Handle, err)
+			continue
+		}
+		handle, _ := s.prepared.Register(p.canon, p)
+		s.preparedMu.Lock()
+		s.preparedSrcs[handle] = rec.Program
+		s.preparedMu.Unlock()
+		restored++
+	}
+	if restored > 0 {
+		fmt.Fprintf(out, "flockd: restored %d prepared flock(s)\n", restored)
+	}
+}
+
+// validatePrepared runs the full prepare pipeline (parse, lint, flock
+// construction, database check) on a persisted program.
+func (s *server) validatePrepared(db *storage.Database, src string) (*preparedFlock, error) {
+	fsrc, perr := datalog.ParseFlock(analysis.StripExplain(src))
+	if perr != nil {
+		return nil, perr
+	}
+	diags := analysis.AnalyzeFlockSource(fsrc, analysis.Options{DB: db})
+	if analysis.HasErrors(diags) {
+		return nil, fmt.Errorf("rejected by static analysis")
+	}
+	flock, err := core.NewWithViews(fsrc.Views, fsrc.Query, fsrc.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if err := flock.CheckDatabase(db); err != nil {
+		return nil, err
+	}
+	return &preparedFlock{fs: fsrc, flock: flock, canon: analysis.CanonicalProgram(fsrc), warnings: diags}, nil
 }
 
 // invokeRequest is the optional /invoke/{handle} JSON body. Threshold,
@@ -598,33 +713,71 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	old, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
 	}
-	next := old.Clone()
-	inserted := 0
+	arity := src.Arity()
+	rows := make([]storage.Tuple, 0, len(records))
 	for i, rec := range records {
-		if len(rec) != next.Arity() {
+		if len(rec) != arity {
 			writeJSON(w, http.StatusBadRequest, errorResponse{
-				Error: fmt.Sprintf("row %d has %d fields but relation %s has %d columns", i+1, len(rec), name, next.Arity())})
+				Error: fmt.Sprintf("row %d has %d fields but relation %s has %d columns", i+1, len(rec), name, arity)})
 			return
 		}
 		t := make(storage.Tuple, len(rec))
 		for j, field := range rec {
 			t[j] = storage.ParseValue(field)
 		}
-		if next.Insert(t) {
-			inserted++
+		rows = append(rows, t)
+	}
+
+	// The mutation is copy-on-write under either engine: a new relation
+	// view (cloned in-memory relation, or a disk view with the rows in its
+	// delta layer) is registered in a cloned catalog published atomically.
+	newVersion := s.db.Version() + 1
+	var (
+		added    []storage.Tuple
+		totalLen int
+	)
+	db := s.db.Clone()
+	if drel, isDisk := src.(*storage.DiskRelation); isDisk {
+		next, fresh, err := drel.WithDelta(rows)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		added, totalLen = fresh, next.Len()
+		db.AddSource(next)
+	} else {
+		old, err := s.db.Relation(name)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+			return
+		}
+		next := old.Clone()
+		for _, t := range rows {
+			if next.Insert(t) {
+				added = append(added, t)
+			}
+		}
+		totalLen = next.Len()
+		db.Add(next)
+	}
+	// Durability before visibility: the delta lands on disk before the
+	// bumped database is published, so a crash can lose an acknowledged
+	// response but never serve rows that later vanish.
+	if s.cfg.Dir != nil {
+		if err := s.cfg.Dir.AppendDelta(name, added, newVersion); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("persisting mutation: %v", err)})
+			return
 		}
 	}
-	db := s.db.Clone()
-	db.Add(next)
-	db.BumpVersion()
+	db.SetVersion(newVersion)
 	s.db = db
 	writeJSON(w, http.StatusOK, mutateResponse{
-		Relation: name, Inserted: inserted, Rows: next.Len(), Version: db.Version(),
+		Relation: name, Inserted: len(added), Rows: totalLen, Version: db.Version(),
 	})
 }
 

@@ -5,8 +5,13 @@
 // Usage:
 //
 //	flockgen -kind baskets|words|medical|web|graph [-out DIR] [-n N] [-seed S] [-weights]
+//	         [-data-dir DIR]
 //
 // -n scales the primary size (baskets, documents, patients, or nodes).
+// -data-dir additionally ingests the dataset into a storage data
+// directory (sorted segments + dictionary + catalog) that flockd,
+// flockql, and flockbench can open with either the memory or the disk
+// engine.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "generator seed")
 		weights = fs.Bool("weights", false, "also write importance(BID,W) (baskets/words only)")
 		flock   = fs.Bool("flock", false, "also write a matching sample .flock file")
+		dataDir = fs.String("data-dir", "", "also ingest into a segment data directory for -engine disk serving")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,12 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d tuples)\n", path, rel.Len())
+	}
+	if *dataDir != "" {
+		if err := storage.CreateDir(*dataDir, db); err != nil {
+			return err
+		}
+		fmt.Printf("wrote data dir %s (%d relations; open with -engine memory|disk)\n", *dataDir, len(db.Names()))
 	}
 	if *flock {
 		src, ok := sampleFlock(*kind, *weights)

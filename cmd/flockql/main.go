@@ -5,7 +5,10 @@
 //	flockql -data DIR [flags] FLOCK_FILE
 //
 // DIR holds one CSV file per relation (header row = column names; the
-// file's base name is the relation name). FLOCK_FILE holds a flock in the
+// file's base name is the relation name). Alternatively -data-dir opens a
+// segment data directory created by flockgen -data-dir, with -engine
+// choosing between materializing it (memory) and streaming tuples from
+// the sorted segment files (disk). FLOCK_FILE holds a flock in the
 // paper's notation:
 //
 //	QUERY:
@@ -75,6 +78,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("flockql", flag.ContinueOnError)
 	var (
 		dataDir     = fs.String("data", ".", "directory of CSV relations")
+		segDir      = fs.String("data-dir", "", "segment data directory created by flockgen -data-dir; overrides -data")
+		engine      = fs.String("engine", "memory", "storage engine for -data-dir: memory (materialize at open) or disk (stream from segments)")
 		strategy    = fs.String("strategy", "direct", "direct|naive|static|exhaustive|levelwise|cascade|dynamic|plan")
 		planFile    = fs.String("plan", "", "plan file (for -strategy plan)")
 		depth       = fs.Int("depth", 2, "cascade depth (for -strategy cascade)")
@@ -95,8 +100,22 @@ func run(args []string) error {
 	if *metrics != "" && *metrics != "json" {
 		return fmt.Errorf("unknown -metrics format %q (only \"json\")", *metrics)
 	}
+	eng, err := storage.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	if *engine == "disk" && *segDir == "" {
+		return fmt.Errorf("-engine disk requires -data-dir (CSV loading is memory-only)")
+	}
+	loadDB := func() (*storage.Database, error) {
+		if *segDir != "" {
+			db, _, err := storage.OpenDir(*segDir, eng)
+			return db, err
+		}
+		return storage.LoadDir(*dataDir)
+	}
 	if *interactive {
-		db, err := storage.LoadDir(*dataDir)
+		db, err := loadDB()
 		if err != nil {
 			return err
 		}
@@ -136,7 +155,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	db, err := storage.LoadDir(*dataDir)
+	db, err := loadDB()
 	if err != nil {
 		return err
 	}

@@ -187,13 +187,13 @@ func (f *Flock) CheckDatabase(db *storage.Database) error {
 				}
 				continue
 			}
-			rel, err := db.Relation(a.Pred)
+			src, err := db.Source(a.Pred)
 			if err != nil {
 				return fmt.Errorf("core: %w", err)
 			}
-			if rel.Arity() != len(a.Args) {
+			if src.Arity() != len(a.Args) {
 				return fmt.Errorf("core: atom %s has %d arguments but relation %s has %d columns",
-					a, len(a.Args), a.Pred, rel.Arity())
+					a, len(a.Args), a.Pred, src.Arity())
 			}
 		}
 		return nil

@@ -143,19 +143,29 @@ func paramCandidates(db *storage.Database, params []datalog.Param, query datalog
 	}
 	for _, r := range query {
 		for _, a := range r.PositiveAtoms() {
-			rel, err := db.Relation(a.Pred)
+			src, err := db.Source(a.Pred)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
+			// Collect the positions where parameters occur, then stream the
+			// relation once for all of them.
+			var paramPos [][2]int // (argPos, param index)
 			for argPos, t := range a.Args {
-				p, isParam := t.(datalog.Param)
-				if !isParam {
-					continue
+				if p, isParam := t.(datalog.Param); isParam {
+					paramPos = append(paramPos, [2]int{argPos, index[p]})
 				}
-				i := index[p]
-				for _, tuple := range rel.Tuples() {
-					sets[i][tuple[argPos]] = struct{}{}
+			}
+			if len(paramPos) == 0 {
+				continue
+			}
+			err = storage.ForEach(src.Scan(), func(tuple storage.Tuple) error {
+				for _, pp := range paramPos {
+					sets[pp[1]][tuple[pp[0]]] = struct{}{}
 				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
 			}
 		}
 	}

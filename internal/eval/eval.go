@@ -181,10 +181,13 @@ func ResolveOrder(db *storage.Database, r *datalog.Rule, opts *Options) ([]int, 
 func RunPlan(db *storage.Database, plan *physical.Plan, opts *Options) (*storage.Relation, error) {
 	o := opts.orDefault()
 	ctx := &physical.Ctx{DB: db, Workers: o.Workers, Col: o.Trace.Collector(), Gate: o.gate()}
-	if o.Exec == ExecStream {
+	if o.Exec == ExecStream && db.Resident() {
 		// The columnar default executes over interned IDs; ExecStreamRows
 		// leaves Dict nil and takes the boxed row path through the same
-		// plan, bit-identically.
+		// plan, bit-identically. Non-resident catalogs (disk engine) also
+		// fall through to the row path: the columnar caches live on
+		// concrete in-memory relations, and pinning them would defeat the
+		// out-of-core engine.
 		ctx.Dict = db.Dict()
 	}
 	return plan.Run(ctx)

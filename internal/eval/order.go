@@ -83,11 +83,11 @@ func atomTermCols(a *datalog.Atom) map[string]struct{} {
 func greedyOrder(db *storage.Database, atoms []*datalog.Atom) ([]int, error) {
 	sizes := make([]int, len(atoms))
 	for i, a := range atoms {
-		rel, err := db.Relation(a.Pred)
+		src, err := db.Source(a.Pred)
 		if err != nil {
 			return nil, fmt.Errorf("eval: %w", err)
 		}
-		sizes[i] = rel.Len()
+		sizes[i] = src.Len()
 	}
 	used := make([]bool, len(atoms))
 	bound := make(map[string]struct{})
@@ -152,7 +152,7 @@ func exhaustiveOrder(db *storage.Database, atoms []*datalog.Atom) ([]int, error)
 	}
 	// Validate relations up front so the cost function can assume presence.
 	for _, a := range atoms {
-		if _, err := db.Relation(a.Pred); err != nil {
+		if _, err := db.Source(a.Pred); err != nil {
 			return nil, fmt.Errorf("eval: %w", err)
 		}
 	}
@@ -175,7 +175,7 @@ func estimateOrderCost(db *storage.Database, atoms []*datalog.Atom, order []int)
 	cur := side{rows: 1, distinct: map[string]float64{}}
 	total := 0.0
 	for _, i := range order {
-		rel := db.MustRelation(atoms[i].Pred)
+		rel := db.MustSource(atoms[i].Pred)
 		next := side{rows: cur.rows * float64(rel.Len()), distinct: map[string]float64{}}
 		for col := range cur.distinct {
 			next.distinct[col] = cur.distinct[col]
@@ -213,7 +213,7 @@ func estimateOrderCost(db *storage.Database, atoms []*datalog.Atom, order []int)
 
 // distinctOf returns the distinct count of the base-relation column where
 // term t appears in atom a (first occurrence).
-func distinctOf(rel *storage.Relation, a *datalog.Atom, t datalog.Term) int {
+func distinctOf(rel storage.RelationSource, a *datalog.Atom, t datalog.Term) int {
 	for i, u := range a.Args {
 		if u == t {
 			return rel.DistinctCount(rel.Columns()[i])

@@ -29,6 +29,7 @@ func Suite() []Experiment {
 		{"E9", "footnote 2 itemset sequence", E9},
 		{"E10", "§4.4 statistics accuracy", E10},
 		{"E11", "parallel worker-sweep scaling", E11},
+		{"E12", "storage engines: memory vs disk-streamed segments", E12},
 	}
 }
 

@@ -157,6 +157,11 @@ type Config struct {
 	// clock (flockbench -timeout): a run that exceeds it aborts with
 	// eval.ErrCanceled instead of holding the suite hostage.
 	Timeout time.Duration
+	// DataDir, when set, is a persistent storage data directory for the
+	// engine experiments (E12) to ingest into and reopen; empty means a
+	// temp directory that is removed when the experiment ends
+	// (flockbench -data-dir).
+	DataDir string
 }
 
 // DefaultConfig is the reference configuration used for EXPERIMENTS.md.

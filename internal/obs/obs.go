@@ -185,6 +185,11 @@ type Collector struct {
 	internHits   uint64
 	internMisses uint64
 
+	segmentsOpened  uint64
+	indexBlocksRead uint64
+	deltaRows       uint64
+	storageBytes    uint64
+
 	start       time.Time
 	startAllocs uint64
 	startBytes  uint64
@@ -245,6 +250,31 @@ func (c *Collector) ObserveDict(size int, hits, misses uint64) {
 	c.mu.Unlock()
 }
 
+// ObserveStorage records the disk engine's cumulative I/O counters after
+// a run: segments opened, sparse-index blocks consulted, delta-layer rows
+// merged, and bytes read from segment files. Like ObserveDict, the
+// counters are monotone process-wide, so observations max-merge. Nil-safe
+// (and a no-op for in-memory runs, which pass all zeros).
+func (c *Collector) ObserveStorage(segments, blocks, deltaRows, bytes uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if segments > c.segmentsOpened {
+		c.segmentsOpened = segments
+	}
+	if blocks > c.indexBlocksRead {
+		c.indexBlocksRead = blocks
+	}
+	if deltaRows > c.deltaRows {
+		c.deltaRows = deltaRows
+	}
+	if bytes > c.storageBytes {
+		c.storageBytes = bytes
+	}
+	c.mu.Unlock()
+}
+
 // Events returns a snapshot of the recorded events.
 func (c *Collector) Events() []Event {
 	if c == nil {
@@ -283,6 +313,10 @@ func (c *Collector) Report(strategy string, workers, answerRows int) *RunReport 
 	r.DictSize = c.dictSize
 	r.InternHits = c.internHits
 	r.InternMisses = c.internMisses
+	r.SegmentsOpened = c.segmentsOpened
+	r.IndexBlocksRead = c.indexBlocksRead
+	r.DeltaRows = c.deltaRows
+	r.StorageBytesRead = c.storageBytes
 	c.mu.Unlock()
 	if !c.start.IsZero() {
 		r.WallNs = time.Since(c.start).Nanoseconds()
@@ -336,6 +370,15 @@ type RunReport struct {
 	// fresh ID.
 	InternHits   uint64 `json:"intern_hits,omitempty"`
 	InternMisses uint64 `json:"intern_misses,omitempty"`
+	// SegmentsOpened, IndexBlocksRead, DeltaRows, and StorageBytesRead are
+	// the disk engine's cumulative I/O counters sampled after the run:
+	// segment files opened, sparse-index blocks consulted to position
+	// prefix/range reads, delta-layer rows merged over base segments, and
+	// bytes read from segment files. All zero for in-memory runs.
+	SegmentsOpened   uint64 `json:"segments_opened,omitempty"`
+	IndexBlocksRead  uint64 `json:"index_blocks_read,omitempty"`
+	DeltaRows        uint64 `json:"delta_rows,omitempty"`
+	StorageBytesRead uint64 `json:"storage_bytes_read,omitempty"`
 	// Caches is the serving layer's cache counter block, attached by
 	// flockd to every evaluated response; nil for non-served runs.
 	Caches *CacheStats `json:"caches,omitempty"`
@@ -403,6 +446,15 @@ func (r *RunReport) Tree() string {
 		fmt.Fprintf(&b, "  dict=%d", r.DictSize)
 		if total := r.InternHits + r.InternMisses; total > 0 {
 			fmt.Fprintf(&b, " (%.0f%% intern hits)", 100*float64(r.InternHits)/float64(total))
+		}
+	}
+	if r.SegmentsOpened > 0 || r.StorageBytesRead > 0 {
+		fmt.Fprintf(&b, "  io=%s/%d segs", byteSize(r.StorageBytesRead), r.SegmentsOpened)
+		if r.IndexBlocksRead > 0 {
+			fmt.Fprintf(&b, " (%d index blocks)", r.IndexBlocksRead)
+		}
+		if r.DeltaRows > 0 {
+			fmt.Fprintf(&b, " (+%d delta rows)", r.DeltaRows)
 		}
 	}
 	b.WriteByte('\n')

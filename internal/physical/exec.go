@@ -86,11 +86,21 @@ func (p *Plan) Run(ctx *Ctx) (*storage.Relation, error) {
 	op.close(ctx)
 	if ctx.Col != nil {
 		ctx.Col.ObservePeak(ctx.peak)
+		observeStorage(ctx)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return op.rel, nil
+}
+
+// observeStorage samples the catalog's disk I/O counters (cumulative, so
+// the collector max-merges them) after a plan execution.
+func observeStorage(ctx *Ctx) {
+	if io := ctx.DB.IO(); io != nil {
+		ctx.Col.ObserveStorage(uint64(io.SegmentsOpened()), uint64(io.IndexBlocksRead()),
+			uint64(io.DeltaRows()), uint64(io.BytesRead()))
+	}
 }
 
 // runColumnar is Run's interned-ID twin: the same plan, instantiated as
@@ -106,6 +116,7 @@ func (p *Plan) runColumnar(ctx *Ctx, root *MaterializeNode) (*storage.Relation, 
 	if ctx.Col != nil {
 		ctx.Col.ObservePeak(ctx.peak)
 		ctx.Col.ObserveDict(ctx.Dict.Len(), ctx.Dict.Hits(), ctx.Dict.Misses())
+		observeStorage(ctx)
 	}
 	if err != nil {
 		return nil, err

@@ -58,21 +58,23 @@ type Check struct {
 	// Membership checks: probe (args...) against the pred relation.
 	pred string
 	args []argRef
-	rel  *storage.Relation // resolved at open
+	keys storage.KeyProber // resolved at open
+	rel  *storage.Relation // set when the source is resident (columnar path)
 }
 
 func (c *Check) bind(db *storage.Database) error {
 	if c.kind == checkCmp {
 		return nil
 	}
-	rel, err := db.Relation(c.pred)
+	src, err := db.Source(c.pred)
 	if err != nil {
 		return fmt.Errorf("physical: %w", err)
 	}
-	if rel.Arity() != len(c.args) {
-		return fmt.Errorf("physical: check %s arity %d vs relation arity %d", c.desc, len(c.args), rel.Arity())
+	if src.Arity() != len(c.args) {
+		return fmt.Errorf("physical: check %s arity %d vs relation arity %d", c.desc, len(c.args), src.Arity())
 	}
-	c.rel = rel
+	c.keys = src.Keys()
+	c.rel, _ = src.Resident()
 	return nil
 }
 
@@ -87,7 +89,7 @@ func (c *Check) instantiate() func(ct, bt storage.Tuple) bool {
 		}
 	}
 	want := c.kind == checkMember
-	rel, args := c.rel, c.args
+	keys, args := c.keys, c.args
 	probe := make(storage.Tuple, len(args))
 	var buf []byte
 	return func(ct, bt storage.Tuple) bool {
@@ -95,7 +97,7 @@ func (c *Check) instantiate() func(ct, bt storage.Tuple) bool {
 			probe[i] = a.value(ct, bt)
 		}
 		buf = probe.AppendKey(buf[:0])
-		return rel.ContainsKey(buf) == want
+		return keys.ContainsKey(buf) == want
 	}
 }
 

@@ -25,12 +25,15 @@ type scanOp struct {
 	n  *ScanNode
 	id int
 
-	tuples    []storage.Tuple
+	it        storage.Iterator
+	cur       []storage.Tuple
 	pos       int
+	eof       bool
 	checks    []func(ct, bt storage.Tuple) bool
 	constKeys [][]byte
 	keyBuf    []byte
 
+	rowsIn  int
 	rowsOut int
 	batches int
 	wall    time.Duration
@@ -38,13 +41,41 @@ type scanOp struct {
 
 var unitCt = storage.Tuple{}
 
+// leadingConstPrefix returns the sort-key prefix covering the atom's
+// constant arguments when they occupy the leading column positions
+// 0..m-1 — the shape the disk engine's per-prefix index blocks can
+// serve without a full scan. Non-leading constants yield m == 0.
+func leadingConstPrefix(consts []constPos) (int, []byte) {
+	if len(consts) == 0 {
+		return 0, nil
+	}
+	vals := make(map[int]storage.Value, len(consts))
+	for _, c := range consts {
+		vals[c.pos] = c.val
+	}
+	var prefix []byte
+	m := 0
+	for {
+		v, ok := vals[m]
+		if !ok {
+			break
+		}
+		prefix = v.AppendSortKey(prefix)
+		m++
+	}
+	if m == 0 {
+		return 0, nil
+	}
+	return m, prefix
+}
+
 func (o *scanOp) open(ctx *Ctx) error {
-	rel, err := ctx.DB.Relation(o.n.Pred)
+	src, err := ctx.DB.Source(o.n.Pred)
 	if err != nil {
 		return fmt.Errorf("physical: %w", err)
 	}
-	if rel.Arity() != o.n.arity {
-		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	if src.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, src.Arity())
 	}
 	for _, c := range o.n.checks {
 		if err := c.bind(ctx.DB); err != nil {
@@ -56,7 +87,21 @@ func (o *scanOp) open(ctx *Ctx) error {
 	for i, c := range o.n.consts {
 		o.constKeys[i] = c.val.AppendKey(nil)
 	}
-	o.tuples = rel.Tuples()
+	// Non-resident sources get the bound-column-prefix access path when
+	// the constants form a leading prefix: the segment index skips to the
+	// matching run instead of streaming the whole relation. Resident
+	// sources keep the plain scan (prefix filtering would read the same
+	// rows and only change the RowsIn accounting). The constant filters
+	// below still run either way — LookupPrefix matches exactly the rows
+	// they accept, so results are identical on both paths.
+	if _, resident := src.Resident(); !resident {
+		if m, prefix := leadingConstPrefix(o.n.consts); m > 0 {
+			o.it = src.LookupPrefix(m, prefix)
+		}
+	}
+	if o.it == nil {
+		o.it = src.Scan()
+	}
 	return nil
 }
 
@@ -64,7 +109,7 @@ func (o *scanOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 	if err := ctx.Gate.Check(); err != nil {
 		return nil, false, err
 	}
-	if o.pos >= len(o.tuples) {
+	if o.eof && o.pos >= len(o.cur) {
 		return nil, false, nil
 	}
 	var start time.Time
@@ -72,25 +117,27 @@ func (o *scanOp) next(ctx *Ctx) ([]storage.Tuple, bool, error) {
 		start = time.Now()
 	}
 	var out []storage.Tuple
-scan:
-	for o.pos < len(o.tuples) && len(out) < batchSize {
-		bt := o.tuples[o.pos]
+	for len(out) < batchSize {
+		if o.pos >= len(o.cur) {
+			if o.eof {
+				break
+			}
+			batch, err := o.it.Next(batchSize)
+			if err != nil {
+				return nil, false, fmt.Errorf("physical: scan %s: %w", o.n.Pred, err)
+			}
+			if batch == nil {
+				o.eof = true
+				break
+			}
+			o.rowsIn += len(batch)
+			o.cur, o.pos = batch, 0
+			continue
+		}
+		bt := o.cur[o.pos]
 		o.pos++
-		for i, c := range o.n.consts {
-			o.keyBuf = bt[c.pos].AppendKey(o.keyBuf[:0])
-			if !bytes.Equal(o.keyBuf, o.constKeys[i]) {
-				continue scan
-			}
-		}
-		for _, d := range o.n.dup {
-			if bt[d[0]] != bt[d[1]] {
-				continue scan
-			}
-		}
-		for _, check := range o.checks {
-			if !check(unitCt, bt) {
-				continue scan
-			}
+		if !o.accept(bt) {
+			continue
 		}
 		row := make(storage.Tuple, 0, len(o.n.newPos))
 		for _, p := range o.n.newPos {
@@ -106,10 +153,35 @@ scan:
 	return out, true, nil
 }
 
+// accept applies the absorbed per-row filters: constant arguments,
+// repeated-variable equalities, and absorbed checks.
+func (o *scanOp) accept(bt storage.Tuple) bool {
+	for i, c := range o.n.consts {
+		o.keyBuf = bt[c.pos].AppendKey(o.keyBuf[:0])
+		if !bytes.Equal(o.keyBuf, o.constKeys[i]) {
+			return false
+		}
+	}
+	for _, d := range o.n.dup {
+		if bt[d[0]] != bt[d[1]] {
+			return false
+		}
+	}
+	for _, check := range o.checks {
+		if !check(unitCt, bt) {
+			return false
+		}
+	}
+	return true
+}
+
 func (o *scanOp) close(ctx *Ctx) {
+	if o.it != nil {
+		o.it.Close()
+	}
 	record(ctx, obs.Event{
 		Op: obs.OpScan, ID: o.id, Desc: o.n.atom,
-		RowsIn: len(o.tuples), RowsOut: o.rowsOut,
+		RowsIn: o.rowsIn, RowsOut: o.rowsOut,
 		Absorbed: len(o.n.checks), Workers: 1, Wall: o.wall,
 		BoxedBatches: o.batches,
 	})
@@ -150,7 +222,7 @@ type joinOp struct {
 	buildID int
 	input   operator
 
-	rel       *storage.Relation
+	src       storage.RelationSource
 	idx       *storage.Index
 	prefix    []byte
 	seqChecks []func(ct, bt storage.Tuple) bool
@@ -170,19 +242,19 @@ func (o *joinOp) open(ctx *Ctx) error {
 	if err := o.input.open(ctx); err != nil {
 		return err
 	}
-	rel, err := ctx.DB.Relation(o.n.Pred)
+	src, err := ctx.DB.Source(o.n.Pred)
 	if err != nil {
 		return fmt.Errorf("physical: %w", err)
 	}
-	if rel.Arity() != o.n.arity {
-		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	if src.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, src.Arity())
 	}
 	for _, c := range o.n.checks {
 		if err := c.bind(ctx.DB); err != nil {
 			return err
 		}
 	}
-	o.rel = rel
+	o.src = src
 	o.seqChecks = instantiateAll(o.n.checks)
 	o.used = 1
 	var start time.Time
@@ -190,7 +262,7 @@ func (o *joinOp) open(ctx *Ctx) error {
 		start = time.Now()
 	}
 	o.buildWorkers = par.Resolve(ctx.Workers)
-	o.idx = rel.IndexParallel(o.n.Input.idxCols, o.buildWorkers)
+	o.idx = src.HashIndex(o.n.Input.idxCols, o.buildWorkers)
 	if ctx.Col != nil {
 		o.buildWall = time.Since(start)
 	}
@@ -308,8 +380,8 @@ func (o *joinOp) emitChunk() []storage.Tuple {
 func (o *joinOp) close(ctx *Ctx) {
 	o.input.close(ctx)
 	buildRows := 0
-	if o.rel != nil {
-		buildRows = o.rel.Len()
+	if o.src != nil {
+		buildRows = o.src.Len()
 	}
 	record(ctx, obs.Event{
 		Op: obs.OpBuild, ID: o.buildID, Desc: o.n.Input.Desc(),
@@ -334,7 +406,7 @@ type antiJoinOp struct {
 	id    int
 	input operator
 
-	rel    *storage.Relation
+	keys   storage.KeyProber
 	seqBuf []byte
 
 	rowsIn  int
@@ -348,14 +420,14 @@ func (o *antiJoinOp) open(ctx *Ctx) error {
 	if err := o.input.open(ctx); err != nil {
 		return err
 	}
-	rel, err := ctx.DB.Relation(o.n.Pred)
+	src, err := ctx.DB.Source(o.n.Pred)
 	if err != nil {
 		return fmt.Errorf("physical: %w", err)
 	}
-	if rel.Arity() != o.n.arity {
-		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, rel.Arity())
+	if src.Arity() != o.n.arity {
+		return fmt.Errorf("physical: atom %s arity %d vs relation arity %d", o.n.atom, o.n.arity, src.Arity())
 	}
-	o.rel = rel
+	o.keys = src.Keys()
 	o.used = 1
 	return nil
 }
@@ -374,7 +446,7 @@ func (o *antiJoinOp) filter(batch []storage.Tuple, lo, hi int, buf []byte, out [
 				buf = ct[p].AppendKey(buf)
 			}
 		}
-		if !o.rel.ContainsKey(buf) {
+		if !o.keys.ContainsKey(buf) {
 			out = append(out, ct)
 		}
 	}

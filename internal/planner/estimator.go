@@ -48,7 +48,7 @@ func (e *Estimator) RuleRows(r *datalog.Rule) float64 {
 	rows := 1.0
 	distinct := make(map[string]float64) // term column -> current distinct estimate
 	for _, a := range r.PositiveAtoms() {
-		rel, err := e.db.Relation(a.Pred)
+		rel, err := e.db.Source(a.Pred)
 		if err != nil {
 			continue // unknown relations contribute nothing; CheckDatabase reports them
 		}
@@ -105,7 +105,7 @@ func (e *Estimator) ParamCombos(r *datalog.Rule, params []datalog.Param) float64
 	for _, p := range params {
 		best := math.Inf(1)
 		for _, a := range r.PositiveAtoms() {
-			rel, err := e.db.Relation(a.Pred)
+			rel, err := e.db.Source(a.Pred)
 			if err != nil {
 				continue
 			}
@@ -148,7 +148,7 @@ func (e *Estimator) SurvivorFraction(sub datalog.Union, params []datalog.Param, 
 		r := sub[0]
 		atoms := r.PositiveAtoms()
 		if len(atoms) == 1 && len(r.Body) == 1 {
-			rel, err := e.db.Relation(atoms[0].Pred)
+			rel, err := e.db.Source(atoms[0].Pred)
 			if err == nil {
 				for i, t := range atoms[0].Args {
 					if q, ok := t.(datalog.Param); ok && q == params[0] {

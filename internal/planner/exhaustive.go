@@ -105,7 +105,7 @@ func (e *Estimator) ruleWorkWith(r *datalog.Rule, virt map[string]virtualRel) fl
 		if v, isVirtual := virt[a.Pred]; isVirtual {
 			return v.rows
 		}
-		if rel, err := e.db.Relation(a.Pred); err == nil {
+		if rel, err := e.db.Source(a.Pred); err == nil {
 			return float64(rel.Len())
 		}
 		return 0
@@ -170,7 +170,7 @@ func (e *Estimator) ruleWorkWith(r *datalog.Rule, virt map[string]virtualRel) fl
 				return v.rows
 			}
 		} else {
-			rel, err := e.db.Relation(a.Pred)
+			rel, err := e.db.Source(a.Pred)
 			if err != nil {
 				continue
 			}

@@ -7,12 +7,17 @@ import (
 	"sync"
 )
 
-// Database is a named collection of relations — the catalog against which
-// flock queries are evaluated. Lookup is by relation (predicate) name.
+// Database is a named collection of relation sources — the catalog
+// against which flock queries are evaluated. Lookup is by relation
+// (predicate) name. Every entry is a RelationSource; resident in-memory
+// relations additionally appear in rels so legacy consumers can reach
+// the concrete *Relation without a Pin.
 type Database struct {
-	rels  map[string]*Relation
-	order []string // registration order, for deterministic listings
-	dict  *dictBox // shared value dictionary (see Dict)
+	rels  map[string]*Relation      // resident subset of srcs
+	srcs  map[string]RelationSource // every registered source
+	order []string                  // registration order, for deterministic listings
+	dict  *dictBox                  // shared value dictionary (see Dict)
+	io    *IOStats                  // disk-engine I/O counters; nil for pure in-memory catalogs
 
 	// version is the data-mutation counter (see Version). It is part of
 	// every serving-layer cache key, so bumping it invalidates cached
@@ -32,7 +37,11 @@ type dictBox struct {
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{rels: make(map[string]*Relation), dict: &dictBox{}}
+	return &Database{
+		rels: make(map[string]*Relation),
+		srcs: make(map[string]RelationSource),
+		dict: &dictBox{},
+	}
 }
 
 // Dict returns the database's value dictionary, building it on first use
@@ -44,21 +53,38 @@ func (db *Database) Dict() *Dict {
 	return db.dict.d
 }
 
-// Add registers a relation under its own name, replacing any previous
-// relation with that name.
+// Add registers a resident relation under its own name, replacing any
+// previous source with that name.
 func (db *Database) Add(r *Relation) {
-	if _, exists := db.rels[r.Name()]; !exists {
+	if _, exists := db.srcs[r.Name()]; !exists {
 		db.order = append(db.order, r.Name())
 	}
 	db.rels[r.Name()] = r
+	db.srcs[r.Name()] = r
+}
+
+// AddSource registers any relation source, replacing a previous source
+// with the same name. A resident source also lands in the fast *Relation
+// table.
+func (db *Database) AddSource(s RelationSource) {
+	if r, ok := s.Resident(); ok {
+		db.Add(r)
+		return
+	}
+	if _, exists := db.srcs[s.Name()]; !exists {
+		db.order = append(db.order, s.Name())
+	}
+	delete(db.rels, s.Name())
+	db.srcs[s.Name()] = s
 }
 
 // Remove drops the named relation, if present.
 func (db *Database) Remove(name string) {
-	if _, ok := db.rels[name]; !ok {
+	if _, ok := db.srcs[name]; !ok {
 		return
 	}
 	delete(db.rels, name)
+	delete(db.srcs, name)
 	for i, n := range db.order {
 		if n == name {
 			db.order = append(db.order[:i], db.order[i+1:]...)
@@ -67,13 +93,66 @@ func (db *Database) Remove(name string) {
 	}
 }
 
-// Relation returns the named relation, or an error naming it if absent.
-func (db *Database) Relation(name string) (*Relation, error) {
-	r, ok := db.rels[name]
+// Source returns the named relation source, or an error naming it if
+// absent. This is the engine-agnostic lookup every streaming consumer
+// uses; Relation is the materializing variant.
+func (db *Database) Source(name string) (RelationSource, error) {
+	s, ok := db.srcs[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: no relation %q in database", name)
 	}
-	return r, nil
+	return s, nil
+}
+
+// MustSource is Source but panics on a missing name.
+func (db *Database) MustSource(name string) RelationSource {
+	s, err := db.Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the named relation, materializing a non-resident
+// source on first use (the source caches its pin), or an error naming it
+// if absent.
+func (db *Database) Relation(name string) (*Relation, error) {
+	if r, ok := db.rels[name]; ok {
+		return r, nil
+	}
+	s, ok := db.srcs[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no relation %q in database", name)
+	}
+	return s.Pin()
+}
+
+// Resident reports whether every registered source is fully in memory.
+// The columnar executor requires a resident catalog (its interned caches
+// live on the concrete relations); non-resident databases run the
+// row-streaming path.
+func (db *Database) Resident() bool {
+	for _, n := range db.order {
+		if _, ok := db.rels[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IO returns the catalog's disk I/O counters (nil for pure in-memory
+// databases).
+func (db *Database) IO() *IOStats { return db.io }
+
+// SetIO attaches I/O counters; shared by all Clones.
+func (db *Database) SetIO(s *IOStats) { db.io = s }
+
+// seedDict installs a pre-built dictionary (loaded from a data dir),
+// consuming the lazy-build slot.
+func (db *Database) seedDict(d *Dict) {
+	box := &dictBox{d: d}
+	box.once.Do(func() {})
+	db.dict = box
 }
 
 // MustRelation is Relation but panics on a missing name; for use where the
@@ -88,7 +167,7 @@ func (db *Database) MustRelation(name string) *Relation {
 
 // Has reports whether the database holds a relation with the given name.
 func (db *Database) Has(name string) bool {
-	_, ok := db.rels[name]
+	_, ok := db.srcs[name]
 	return ok
 }
 
@@ -121,9 +200,10 @@ func (db *Database) BumpVersion() uint64 {
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
 	out.dict = db.dict       // share the dictionary box (see dictBox)
+	out.io = db.io           // share the I/O counters
 	out.version = db.version // a clone answers for the same data version
 	for _, n := range db.order {
-		out.Add(db.rels[n])
+		out.AddSource(db.srcs[n])
 	}
 	return out
 }
@@ -135,7 +215,8 @@ func (db *Database) String() string {
 		if i > 0 {
 			b.WriteString("; ")
 		}
-		b.WriteString(db.rels[n].String())
+		s := db.srcs[n]
+		fmt.Fprintf(&b, "%s(%s)[%d tuples]", s.Name(), strings.Join(s.Columns(), ", "), s.Len())
 	}
 	return b.String()
 }
@@ -158,23 +239,23 @@ func NewStats(db *Database) *Stats {
 
 // Rows returns the cardinality of the named relation (0 if absent).
 func (s *Stats) Rows(name string) int {
-	r, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil {
 		return 0
 	}
-	return r.Len()
+	return src.Len()
 }
 
 // Distinct returns the number of distinct values in rel.col (0 if absent).
 func (s *Stats) Distinct(name, col string) int {
-	r, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil {
 		return 0
 	}
-	if r.ColumnIndex(col) < 0 {
+	if src.ColumnIndex(col) < 0 {
 		return 0
 	}
-	return r.DistinctCount(col)
+	return src.DistinctCount(col)
 }
 
 // SurvivorFraction returns the fraction of distinct values of rel.groupCol
@@ -187,17 +268,15 @@ func (s *Stats) SurvivorFraction(name, groupCol string, threshold int) float64 {
 	if v, ok := s.survivors[key]; ok {
 		return v
 	}
-	r, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil {
 		return 0
 	}
-	p := r.ColumnIndex(groupCol)
-	if p < 0 || r.Len() == 0 {
+	if src.ColumnIndex(groupCol) < 0 || src.Len() == 0 {
 		return 0
 	}
-	ix := r.Index([]int{p})
 	total, pass := 0, 0
-	for _, sz := range ix.GroupSizes() {
+	for _, sz := range src.GroupSizes(groupCol) {
 		total++
 		if sz >= threshold {
 			pass++
@@ -214,37 +293,34 @@ func (s *Stats) SurvivorFraction(name, groupCol string, threshold int) float64 {
 // quantity Example 4.4 reasons about when deciding whether filtering
 // "reduces the size of the relation by half".
 func (s *Stats) TupleSurvivorFraction(name, groupCol string, threshold int) float64 {
-	r, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil {
 		return 0
 	}
-	p := r.ColumnIndex(groupCol)
-	if p < 0 || r.Len() == 0 {
+	if src.ColumnIndex(groupCol) < 0 || src.Len() == 0 {
 		return 0
 	}
-	ix := r.Index([]int{p})
 	kept := 0
-	for _, sz := range ix.GroupSizes() {
+	for _, sz := range src.GroupSizes(groupCol) {
 		if sz >= threshold {
 			kept += sz
 		}
 	}
-	return float64(kept) / float64(r.Len())
+	return float64(kept) / float64(src.Len())
 }
 
 // GroupSizeQuantiles returns the q-quantiles (q >= 1) of group sizes of
 // rel grouped by groupCol, e.g. q=4 returns the quartile boundaries. Used
 // in EXPERIMENTS reporting and by ablation benches of the cost model.
 func (s *Stats) GroupSizeQuantiles(name, groupCol string, q int) []int {
-	r, err := s.db.Relation(name)
+	src, err := s.db.Source(name)
 	if err != nil || q < 1 {
 		return nil
 	}
-	p := r.ColumnIndex(groupCol)
-	if p < 0 || r.Len() == 0 {
+	if src.ColumnIndex(groupCol) < 0 || src.Len() == 0 {
 		return nil
 	}
-	sizes := r.Index([]int{p}).GroupSizes()
+	sizes := append([]int(nil), src.GroupSizes(groupCol)...)
 	sort.Ints(sizes)
 	out := make([]int, q+1)
 	for i := 0; i <= q; i++ {

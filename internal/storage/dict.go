@@ -55,19 +55,33 @@ func NewDict() *Dict {
 // BuildDict scans every relation of db and interns each distinct value
 // class with order-preserving IDs: null is 0 and the remaining classes
 // are numbered in Value.Compare order. This is the load-time bulk build;
-// later values append via Intern.
+// later values append via Intern. Relations are read through their
+// source iterators, so the build streams even over the disk engine.
 func BuildDict(db *Database) *Dict {
 	classes := make(map[string]Value)
 	var buf []byte
 	for _, name := range db.Names() {
-		for _, t := range db.MustRelation(name).Tuples() {
-			for _, v := range t {
-				buf = v.AppendKey(buf[:0])
-				if _, ok := classes[string(buf)]; !ok {
-					classes[string(buf)] = v
+		src := db.MustSource(name)
+		it := src.Scan()
+		for {
+			batch, err := it.Next(1024)
+			if err != nil {
+				it.Close()
+				panic(err)
+			}
+			if batch == nil {
+				break
+			}
+			for _, t := range batch {
+				for _, v := range t {
+					buf = v.AppendKey(buf[:0])
+					if _, ok := classes[string(buf)]; !ok {
+						classes[string(buf)] = v
+					}
 				}
 			}
 		}
+		it.Close()
 	}
 	delete(classes, string(Null().AppendKey(nil)))
 	ordered := make([]Value, 0, len(classes))
@@ -86,6 +100,34 @@ func BuildDict(db *Database) *Dict {
 	}
 	d.sortedLen = uint32(len(d.vals))
 	return d
+}
+
+// newDictFromValues reconstructs a dictionary from a persisted snapshot:
+// vals holds every class representative in ID order (index 0 must be the
+// null value) and sortedLen is the order-preserved prefix length.
+func newDictFromValues(vals []Value, sortedLen uint32) *Dict {
+	d := &Dict{
+		ids:   make(map[string]uint32, len(vals)),
+		vals:  vals,
+		kinds: make([]Kind, len(vals)),
+	}
+	for i, v := range vals {
+		d.kinds[i] = v.Kind()
+		d.ids[string(v.AppendKey(nil))] = uint32(i)
+	}
+	if sortedLen > uint32(len(vals)) {
+		sortedLen = uint32(len(vals))
+	}
+	d.sortedLen = sortedLen
+	return d
+}
+
+// snapshotValues returns a copy of the representative values in ID order
+// plus the order-preserved prefix length, for persistence.
+func (d *Dict) snapshotValues() ([]Value, uint32) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]Value(nil), d.vals...), d.sortedLen
 }
 
 // Len returns the number of interned value classes (including null).

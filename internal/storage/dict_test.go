@@ -173,8 +173,8 @@ func TestDatabaseDictSharedByClone(t *testing.T) {
 func TestHashEquivalence(t *testing.T) {
 	keys := [][]byte{nil, {}, {0}, {0xff, 0x00, 0x7f}, []byte("query flocks")}
 	for _, k := range keys {
-		if hashKey(k) != hashKeyString(string(k)) {
-			t.Fatalf("hashKey(%x) != hashKeyString of the same bytes", k)
+		if hashKey(k) != fnv1a(string(k)) {
+			t.Fatalf("hashKey(%x) != fnv1a of the same bytes as a string", k)
 		}
 	}
 	idTuples := [][]uint32{{}, {0}, {1, 2, 3}, {0xdeadbeef, 0, 0xffffffff}}

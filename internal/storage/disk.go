@@ -1,0 +1,331 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+)
+
+// DiskRelation is the on-disk RelationSource: a sorted base segment plus
+// an in-memory view of the append-only delta layer. Scans stream the base
+// from disk and append the delta rows; keyed lookups position through the
+// segment's sparse index. Like *Relation, a DiskRelation is immutable
+// once published — WithDelta returns a new view instead of mutating, so
+// the serving layer's copy-on-write snapshot discipline carries over
+// unchanged.
+type DiskRelation struct {
+	seg  *segmentReader
+	name string
+	cols []string
+	io   *IOStats
+
+	// delta holds the rows appended after the segment was written, in
+	// append order; deltaSeen is their equality-key membership set.
+	delta     []Tuple
+	deltaSeen map[string]struct{}
+
+	// hist is the persisted per-column group-size multiset (base rows
+	// only), valid while the delta is empty.
+	hist map[string][]int
+
+	mu      sync.Mutex
+	indexes map[string]*Index
+	groups  map[string][]int // col -> exact group sizes incl. delta
+	keys    map[string]struct{}
+
+	pinOnce sync.Once
+	pinned  *Relation
+	pinErr  error
+}
+
+// Name returns the relation name.
+func (d *DiskRelation) Name() string { return d.name }
+
+// Columns returns the column names.
+func (d *DiskRelation) Columns() []string { return d.cols }
+
+// Arity returns the column count.
+func (d *DiskRelation) Arity() int { return len(d.cols) }
+
+// Len returns the total row count (base segment plus delta).
+func (d *DiskRelation) Len() int { return d.seg.rows + len(d.delta) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (d *DiskRelation) ColumnIndex(col string) int {
+	for i, c := range d.cols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// concatIterator streams its inputs in order. countDelta marks the tail
+// iterator's rows as delta-merge rows for the I/O counters.
+type concatIterator struct {
+	its        []Iterator
+	countDelta []bool
+	io         *IOStats
+	pos        int
+}
+
+func (c *concatIterator) Next(max int) ([]Tuple, error) {
+	for c.pos < len(c.its) {
+		batch, err := c.its[c.pos].Next(max)
+		if err != nil {
+			return nil, err
+		}
+		if batch != nil {
+			if c.countDelta[c.pos] {
+				c.io.addDeltaRows(len(batch))
+			}
+			return batch, nil
+		}
+		c.pos++
+	}
+	return nil, nil
+}
+
+func (c *concatIterator) Close() error {
+	var err error
+	for _, it := range c.its {
+		if cerr := it.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (d *DiskRelation) withDeltaTail(base Iterator, deltaRows []Tuple) Iterator {
+	if len(deltaRows) == 0 {
+		return base
+	}
+	return &concatIterator{
+		its:        []Iterator{base, NewSliceIterator(deltaRows)},
+		countDelta: []bool{false, true},
+		io:         d.io,
+	}
+}
+
+// Scan streams base rows in segment (sort) order, then delta rows in
+// append order — the same total order the memory engine materializes from
+// this data directory.
+func (d *DiskRelation) Scan() Iterator {
+	return d.withDeltaTail(d.seg.scan(), d.delta)
+}
+
+// LookupPrefix streams the rows whose leading ncols columns sort-encode to
+// prefix: one positioned segment read plus a filter over the delta.
+func (d *DiskRelation) LookupPrefix(ncols int, prefix []byte) Iterator {
+	var tail []Tuple
+	if len(d.delta) > 0 {
+		var buf []byte
+		for _, t := range d.delta {
+			buf = t.AppendSortKeyOn(buf[:0], prefixCols(ncols))
+			if bytes.Equal(buf, prefix) {
+				tail = append(tail, t)
+			}
+		}
+	}
+	return d.withDeltaTail(d.seg.lookupPrefix(prefix), tail)
+}
+
+// ScanRange streams the rows whose full sort key lies in [lo, hi).
+func (d *DiskRelation) ScanRange(lo, hi []byte) Iterator {
+	var tail []Tuple
+	if len(d.delta) > 0 {
+		var buf []byte
+		for _, t := range d.delta {
+			buf = t.AppendSortKey(buf[:0])
+			if lo != nil && bytes.Compare(buf, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(buf, hi) >= 0 {
+				continue
+			}
+			tail = append(tail, t)
+		}
+	}
+	return d.withDeltaTail(d.seg.scanRange(lo, hi), tail)
+}
+
+// HashIndex builds (and caches) a hash index over the given columns by
+// streaming the source once. The build pins the index in memory — the
+// price of hash-join probes against a disk relation; bucket contents keep
+// scan order, matching the memory engine's insertion-order buckets.
+func (d *DiskRelation) HashIndex(cols []int, workers int) *Index {
+	key := indexKey(cols)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.indexes == nil {
+		d.indexes = make(map[string]*Index)
+	}
+	if ix, ok := d.indexes[key]; ok {
+		return ix
+	}
+	ix := &Index{
+		cols:   append([]int(nil), cols...),
+		shards: []map[string][]Tuple{make(map[string][]Tuple, d.Len())},
+	}
+	if err := d.forEach(func(t Tuple) {
+		k := t.KeyOn(cols)
+		ix.shards[0][k] = append(ix.shards[0][k], t)
+	}); err != nil {
+		panic(err) // corrupted segment mid-build; surfaced like an arity bug
+	}
+	d.indexes[key] = ix
+	return ix
+}
+
+// forEach streams every row through fn.
+func (d *DiskRelation) forEach(fn func(Tuple)) error {
+	it := d.Scan()
+	defer it.Close()
+	for {
+		batch, err := it.Next(1024)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return nil
+		}
+		for _, t := range batch {
+			fn(t)
+		}
+	}
+}
+
+// Keys returns a membership prober over full-tuple equality keys. The key
+// set is built lazily with one streaming scan and then pinned (keys only,
+// not tuples); anti-joins and plan Checks probe it allocation-free.
+func (d *DiskRelation) Keys() KeyProber {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.keys == nil {
+		keys := make(map[string]struct{}, d.Len())
+		var buf []byte
+		if err := d.forEach(func(t Tuple) {
+			buf = t.AppendKey(buf[:0])
+			keys[string(buf)] = struct{}{}
+		}); err != nil {
+			panic(err)
+		}
+		d.keys = keys
+	}
+	return keySet(d.keys)
+}
+
+type keySet map[string]struct{}
+
+func (s keySet) ContainsKey(key []byte) bool {
+	_, ok := s[string(key)]
+	return ok
+}
+
+// DistinctCount returns the exact number of distinct value classes in the
+// named column.
+func (d *DiskRelation) DistinctCount(col string) int { return len(d.GroupSizes(col)) }
+
+// GroupSizes returns the exact group-size multiset of the named column.
+// With an empty delta it is served from the persisted catalog histogram;
+// otherwise it is recomputed with one streaming scan and cached. Exactness
+// is a contract: the planner's decisions must be engine-independent.
+func (d *DiskRelation) GroupSizes(col string) []int {
+	p := d.ColumnIndex(col)
+	if p < 0 {
+		panic(fmt.Sprintf("storage: relation %q has no column %q", d.name, col))
+	}
+	if len(d.delta) == 0 {
+		if sizes, ok := d.hist[col]; ok {
+			return sizes
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.groups == nil {
+		d.groups = make(map[string][]int)
+	}
+	if sizes, ok := d.groups[col]; ok {
+		return sizes
+	}
+	counts := make(map[string]int)
+	var buf []byte
+	if err := d.forEach(func(t Tuple) {
+		buf = t[p].AppendKey(buf[:0])
+		counts[string(buf)]++
+	}); err != nil {
+		panic(err)
+	}
+	sizes := make([]int, 0, len(counts))
+	for _, n := range counts {
+		sizes = append(sizes, n)
+	}
+	d.groups[col] = sizes
+	return sizes
+}
+
+// Resident reports that a disk relation is not resident.
+func (d *DiskRelation) Resident() (*Relation, bool) { return nil, false }
+
+// Pin materializes the source into an in-memory Relation (cached). Legacy
+// consumers — the materializing oracle, the planner's sampling pass — use
+// this; the streaming executor never does.
+func (d *DiskRelation) Pin() (*Relation, error) {
+	d.pinOnce.Do(func() {
+		rel := NewRelation(d.name, d.cols...)
+		d.pinErr = d.forEach(func(t Tuple) { rel.Insert(t) })
+		if d.pinErr == nil {
+			d.pinned = rel
+		}
+	})
+	return d.pinned, d.pinErr
+}
+
+// contains reports whether the source already holds the tuple.
+func (d *DiskRelation) contains(t Tuple) (bool, error) {
+	var arr [64]byte
+	eq := t.AppendKey(arr[:0])
+	if _, ok := d.deltaSeen[string(eq)]; ok {
+		return true, nil
+	}
+	return d.seg.contains(t.AppendSortKey(arr[:0]))
+}
+
+// WithDelta returns a new view with the given tuples appended to the
+// delta layer (duplicates of existing rows are dropped, preserving set
+// semantics) plus the list of rows actually added, in append order. The
+// base segment and its reader are shared; caches start fresh.
+func (d *DiskRelation) WithDelta(tuples []Tuple) (*DiskRelation, []Tuple, error) {
+	out := &DiskRelation{
+		seg:       d.seg,
+		name:      d.name,
+		cols:      d.cols,
+		io:        d.io,
+		delta:     d.delta,
+		deltaSeen: make(map[string]struct{}, len(d.deltaSeen)+len(tuples)),
+		hist:      d.hist,
+	}
+	for k := range d.deltaSeen {
+		out.deltaSeen[k] = struct{}{}
+	}
+	var added []Tuple
+	for _, t := range tuples {
+		if len(t) != len(d.cols) {
+			return nil, nil, fmt.Errorf("storage: arity mismatch appending %d-tuple to %q(%d cols)",
+				len(t), d.name, len(d.cols))
+		}
+		dup, err := out.contains(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dup {
+			continue
+		}
+		out.deltaSeen[string(t.AppendKey(nil))] = struct{}{}
+		added = append(added, t)
+	}
+	// Copy-on-append: the shared prefix must not be mutated under views
+	// still serving the previous snapshot.
+	out.delta = append(d.delta[:len(d.delta):len(d.delta)], added...)
+	return out, added, nil
+}

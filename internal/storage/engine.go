@@ -1,0 +1,294 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Engine selects a storage backend for a data directory (see OpenDir).
+type Engine int
+
+const (
+	// EngineMemory materializes every relation into the in-memory
+	// *Relation structures at open time — the default, and the only
+	// engine for plain CSV loading.
+	EngineMemory Engine = iota
+	// EngineDisk serves relations from sorted segment files on demand:
+	// scans, prefix lookups, and range scans stream from disk and only
+	// the delta layer and caches are resident.
+	EngineDisk
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	switch e {
+	case EngineMemory:
+		return "memory"
+	case EngineDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a flag value into an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "memory":
+		return EngineMemory, nil
+	case "disk":
+		return EngineDisk, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown engine %q (have memory, disk)", s)
+	}
+}
+
+// Iterator is a pull cursor over tuples. Next returns up to max tuples and
+// nil at end of stream; the returned batch is only valid until the next
+// call (in-memory sources hand out windows of their backing array, disk
+// sources reuse decode state). Close releases any underlying resources and
+// is required even after an error.
+type Iterator interface {
+	Next(max int) ([]Tuple, error)
+	Close() error
+}
+
+// KeyProber answers tuple-membership probes against a source using the
+// equality key encoding (Tuple.AppendKey). The zero-allocation contract of
+// Relation.ContainsKey carries over.
+type KeyProber interface {
+	ContainsKey(key []byte) bool
+}
+
+// RelationSource is the pluggable access-path interface every storage
+// engine provides per relation. The physical executor and the planner
+// consume only this interface for base relations; *Relation (memory) and
+// *DiskRelation (segment files + delta) are the two implementations.
+//
+// Iteration order is part of the contract: Scan yields a fixed order (the
+// relation's insertion order; for disk sources, segment order followed by
+// delta-append order), and LookupPrefix/ScanRange yield subsequences of an
+// order consistent with the sort-key encoding. Bit-identical evaluation
+// across engines relies on both engines of one data directory agreeing on
+// Scan order.
+type RelationSource interface {
+	Name() string
+	Columns() []string
+	Arity() int
+	Len() int
+	ColumnIndex(col string) int
+
+	// Scan streams every tuple.
+	Scan() Iterator
+	// LookupPrefix streams the tuples whose first ncols columns encode
+	// (via Tuple.AppendSortKey) to exactly prefix, in sort order.
+	LookupPrefix(ncols int, prefix []byte) Iterator
+	// ScanRange streams the tuples whose full sort key k satisfies
+	// lo <= k < hi (nil lo = from start, nil hi = to end), in sort order.
+	ScanRange(lo, hi []byte) Iterator
+
+	// HashIndex returns a hash index on the given column positions,
+	// building (and caching) it on first use. For non-resident sources
+	// this pins the index — callers that must stay out-of-core should
+	// stream via LookupPrefix instead.
+	HashIndex(cols []int, workers int) *Index
+	// Keys returns a membership prober over full-tuple equality keys.
+	Keys() KeyProber
+
+	// Statistics, exact by contract: the planner's decisions must not
+	// depend on which engine serves the data.
+	DistinctCount(col string) int
+	GroupSizes(col string) []int
+
+	// Resident returns the in-memory relation and true when the source
+	// is fully resident; Pin materializes a non-resident source (for
+	// legacy consumers: the materializing oracle, sampling).
+	Resident() (*Relation, bool)
+	Pin() (*Relation, error)
+}
+
+// sliceIterator streams windows of an in-memory tuple slice: no copying,
+// no allocation beyond the iterator itself.
+type sliceIterator struct {
+	tuples []Tuple
+	pos    int
+}
+
+func (it *sliceIterator) Next(max int) ([]Tuple, error) {
+	if it.pos >= len(it.tuples) {
+		return nil, nil
+	}
+	end := it.pos + max
+	if max <= 0 || end > len(it.tuples) {
+		end = len(it.tuples)
+	}
+	batch := it.tuples[it.pos:end]
+	it.pos = end
+	return batch, nil
+}
+
+func (it *sliceIterator) Close() error { return nil }
+
+// NewSliceIterator returns an Iterator over an in-memory tuple slice (used
+// by tests and by the delta layer).
+func NewSliceIterator(tuples []Tuple) Iterator { return &sliceIterator{tuples: tuples} }
+
+// ForEach drains the iterator, calling fn for every tuple, and closes it.
+// The tuple is only valid for the duration of the call (see Iterator).
+func ForEach(it Iterator, fn func(Tuple) error) error {
+	defer it.Close()
+	for {
+		batch, err := it.Next(0)
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return nil
+		}
+		for _, t := range batch {
+			if err := fn(t); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// --- *Relation as a RelationSource ---
+
+// Scan streams the relation's tuples in insertion order.
+func (r *Relation) Scan() Iterator { return &sliceIterator{tuples: r.tuples} }
+
+// LookupPrefix streams the tuples whose leading ncols columns sort-encode
+// to prefix. The in-memory relation has no sort order to exploit, so this
+// filters a full scan; it exists to satisfy the access-path interface with
+// identical results to the disk engine (order: insertion order, which for
+// dir-opened databases is sort order).
+func (r *Relation) LookupPrefix(ncols int, prefix []byte) Iterator {
+	return &filterIterator{it: r.Scan(), keep: func(t Tuple, buf []byte) ([]byte, bool) {
+		buf = t.AppendSortKeyOn(buf[:0], prefixCols(ncols))
+		return buf, bytes.Equal(buf, prefix)
+	}}
+}
+
+// ScanRange streams the tuples whose full sort key lies in [lo, hi). Like
+// LookupPrefix this filters a scan; dir-opened relations are already in
+// sort order so the result order matches the disk engine's.
+func (r *Relation) ScanRange(lo, hi []byte) Iterator {
+	return &filterIterator{it: r.Scan(), keep: func(t Tuple, buf []byte) ([]byte, bool) {
+		buf = t.AppendSortKey(buf[:0])
+		if lo != nil && bytes.Compare(buf, lo) < 0 {
+			return buf, false
+		}
+		if hi != nil && bytes.Compare(buf, hi) >= 0 {
+			return buf, false
+		}
+		return buf, true
+	}}
+}
+
+// HashIndex implements RelationSource via the cached lazy index build.
+func (r *Relation) HashIndex(cols []int, workers int) *Index {
+	return r.IndexParallel(cols, workers)
+}
+
+// Keys returns the relation itself: ContainsKey is already the prober.
+func (r *Relation) Keys() KeyProber { return r }
+
+// GroupSizes returns the group sizes of the named column, in unspecified
+// order (callers treat the result as a multiset).
+func (r *Relation) GroupSizes(col string) []int {
+	p := r.ColumnIndex(col)
+	if p < 0 {
+		panic(fmt.Sprintf("storage: relation %q has no column %q", r.name, col))
+	}
+	return r.Index([]int{p}).GroupSizes()
+}
+
+// Resident reports that an in-memory relation is, indeed, resident.
+func (r *Relation) Resident() (*Relation, bool) { return r, true }
+
+// Pin returns the relation itself; it is already materialized.
+func (r *Relation) Pin() (*Relation, error) { return r, nil }
+
+// filterIterator applies a predicate over an underlying iterator, reusing
+// one key buffer across rows.
+type filterIterator struct {
+	it   Iterator
+	keep func(t Tuple, buf []byte) ([]byte, bool)
+	buf  []byte
+	out  []Tuple
+}
+
+func (f *filterIterator) Next(max int) ([]Tuple, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	f.out = f.out[:0]
+	for len(f.out) < max {
+		batch, err := f.it.Next(max)
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		for _, t := range batch {
+			var ok bool
+			if f.buf, ok = f.keep(t, f.buf); ok {
+				f.out = append(f.out, t)
+			}
+		}
+	}
+	if len(f.out) == 0 {
+		return nil, nil
+	}
+	return f.out, nil
+}
+
+func (f *filterIterator) Close() error { return f.it.Close() }
+
+// prefixCols returns [0, 1, ..., n-1]; small n dominates, so a tiny cache
+// of shared slices avoids per-call allocation.
+var leadingCols = func() [][]int {
+	out := make([][]int, 9)
+	for n := range out {
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = i
+		}
+		out[n] = cols
+	}
+	return out
+}()
+
+func prefixCols(n int) []int {
+	if n < len(leadingCols) {
+		return leadingCols[n]
+	}
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// SortedBySortKey returns the relation's tuples ordered by their sort-key
+// encoding (ties impossible: set semantics means distinct classes). This
+// is the segment write order.
+func sortedBySortKey(tuples []Tuple) []Tuple {
+	type keyed struct {
+		key []byte
+		t   Tuple
+	}
+	ks := make([]keyed, len(tuples))
+	for i, t := range tuples {
+		ks[i] = keyed{key: t.AppendSortKey(nil), t: t}
+	}
+	sort.Slice(ks, func(i, j int) bool { return bytes.Compare(ks[i].key, ks[j].key) < 0 })
+	out := make([]Tuple, len(ks))
+	for i, k := range ks {
+		out[i] = k.t
+	}
+	return out
+}

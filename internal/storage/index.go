@@ -24,8 +24,8 @@ const (
 )
 
 // fnv1a hashes a byte sequence with 64-bit FNV-1a. It is generic over
-// []byte and string so the two never drift: hashKey(b) ==
-// hashKeyString(string(b)) by construction.
+// []byte and string so the two entry points can never drift: fnv1a(b) ==
+// fnv1a(string(b)) by construction.
 func fnv1a[T ~[]byte | ~string](s T) uint64 {
 	h := uint64(fnvOffset64)
 	for i := 0; i < len(s); i++ {
@@ -35,8 +35,7 @@ func fnv1a[T ~[]byte | ~string](s T) uint64 {
 	return h
 }
 
-func hashKey(b []byte) uint64       { return fnv1a(b) }
-func hashKeyString(s string) uint64 { return fnv1a(s) }
+func hashKey(b []byte) uint64 { return fnv1a(b) }
 
 // hashIDs hashes a dictionary-ID tuple byte-compatibly with fnv1a over
 // its packIDs encoding, without materializing the bytes. Used by the
@@ -119,6 +118,20 @@ func buildIndexParallel(r *Relation, cols []int, workers int) *Index {
 // Columns returns the indexed column positions.
 func (ix *Index) Columns() []int { return ix.cols }
 
+// lookupIn is the single keyed-lookup core behind Lookup, LookupBytes,
+// and LookupKey: pick the shard (hashing only when there is more than
+// one), then one map access. It is generic over []byte and string for
+// the same reason fnv1a is — the two entry points cannot drift — and the
+// compiler's map-access-by-converted-[]byte optimization keeps the byte
+// path allocation-free (pinned by BenchmarkIndexLookup's 0 allocs/op
+// assertion).
+func lookupIn[T ~[]byte | ~string](shards []map[string][]Tuple, key T) []Tuple {
+	if len(shards) == 1 {
+		return shards[0][string(key)]
+	}
+	return shards[fnv1a(key)%uint64(len(shards))][string(key)]
+}
+
 // Lookup returns the tuples whose indexed columns equal the given key
 // values (in index-column order), plus the (possibly grown) key buffer
 // for reuse: like LookupBytes, it allocates nothing once the caller's
@@ -126,27 +139,17 @@ func (ix *Index) Columns() []int { return ix.cols }
 // slice must not be mutated.
 func (ix *Index) Lookup(key Tuple, buf []byte) ([]Tuple, []byte) {
 	buf = key.AppendKey(buf[:0])
-	return ix.LookupBytes(buf), buf
+	return lookupIn(ix.shards, buf), buf
 }
 
 // LookupBytes returns the tuples for a key encoding built with
 // Tuple.AppendKey/AppendKeyOn. It performs no allocation, so probe loops
 // can reuse one buffer per worker. Safe for concurrent readers.
-func (ix *Index) LookupBytes(key []byte) []Tuple {
-	if len(ix.shards) == 1 {
-		return ix.shards[0][string(key)]
-	}
-	return ix.shards[hashKey(key)%uint64(len(ix.shards))][string(key)]
-}
+func (ix *Index) LookupBytes(key []byte) []Tuple { return lookupIn(ix.shards, key) }
 
 // LookupKey returns the tuples for a precomputed key string (see
 // Tuple.KeyOn). This avoids re-encoding in tight join loops.
-func (ix *Index) LookupKey(key string) []Tuple {
-	if len(ix.shards) == 1 {
-		return ix.shards[0][key]
-	}
-	return ix.shards[hashKeyString(key)%uint64(len(ix.shards))][key]
-}
+func (ix *Index) LookupKey(key string) []Tuple { return lookupIn(ix.shards, key) }
 
 // GroupCount returns the number of distinct key groups in the index.
 func (ix *Index) GroupCount() int {

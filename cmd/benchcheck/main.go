@@ -226,6 +226,7 @@ var knownOps = map[obs.Op]bool{
 	obs.OpDecision:    true,
 	obs.OpView:        true,
 	obs.OpNote:        true,
+	obs.OpShard:       true,
 }
 
 // checkReport enforces the per-report invariants of the metrics schema.
@@ -279,7 +280,42 @@ func checkReport(r *obs.RunReport) error {
 			return fmt.Errorf("%s caches: %w", r.Strategy, err)
 		}
 	}
+	if r.Cluster != nil {
+		if err := checkCluster(r.Cluster); err != nil {
+			return fmt.Errorf("%s cluster: %w", r.Strategy, err)
+		}
+	}
 	return checkStorage(r)
+}
+
+// checkCluster enforces the coordinator's merged-report invariants: the
+// shard layout is well-formed, every computation either scattered or
+// fell back, and a degraded (partial) merge names the shards it lost —
+// but never all of them, since an all-dead scatter must fail the query
+// instead of answering.
+func checkCluster(c *obs.ClusterStats) error {
+	if c.Shards <= 0 {
+		return fmt.Errorf("shards %d, want > 0", c.Shards)
+	}
+	if c.ShardRel == "" {
+		return fmt.Errorf("missing shard_rel")
+	}
+	if c.ShardCol < 0 {
+		return fmt.Errorf("negative shard_col %d", c.ShardCol)
+	}
+	if c.Scattered < 0 || c.Fallbacks < 0 || c.MergedGroups < 0 {
+		return fmt.Errorf("negative counter: %+v", c)
+	}
+	if c.MergedGroups > 0 && c.Scattered == 0 {
+		return fmt.Errorf("merged_groups %d with scattered 0", c.MergedGroups)
+	}
+	if c.Partial != (len(c.Failed) > 0) {
+		return fmt.Errorf("partial=%v disagrees with failed_shards %v", c.Partial, c.Failed)
+	}
+	if len(c.Failed) >= c.Shards && c.Shards > 0 && c.Partial {
+		return fmt.Errorf("all %d shards failed but the report claims a (partial) answer", c.Shards)
+	}
+	return nil
 }
 
 // checkStorage enforces the storage-engine counter invariants: reading

@@ -212,3 +212,38 @@ func TestBenchcheckCaches(t *testing.T) {
 		}
 	}
 }
+
+// clusterInput attaches a cluster block to an otherwise valid report.
+func clusterInput(t *testing.T, c *obs.ClusterStats) string {
+	t.Helper()
+	col := obs.NewCollector()
+	col.Record(obs.Event{Op: obs.OpShard, Desc: "127.0.0.1:9001", RowsOut: 4})
+	col.Record(obs.Event{Op: obs.OpGroup, Desc: "answer [COUNT >= 2] (merged 2 shards)", RowsIn: 8, RowsOut: 3, Groups: 8})
+	r := col.Report("direct", 1, 3)
+	r.Cluster = c
+	doc := []map[string]any{{"id": "E13", "title": "t", "op_reports": []*obs.RunReport{r}}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestBenchcheckCluster(t *testing.T) {
+	good := &obs.ClusterStats{Shards: 2, ShardRel: "baskets", Scattered: 1, MergedGroups: 8}
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(clusterInput(t, good)), &out); err != nil {
+		t.Fatalf("valid cluster block rejected: %v", err)
+	}
+	for name, bad := range map[string]*obs.ClusterStats{
+		"no shards":          {Shards: 0, ShardRel: "baskets"},
+		"missing rel":        {Shards: 2, Scattered: 1},
+		"merged w/o scatter": {Shards: 2, ShardRel: "baskets", MergedGroups: 3},
+		"partial mismatch":   {Shards: 2, ShardRel: "baskets", Scattered: 1, Partial: true},
+		"all shards dead":    {Shards: 2, ShardRel: "baskets", Scattered: 1, Partial: true, Failed: []string{"a", "b"}},
+	} {
+		if err := run(nil, strings.NewReader(clusterInput(t, bad)), &strings.Builder{}); err == nil {
+			t.Errorf("%s: invalid cluster block accepted", name)
+		}
+	}
+}

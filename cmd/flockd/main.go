@@ -50,9 +50,32 @@
 // SIGINT/SIGTERM stop accepting connections, drain in-flight queries
 // (bounded by -drain), and exit. -pprof serves net/http/pprof and expvar
 // (including flock_last_report) on a second address.
+//
+// Cluster mode shards one flockd across worker processes:
+//
+//	flockd -data DIR -shard-index I -shard-count N [-shard-by rel[:col]]
+//	flockd -data DIR -coordinator -shards host:port,host:port[,...]
+//	flockd -data DIR -coordinator -spawn-workers N
+//
+// Every process loads the same data; a worker restricts itself to its
+// contiguous range partition of the sharded relation (the map is a
+// deterministic function of the data, so coordinator and workers agree
+// without a handshake) and serves POST /partial, the read-only
+// partial-group-state endpoint. The coordinator answers the normal query
+// API, scattering each FILTER computation it can legally partition to
+// the shards and merging their partial states in shard order — answers
+// are bit-identical at every shard count. Computations the shard map
+// cannot partition run coordinator-local. -spawn-workers execs N local
+// workers instead of connecting to an externally managed fleet. A dead
+// shard fails the query with a 502 naming the shard; -allow-partial
+// instead serves the surviving shards' merge with partial=true in the
+// report. /mutate is refused (501) in coordinator mode: workers derive
+// their partition from their own data load, so data changes require a
+// cluster restart.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -60,10 +83,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"queryflocks/internal/cluster"
 	"queryflocks/internal/obs"
 	"queryflocks/internal/storage"
 )
@@ -126,6 +153,55 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("no relations found in %s", source)
 	}
 
+	if *fs.shardCount > 0 {
+		// Worker mode: cut the loaded database down to this shard's
+		// partition. The map is rebuilt from the full data, so every
+		// worker — and the coordinator — derives the same assignment.
+		rel, col, perr := cluster.ParseShardBy(*fs.shardBy)
+		if perr != nil {
+			return perr
+		}
+		m, merr := cluster.BuildMap(db, rel, col, *fs.shardCount)
+		if merr != nil {
+			return merr
+		}
+		db, err = m.Restrict(db, *fs.shardIndex)
+		if err != nil {
+			return err
+		}
+		source = fmt.Sprintf("%s, shard %d/%d of %s", source, *fs.shardIndex, *fs.shardCount, m)
+	}
+
+	var coord *cluster.Coordinator
+	if *fs.coordinator {
+		shards := splitShards(*fs.shards)
+		if *fs.spawnWorkers > 0 {
+			spawned, cleanup, serr := spawnLocalWorkers(ctx, fs, *fs.spawnWorkers, out)
+			if serr != nil {
+				return serr
+			}
+			defer cleanup()
+			shards = spawned
+		}
+		rel, col, perr := cluster.ParseShardBy(*fs.shardBy)
+		if perr != nil {
+			return perr
+		}
+		m, merr := cluster.BuildMap(db, rel, col, len(shards))
+		if merr != nil {
+			return merr
+		}
+		coord = cluster.New(m, &cluster.Client{
+			Shards:  shards,
+			Timeout: *fs.shardTimeout,
+			Retries: *fs.shardRetries,
+			Backoff: *fs.shardBackoff,
+		}, db.Names())
+		coord.AllowPartial = *fs.allowPartial
+		fmt.Fprintf(out, "flockd: coordinating %d shard(s) over %s (%s)\n",
+			len(shards), m, strings.Join(shards, ","))
+	}
+
 	srv := newServer(db, serverConfig{
 		Timeout:       *fs.timeout,
 		MaxQueries:    *fs.maxQueries,
@@ -135,6 +211,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		PlanCacheSize: *fs.planCache,
 		MemoMaxBytes:  int64(*fs.memoMB) << 20,
 		Dir:           dir,
+		Cluster:       coord,
 	})
 	srv.loadPrepared(out)
 
@@ -187,6 +264,17 @@ type flockdFlags struct {
 	planCache  *int
 	memoMB     *int
 	pprof      *string
+
+	coordinator  *bool
+	shards       *string
+	spawnWorkers *int
+	shardBy      *string
+	shardIndex   *int
+	shardCount   *int
+	allowPartial *bool
+	shardTimeout *time.Duration
+	shardRetries *int
+	shardBackoff *time.Duration
 }
 
 func newFlagSet() *flockdFlags {
@@ -205,6 +293,16 @@ func newFlagSet() *flockdFlags {
 	f.planCache = fs.Int("plan-cache", 256, "LRU plan-cache capacity in entries (0 = disabled)")
 	f.memoMB = fs.Int("memo-mb", 64, "candidate-subquery memo bound in MiB (0 = disabled)")
 	f.pprof = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	f.coordinator = fs.Bool("coordinator", false, "coordinate a shard cluster: scatter FILTER computations to -shards and merge their partial states")
+	f.shards = fs.String("shards", "", "comma-separated worker addresses in shard-index order (coordinator mode)")
+	f.spawnWorkers = fs.Int("spawn-workers", 0, "exec this many local worker processes instead of connecting to -shards (coordinator mode)")
+	f.shardBy = fs.String("shard-by", "", "relation to range-shard, as rel or rel:col (default: the largest relation, column 0)")
+	f.shardIndex = fs.Int("shard-index", -1, "this worker's shard index in [0,-shard-count)")
+	f.shardCount = fs.Int("shard-count", 0, "worker mode: restrict the loaded data to shard -shard-index of this many")
+	f.allowPartial = fs.Bool("allow-partial", false, "serve degraded answers when some (not all) shards fail, marked partial in the report")
+	f.shardTimeout = fs.Duration("shard-timeout", 10*time.Second, "per-attempt limit for one shard call")
+	f.shardRetries = fs.Int("shard-retries", 2, "additional attempts after a retryable shard failure")
+	f.shardBackoff = fs.Duration("shard-backoff", 100*time.Millisecond, "linear backoff unit between shard retries")
 	return f
 }
 
@@ -230,5 +328,160 @@ func (f *flockdFlags) validate() error {
 	if *f.engine == "disk" && *f.dataDir == "" {
 		return fmt.Errorf("-engine disk requires -data-dir (CSV loading is memory-only)")
 	}
+	if _, _, err := cluster.ParseShardBy(*f.shardBy); err != nil {
+		return err
+	}
+	if *f.shardCount < 0 || *f.spawnWorkers < 0 || *f.shardRetries < 0 {
+		return fmt.Errorf("-shard-count, -spawn-workers, and -shard-retries must be >= 0")
+	}
+	if *f.shardTimeout < 0 || *f.shardBackoff < 0 {
+		return fmt.Errorf("-shard-timeout and -shard-backoff must be >= 0")
+	}
+	if *f.shardCount > 0 {
+		if *f.coordinator {
+			return fmt.Errorf("-shard-count is worker mode; it cannot be combined with -coordinator")
+		}
+		if *f.shardIndex < 0 || *f.shardIndex >= *f.shardCount {
+			return fmt.Errorf("-shard-index must be in [0,%d) (got %d)", *f.shardCount, *f.shardIndex)
+		}
+	} else if *f.shardIndex >= 0 {
+		return fmt.Errorf("-shard-index requires -shard-count")
+	}
+	if *f.coordinator {
+		haveShards, haveSpawn := *f.shards != "", *f.spawnWorkers > 0
+		if haveShards == haveSpawn {
+			return fmt.Errorf("-coordinator requires exactly one of -shards or -spawn-workers")
+		}
+	} else if *f.shards != "" || *f.spawnWorkers > 0 {
+		return fmt.Errorf("-shards and -spawn-workers require -coordinator")
+	}
 	return nil
+}
+
+// splitShards parses the -shards list, tolerating blanks from trailing
+// commas.
+func splitShards(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// workerCommand resolves the executable (plus leading args) used to exec
+// one local worker. The tests override it to re-enter the test binary.
+var workerCommand = func() (string, []string, error) {
+	exe, err := os.Executable()
+	return exe, nil, err
+}
+
+// workerAnnounceTimeout bounds how long a spawned worker may take to
+// announce its bound address.
+const workerAnnounceTimeout = 30 * time.Second
+
+// spawnLocalWorkers execs n worker flockds against the same data flags as
+// the coordinator, each on a free port, and returns their addresses in
+// shard-index order. Workers announce "flockd: listening on ADDR ..." on
+// stderr; the announcement is parsed and the rest of each worker's output
+// is forwarded to out. The cleanup function TERMs and reaps the fleet.
+func spawnLocalWorkers(ctx context.Context, f *flockdFlags, n int, out io.Writer) ([]string, func(), error) {
+	exe, baseArgs, err := workerCommand()
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	cleanup := func() {
+		for _, c := range procs {
+			if c.Process != nil {
+				c.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, c := range procs {
+			c.Wait()
+		}
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		args := append(append([]string(nil), baseArgs...), workerArgs(f, i, n)...)
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), "FLOCKD_WORKER_HELPER=1")
+		stderr, perr := cmd.StderrPipe()
+		if perr == nil {
+			perr = cmd.Start()
+		}
+		if perr != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, perr)
+		}
+		procs = append(procs, cmd)
+		addr, aerr := awaitAnnouncement(ctx, stderr, out)
+		if aerr != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("worker %d: %w", i, aerr)
+		}
+		addrs[i] = addr
+		fmt.Fprintf(out, "flockd: worker %d/%d up on %s\n", i, n, addr)
+	}
+	return addrs, cleanup, nil
+}
+
+// workerArgs derives one worker's command line from the coordinator's
+// flags: same data source, same shard map inputs, a free port.
+func workerArgs(f *flockdFlags, idx, count int) []string {
+	args := []string{}
+	if *f.dataDir != "" {
+		args = append(args, "-data-dir", *f.dataDir, "-engine", *f.engine)
+	} else {
+		args = append(args, "-data", *f.data)
+	}
+	if *f.shardBy != "" {
+		args = append(args, "-shard-by", *f.shardBy)
+	}
+	return append(args,
+		"-addr", "127.0.0.1:0",
+		"-shard-index", strconv.Itoa(idx),
+		"-shard-count", strconv.Itoa(count),
+		"-workers", strconv.Itoa(*f.workers),
+		"-timeout", (*f.timeout).String(),
+	)
+}
+
+// awaitAnnouncement scans a worker's stderr for the listen announcement,
+// then keeps draining the pipe to out in the background.
+func awaitAnnouncement(ctx context.Context, r io.Reader, out io.Writer) (string, error) {
+	type hit struct {
+		addr string
+		err  error
+	}
+	ch := make(chan hit, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "flockd: listening on "); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					rest = rest[:i]
+				}
+				ch <- hit{addr: rest}
+				// Keep the pipe drained so the worker never blocks on a
+				// full stderr buffer.
+				for sc.Scan() {
+					fmt.Fprintln(out, sc.Text())
+				}
+				return
+			}
+			fmt.Fprintln(out, line)
+		}
+		ch <- hit{err: fmt.Errorf("worker exited before announcing its address")}
+	}()
+	select {
+	case h := <-ch:
+		return h.addr, h.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-time.After(workerAnnounceTimeout):
+		return "", fmt.Errorf("no listen announcement within %v", workerAnnounceTimeout)
+	}
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// prepareFlock registers a program and returns its handle.
+func prepareFlock(t *testing.T, ts *httptest.Server, program string) string {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/prepare", "text/plain", strings.NewReader(program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr prepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || pr.Handle == "" {
+		t.Fatalf("prepare: status %d, handle %q", resp.StatusCode, pr.Handle)
+	}
+	return pr.Handle
+}
+
+func postInvoke(t *testing.T, ts *httptest.Server, handle, query, body string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/invoke/"+handle+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, payload
+}
+
+// TestInvokeThresholdMalformed is the regression test for the threshold-
+// rebinding edge cases: every malformed body must produce a structured
+// 400 naming the problem. Before the fix, 1e-999 silently underflowed to
+// a threshold of exactly 0 (rebinding the filter to a different
+// condition than the client sent), and ±1e999 bounced with a misleading
+// "not numeric" message from the datalog layer.
+func TestInvokeThresholdMalformed(t *testing.T) {
+	ts := httptest.NewServer(newServer(basketsDB(t), serverConfig{}).handler())
+	defer ts.Close()
+	handle := prepareFlock(t, ts, pairCountFlock)
+
+	cases := []struct {
+		body string
+		want string // substring of the structured error
+	}{
+		{`{"threshold": 1e999}`, "threshold 1e999"},
+		{`{"threshold": -1e999}`, "threshold -1e999"},
+		{`{"threshold": 1e-999}`, "underflows to zero"},
+		{`{"threshold": 1e-400}`, "underflows to zero"},
+		{`{"threshold": "1e999"}`, "threshold 1e999"},
+		{`{"threshold": "abc"}`, "bad invoke body"},
+		{`{"threshold": "NaN"}`, "bad invoke body"},
+		{`{"threshold": [1]}`, "bad invoke body"},
+		{`not json`, "bad invoke body"},
+	}
+	for _, tc := range cases {
+		status, payload := postInvoke(t, ts, handle, "", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400 (payload %s)", tc.body, status, payload)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(payload, &er); err != nil || er.Error == "" {
+			t.Errorf("body %s: unstructured error payload %s", tc.body, payload)
+			continue
+		}
+		if !strings.Contains(er.Error, tc.want) {
+			t.Errorf("body %s: error %q does not mention %q", tc.body, er.Error, tc.want)
+		}
+	}
+
+	// Well-formed rebinds still work, including an exact zero written
+	// with an exponent (not an underflow).
+	status, payload := postInvoke(t, ts, handle, "", `{"threshold": 3}`)
+	var qr queryResponse
+	if err := json.Unmarshal(payload, &qr); err != nil || status != http.StatusOK || qr.AnswerRows == 0 {
+		t.Fatalf("threshold 3: status %d, payload %s", status, payload)
+	}
+	if status, payload = postInvoke(t, ts, handle, "", `{"threshold": 0e10}`); status != http.StatusBadRequest ||
+		!strings.Contains(string(payload), "empty result") {
+		// COUNT >= 0 accepts the empty group — rejected for being
+		// infinite, not for being malformed.
+		t.Fatalf("threshold 0e10: status %d, payload %s", status, payload)
+	}
+}
+
+// TestConcurrentMutateInvokeSoak drives /mutate and /invoke (with
+// threshold rebinding and both cached and uncached paths) concurrently.
+// Run under -race in CI, it guards the copy-on-write publish path: every
+// request must see one consistent snapshot, and nothing may tear.
+func TestConcurrentMutateInvokeSoak(t *testing.T) {
+	srv := newServer(basketsDB(t), serverConfig{PlanCacheSize: 16, MemoMaxBytes: 1 << 20})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	handle := prepareFlock(t, ts, pairCountFlock)
+
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan string, 128)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := ""
+				if i%2 == 0 {
+					q = "?strategy=static"
+				}
+				if i%5 == 0 {
+					q += map[bool]string{true: "?", false: "&"}[q == ""] + "cache=0"
+				}
+				body := ""
+				if i%3 == 0 {
+					body = fmt.Sprintf(`{"threshold": %d}`, 3+i%4)
+				}
+				status, payload := postInvoke(t, ts, handle, q, body)
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("invoke[%d,%d] %s: status %d: %s", g, i, q, status, payload)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				row := fmt.Sprintf("%d,%d\n", 10000+g*iters+i, i%20)
+				resp, err := ts.Client().Post(ts.URL+"/mutate/baskets", "text/csv", strings.NewReader(row))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("mutate[%d,%d]: status %d: %s", g, i, resp.StatusCode, raw)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"queryflocks/internal/analysis"
+	"queryflocks/internal/cluster"
 	"queryflocks/internal/core"
 	"queryflocks/internal/datalog"
 	"queryflocks/internal/eval"
@@ -59,6 +61,12 @@ type serverConfig struct {
 	// Dir, when non-nil, is the opened data directory: mutations append
 	// durably to its delta layer and prepared flocks persist in it.
 	Dir *storage.Dir
+	// Cluster, when non-nil, makes this server a shard coordinator:
+	// FILTER computations scatter to the worker shards and their partial
+	// group states merge in shard order (see internal/cluster). Mutations
+	// are refused — workers derive their partition from their own data
+	// load, so the cluster must restart to change data.
+	Cluster *cluster.Coordinator
 }
 
 // server evaluates flocks over a served database via HTTP.
@@ -74,6 +82,10 @@ type serverConfig struct {
 //	POST /mutate/{rel}     body = CSV rows (no header); appends to the
 //	                       relation, bumps the data version, and thereby
 //	                       invalidates every cached plan and memo entry
+//	                       (501 in coordinator mode)
+//	POST /partial          body = cluster.PartialRequest; evaluates one
+//	                       FILTER computation's partial group states over
+//	                       this instance's (restricted) snapshot
 //
 // /query and /invoke accept ?strategy= (direct|naive|static|exhaustive|
 // levelwise|dynamic, default direct), ?timeout= (a Go duration that may
@@ -147,6 +159,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/prepare", s.handlePrepare)
 	mux.HandleFunc("/invoke/", s.handleInvoke)
 	mux.HandleFunc("/mutate/", s.handleMutate)
+	// Every flockd serves the read-only partial-group-state endpoint, so
+	// any instance can be enlisted as a worker shard.
+	mux.HandleFunc("/partial", cluster.PartialHandler(s.snapshot, s.cfg.Workers, s.cfg.Timeout))
 	return mux
 }
 
@@ -209,9 +224,10 @@ type queryResponse struct {
 
 // errorResponse is the payload of every non-200 outcome. Lint rejections
 // carry the analyzer's structured diagnostics alongside the one-line
-// error.
+// error; shard failures (502) name the dead shard.
 type errorResponse struct {
 	Error       string                `json:"error"`
+	Shard       string                `json:"shard,omitempty"`
 	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
 }
 
@@ -633,8 +649,13 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	useCache := q.Get("cache") != "0"
 	flock, canon, fs := p.flock, p.canon, p.fs
 	if req.Threshold != nil {
+		tv, terr := thresholdValue(*req.Threshold)
+		if terr != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad threshold binding: %v", terr)})
+			return
+		}
 		spec := fs.Filter
-		spec.Threshold = storage.ParseValue(req.Threshold.String())
+		spec.Threshold = tv
 		rebound, err := core.NewWithViews(fs.Views, fs.Query, spec)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad threshold binding: %v", err)})
@@ -683,6 +704,43 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	s.respondEval(w, r.Context(), db, ent, strategy, timeout, useCache, handle)
 }
 
+// thresholdValue validates a rebound filter threshold. json.Number
+// guarantees JSON-number syntax, but not a usable value: 1e999 overflows
+// float64 to +Inf, and 1e-999 silently underflows to exactly 0 — which
+// would rebind the filter to a different threshold than the client sent
+// (COUNT >= 0 accepts the empty group, turning the answer infinite, and a
+// MIN/MAX comparison against 0 quietly means something else). Both are
+// refused here with the offending token in the message, instead of being
+// evaluated or bounced with a misleading downstream error.
+func thresholdValue(n json.Number) (storage.Value, error) {
+	f, err := n.Float64()
+	if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+		return storage.Value{}, fmt.Errorf("threshold %s does not fit a finite float64", n)
+	}
+	if f == 0 && !zeroLiteral(string(n)) {
+		return storage.Value{}, fmt.Errorf("threshold %s underflows to zero", n)
+	}
+	v := storage.ParseValue(n.String())
+	if !v.IsNumeric() {
+		return storage.Value{}, fmt.Errorf("threshold %s is not numeric", n)
+	}
+	return v, nil
+}
+
+// zeroLiteral reports whether a JSON number token denotes exactly zero
+// (no nonzero mantissa digit).
+func zeroLiteral(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == 'e' || c == 'E':
+			return true // the exponent cannot make a zero mantissa nonzero
+		case c >= '1' && c <= '9':
+			return false
+		}
+	}
+	return true
+}
+
 // handleMutate appends CSV rows (no header; columns in relation order) to
 // the named relation. The mutation is copy-on-write: a clone of the
 // relation and catalog is built, the data-version counter is bumped, and
@@ -692,6 +750,11 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST CSV rows to /mutate/{relation}"})
+		return
+	}
+	if s.cfg.Cluster != nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{
+			Error: "mutations are not supported in coordinator mode: workers derive their shard partition from their own data load; update the data and restart the cluster"})
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/mutate/")
@@ -797,15 +860,29 @@ func (s *server) respondEval(w http.ResponseWriter, rctx context.Context, db *st
 
 	tr := &eval.Trace{}
 	tr.Collector() // anchor the wall-clock/alloc baseline before evaluation
+	// In coordinator mode each request gets its own scatter/gather
+	// session, whose shard stats land in the merged report.
+	var sess *cluster.Session
+	if s.cfg.Cluster != nil {
+		sess = s.cfg.Cluster.Session()
+	}
 	start := time.Now()
-	answer, err := s.evaluate(ctx, db, ent, strategy, tr, useCache)
+	answer, err := s.evaluate(ctx, db, ent, strategy, tr, useCache, sess)
 	if err != nil {
-		writeJSON(w, statusForEvalError(err), errorResponse{Error: err.Error()})
+		resp := errorResponse{Error: err.Error()}
+		var se *cluster.ShardError
+		if errors.As(err, &se) {
+			resp.Shard = se.Shard
+		}
+		writeJSON(w, statusForEvalError(err), resp)
 		return
 	}
 	report := tr.Report(strategy, s.cfg.Workers, answer.Len())
 	if report != nil {
 		report.Caches = s.cacheStats(db)
+		if sess != nil {
+			report.Cluster = sess.Stats()
+		}
 	}
 	obs.PublishReport(report)
 
@@ -850,7 +927,7 @@ func buildPlan(strategy string, flock *core.Flock, db *storage.Database) (*core.
 // resource budgets. Engine panics are recovered into errors so a bad
 // query cannot take the service down.
 func (s *server) evaluate(ctx context.Context, db *storage.Database, ent *planEntry,
-	strategy string, tr *eval.Trace, useCache bool) (answer *storage.Relation, err error) {
+	strategy string, tr *eval.Trace, useCache bool, sess *cluster.Session) (answer *storage.Relation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			answer, err = nil, fmt.Errorf("%w: %v", errPanic, r)
@@ -862,6 +939,13 @@ func (s *server) evaluate(ctx context.Context, db *storage.Database, ent *planEn
 	if useCache && s.memo != nil && memoStrategy(strategy) {
 		ev.Memo = s.memo
 		ev.MemoSalt = core.MemoContext(db, flock)
+	}
+	// The coordinator hook covers the strategies whose FILTER steps route
+	// through the engine's group-by: naive is the definitional oracle (it
+	// must not share machinery with what it checks) and dynamic re-decides
+	// its plan from observed sizes, so both stay coordinator-local.
+	if sess != nil && memoStrategy(strategy) {
+		ev.FilterEval = sess.FilterEval
 	}
 	switch strategy {
 	case "direct":
@@ -907,12 +991,16 @@ func requestTimeout(r *http.Request, serverLimit time.Duration) (time.Duration, 
 	return d, nil
 }
 
-// statusForEvalError maps evaluation failures onto HTTP statuses: deadline
-// and cancellation are the gateway-timeout family, an exceeded resource
-// budget is the client's query being too expensive, panics are 500s, and
-// anything else (unknown strategy, plan errors) is a bad request.
+// statusForEvalError maps evaluation failures onto HTTP statuses: a dead
+// worker shard is a bad gateway, deadline and cancellation are the
+// gateway-timeout family, an exceeded resource budget is the client's
+// query being too expensive, panics are 500s, and anything else (unknown
+// strategy, plan errors) is a bad request.
 func statusForEvalError(err error) int {
+	var se *cluster.ShardError
 	switch {
+	case errors.As(err, &se):
+		return http.StatusBadGateway
 	case errors.Is(err, eval.ErrCanceled):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, eval.ErrBudgetExceeded):

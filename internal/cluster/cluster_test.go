@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/planner"
+	"queryflocks/internal/storage"
+	"queryflocks/internal/workload"
+)
+
+const pairFlock = "QUERY:\n" +
+	"answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n" +
+	"FILTER:\nCOUNT(answer.B) >= 5\n"
+
+func basketsDB(t *testing.T) *storage.Database {
+	t.Helper()
+	return workload.Baskets(workload.BasketConfig{Baskets: 120, Items: 15, MeanSize: 4, Skew: 0.8, Seed: 7})
+}
+
+// spawnWorkers serves each shard's restriction of db over httptest and
+// returns the shard addresses in index order.
+func spawnWorkers(t *testing.T, db *storage.Database, m *Map) []string {
+	t.Helper()
+	addrs := make([]string, m.Shards)
+	for i := 0; i < m.Shards; i++ {
+		restricted, err := m.Restrict(db, i)
+		if err != nil {
+			t.Fatalf("Restrict(%d): %v", i, err)
+		}
+		srv := httptest.NewServer(PartialHandler(func() *storage.Database { return restricted }, 1, 10*time.Second))
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+func newTestCoordinator(t *testing.T, db *storage.Database, shards int) (*Coordinator, []string) {
+	t.Helper()
+	m, err := BuildMap(db, "", 0, shards)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	addrs := spawnWorkers(t, db, m)
+	client := &Client{Shards: addrs, Timeout: 10 * time.Second, Retries: 1, Backoff: 10 * time.Millisecond}
+	return New(m, client, db.Names()), addrs
+}
+
+func TestParseShardBy(t *testing.T) {
+	cases := []struct {
+		in   string
+		rel  string
+		col  int
+		fail bool
+	}{
+		{"", "", 0, false},
+		{"baskets", "baskets", 0, false},
+		{"baskets:1", "baskets", 1, false},
+		{"a:b:2", "a:b", 2, false},
+		{":1", "", 0, true},
+		{"baskets:-1", "", 0, true},
+		{"baskets:x", "", 0, true},
+	}
+	for _, c := range cases {
+		rel, col, err := ParseShardBy(c.in)
+		if c.fail {
+			if err == nil {
+				t.Errorf("ParseShardBy(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil || rel != c.rel || col != c.col {
+			t.Errorf("ParseShardBy(%q) = %q,%d,%v; want %q,%d", c.in, rel, col, err, c.rel, c.col)
+		}
+	}
+}
+
+func TestShardMapRestrictPartitions(t *testing.T) {
+	db := basketsDB(t)
+	small := storage.NewRelation("kinds", "K")
+	small.InsertValues(storage.Str("food"))
+	db.Add(small)
+	full := db.MustRelation("baskets")
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		m, err := BuildMap(db, "baskets", 0, shards)
+		if err != nil {
+			t.Fatalf("BuildMap(%d): %v", shards, err)
+		}
+		total := 0
+		union := storage.NewRelation("baskets", full.Columns()...)
+		for i := 0; i < shards; i++ {
+			r, err := m.Restrict(db, i)
+			if err != nil {
+				t.Fatalf("Restrict(%d/%d): %v", i, shards, err)
+			}
+			cut := r.MustRelation("baskets")
+			total += cut.Len()
+			for _, tp := range cut.Tuples() {
+				if !union.Insert(tp) {
+					t.Fatalf("shards %d: tuple %v assigned to more than one shard", shards, tp)
+				}
+				if got := m.ShardOf(tp[0]); got != i {
+					t.Fatalf("shards %d: ShardOf(%v) = %d, on shard %d", shards, tp[0], got, i)
+				}
+			}
+			if r.MustRelation("kinds").Len() != 1 {
+				t.Errorf("shards %d: small relation not replicated to shard %d", shards, i)
+			}
+			if r.Version() != db.Version() {
+				t.Errorf("shards %d: version %d != %d", shards, r.Version(), db.Version())
+			}
+		}
+		if total != full.Len() || !union.Equal(full) {
+			t.Errorf("shards %d: restrictions do not partition the relation (%d vs %d tuples)", shards, total, full.Len())
+		}
+	}
+}
+
+func TestShardMapDeterministic(t *testing.T) {
+	db := basketsDB(t)
+	a, _ := BuildMap(db, "baskets", 0, 3)
+	b, _ := BuildMap(db, "baskets", 0, 3)
+	for v := int64(-5); v < 200; v++ {
+		if a.ShardOf(storage.Int(v)) != b.ShardOf(storage.Int(v)) {
+			t.Fatalf("ShardOf(%d) differs between identically built maps", v)
+		}
+	}
+	// Default relation selection picks the largest.
+	m, err := BuildMap(db, "", 0, 2)
+	if err != nil || m.Rel != "baskets" {
+		t.Errorf("default shard relation = %q (%v), want baskets", m.Rel, err)
+	}
+}
+
+// TestClusterOracleShardCounts is the tentpole oracle: the scattered
+// answer must equal the single-node answer bit for bit at every shard
+// count, for the direct strategy and for executed §4.2 plans.
+func TestClusterOracleShardCounts(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	want, err := fl.Eval(db, nil)
+	if err != nil {
+		t.Fatalf("local Eval: %v", err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("degenerate oracle: empty local answer")
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		co, _ := newTestCoordinator(t, db, shards)
+
+		sess := co.Session()
+		got, err := fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+		if err != nil {
+			t.Fatalf("shards %d direct: %v", shards, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("shards %d direct: answer differs (%d vs %d rows)", shards, got.Len(), want.Len())
+		}
+		st := sess.Stats()
+		if st.Scattered != 1 || st.Fallbacks != 0 || st.Partial {
+			t.Errorf("shards %d direct: stats %+v, want 1 scattered, 0 fallbacks", shards, st)
+		}
+
+		plan, err := planner.PlanStatic(fl, planner.NewEstimator(db), nil)
+		if err != nil {
+			t.Fatalf("PlanStatic: %v", err)
+		}
+		sess = co.Session()
+		res, err := plan.Execute(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+		if err != nil {
+			t.Fatalf("shards %d static: %v", shards, err)
+		}
+		got = res.Answer
+		if !got.Equal(want) {
+			t.Errorf("shards %d static: answer differs (%d vs %d rows)", shards, got.Len(), want.Len())
+		}
+		if st := sess.Stats(); st.Scattered+st.Fallbacks == 0 {
+			t.Errorf("shards %d static: hook never consulted", shards)
+		}
+	}
+}
+
+// TestEmptyShardsMerge: more shards than distinct shard-key values leaves
+// some workers with no tuples; their empty partials must merge as
+// identities (the S2 surface) and the answer must be unchanged.
+func TestEmptyShardsMerge(t *testing.T) {
+	db := storage.NewDatabase()
+	rel := storage.NewRelation("baskets", "BID", "Item")
+	for b := int64(0); b < 2; b++ {
+		for i := int64(0); i < 6; i++ {
+			rel.InsertValues(storage.Int(b), storage.Int(i))
+		}
+	}
+	db.Add(rel)
+	fl := core.MustParse(pairFlock)
+	want, err := fl.Eval(db, nil)
+	if err != nil {
+		t.Fatalf("local Eval: %v", err)
+	}
+	co, _ := newTestCoordinator(t, db, 4) // only 2 distinct BIDs
+	sess := co.Session()
+	got, err := fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	if err != nil {
+		t.Fatalf("scattered Eval: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("answer differs with empty shards (%d vs %d rows)", got.Len(), want.Len())
+	}
+}
+
+// TestIllegalShardingFallsBack: sharding baskets on the item column makes
+// the pair flock unpartitionable (the two atoms bind different params at
+// the shard column); the hook must decline and the local path must serve
+// the exact answer.
+func TestIllegalShardingFallsBack(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	want, err := fl.Eval(db, nil)
+	if err != nil {
+		t.Fatalf("local Eval: %v", err)
+	}
+	m, err := BuildMap(db, "baskets", 1, 2)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	addrs := spawnWorkers(t, db, m)
+	co := New(m, &Client{Shards: addrs, Timeout: 5 * time.Second}, db.Names())
+	sess := co.Session()
+	got, err := fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("fallback answer differs (%d vs %d rows)", got.Len(), want.Len())
+	}
+	st := sess.Stats()
+	if st.Scattered != 0 || st.Fallbacks == 0 {
+		t.Errorf("stats %+v, want 0 scattered and >0 fallbacks", st)
+	}
+}
+
+// TestDeadShardStructuredError: a dead worker must surface as a typed
+// ShardError naming the shard — never a hang or a silent wrong answer.
+func TestDeadShardStructuredError(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	m, err := BuildMap(db, "baskets", 0, 2)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	addrs := spawnWorkers(t, db, m)
+	dead := httptest.NewServer(nil)
+	deadAddr := dead.URL
+	dead.Close() // now refuses connections
+	addrs[1] = deadAddr
+
+	co := New(m, &Client{Shards: addrs, Timeout: time.Second, Retries: 1, Backoff: time.Millisecond}, db.Names())
+	sess := co.Session()
+	_, err = fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShardError", err)
+	}
+	if se.Shard != deadAddr {
+		t.Errorf("ShardError.Shard = %q, want %q", se.Shard, deadAddr)
+	}
+}
+
+// TestAllowPartialDegraded: with AllowPartial the dead shard's partition
+// is simply missing — the request succeeds, the answer is a subset of the
+// full one (COUNT thresholds only lose support), and the report says so.
+func TestAllowPartialDegraded(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	want, err := fl.Eval(db, nil)
+	if err != nil {
+		t.Fatalf("local Eval: %v", err)
+	}
+	m, err := BuildMap(db, "baskets", 0, 2)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	addrs := spawnWorkers(t, db, m)
+	dead := httptest.NewServer(nil)
+	deadAddr := dead.URL
+	dead.Close()
+	addrs[1] = deadAddr
+
+	co := New(m, &Client{Shards: addrs, Timeout: time.Second, Retries: 0}, db.Names())
+	co.AllowPartial = true
+	sess := co.Session()
+	got, err := fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	if err != nil {
+		t.Fatalf("degraded Eval: %v", err)
+	}
+	for _, tp := range got.Tuples() {
+		if !want.Contains(tp) {
+			t.Errorf("degraded answer invented tuple %v", tp)
+		}
+	}
+	st := sess.Stats()
+	if !st.Partial || len(st.Failed) != 1 || st.Failed[0] != deadAddr {
+		t.Errorf("stats %+v, want partial=true failed=[%s]", st, deadAddr)
+	}
+}
+
+// TestAllShardsDeadFailsEvenWhenPartialAllowed: degraded service still
+// requires at least one live shard.
+func TestAllShardsDeadFailsEvenWhenPartialAllowed(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	m, err := BuildMap(db, "baskets", 0, 2)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	dead := httptest.NewServer(nil)
+	deadAddr := dead.URL
+	dead.Close()
+	co := New(m, &Client{Shards: []string{deadAddr, deadAddr}, Timeout: time.Second}, db.Names())
+	co.AllowPartial = true
+	sess := co.Session()
+	_, err = fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShardError", err)
+	}
+}
+
+// TestRetryThenSucceed: transient 5xx responses are retried; the scatter
+// succeeds once the shard recovers.
+func TestRetryThenSucceed(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	want, err := fl.Eval(db, nil)
+	if err != nil {
+		t.Fatalf("local Eval: %v", err)
+	}
+	m, err := BuildMap(db, "baskets", 0, 1)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	restricted, err := m.Restrict(db, 0)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	inner := PartialHandler(func() *storage.Database { return restricted }, 1, 10*time.Second)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		inner(w, r)
+	}))
+	defer srv.Close()
+
+	co := New(m, &Client{Shards: []string{srv.URL}, Timeout: 5 * time.Second, Retries: 2, Backoff: time.Millisecond}, db.Names())
+	sess := co.Session()
+	got, err := fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	if err != nil {
+		t.Fatalf("Eval after retry: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("retried answer differs")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2 (one failure, one success)", calls.Load())
+	}
+}
+
+// TestVersionMismatchFailsFast: a worker at another data version answers
+// 409, which must not be retried (repeating it cannot succeed).
+func TestVersionMismatchFailsFast(t *testing.T) {
+	db := basketsDB(t)
+	fl := core.MustParse(pairFlock)
+	m, err := BuildMap(db, "baskets", 0, 1)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	restricted, err := m.Restrict(db, 0)
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	stale := restricted.Clone()
+	stale.SetVersion(99)
+	var calls atomic.Int64
+	inner := PartialHandler(func() *storage.Database { return stale }, 1, 10*time.Second)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		inner(w, r)
+	}))
+	defer srv.Close()
+
+	co := New(m, &Client{Shards: []string{srv.URL}, Timeout: 5 * time.Second, Retries: 3, Backoff: time.Millisecond}, db.Names())
+	sess := co.Session()
+	_, err = fl.Eval(db, &core.EvalOptions{FilterEval: sess.FilterEval})
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *ShardError", err)
+	}
+	if se.Status != http.StatusConflict {
+		t.Errorf("status = %d, want 409", se.Status)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (4xx must not retry)", calls.Load())
+	}
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
+)
+
+// Coordinator owns a shard map and a scatter client and turns FILTER
+// computations into scatter/gather rounds. It is mounted into a request's
+// core.EvalOptions via Session().FilterEval; computations the shard map
+// cannot legally partition (see legal) are declined back to the local
+// evaluator — the coordinator holds the full database, so falling back is
+// always correct, just not distributed.
+type Coordinator struct {
+	Map    *Map
+	Client *Client
+	// AllowPartial serves degraded answers when some (not all) shards
+	// fail: the dead shards' partitions are simply missing from the
+	// merge, and the report carries partial=true plus the failed shards.
+	AllowPartial bool
+
+	base map[string]bool // base relation names the workers hold locally
+}
+
+// New builds a coordinator. baseRels names the relations the workers were
+// started with; anything else a query references (materialized views,
+// earlier FILTER-step results) is shipped inline with each request.
+func New(m *Map, c *Client, baseRels []string) *Coordinator {
+	base := make(map[string]bool, len(baseRels))
+	for _, n := range baseRels {
+		base[n] = true
+	}
+	return &Coordinator{Map: m, Client: c, base: base}
+}
+
+// Session returns the per-request state: a FilterEval hook plus the
+// cluster stats it accumulates. One session serves one evaluation.
+func (co *Coordinator) Session() *Session {
+	return &Session{co: co, stats: obs.ClusterStats{
+		Shards:   co.Map.Shards,
+		ShardRel: co.Map.Rel,
+		ShardCol: co.Map.Col,
+	}}
+}
+
+// Session accumulates one request's scatter/gather statistics. FilterEval
+// may be called from concurrent union branches; the stats are mutex-kept.
+type Session struct {
+	co    *Coordinator
+	mu    sync.Mutex
+	stats obs.ClusterStats
+}
+
+// Stats returns a snapshot of the session's cluster block for the merged
+// RunReport.
+func (s *Session) Stats() *obs.ClusterStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.stats
+	c.Failed = append([]string(nil), s.stats.Failed...)
+	return &c
+}
+
+// FilterEval is the core.FilterEvalFn the coordinator mounts: scatter the
+// computation to the shards, gather the serialized partial group states,
+// and merge them in shard order. Computations the map cannot legally
+// partition return handled=false and run locally.
+func (s *Session) FilterEval(db *storage.Database, params []datalog.Param, query datalog.Union,
+	filter core.Filter, name string, opts *core.EvalOptions) (*storage.Relation, bool, error) {
+
+	if !legal(s.co.Map, params, query, filter) {
+		s.mu.Lock()
+		s.stats.Fallbacks++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	req, err := s.co.buildRequest(db, params, query, filter, name)
+	if err != nil {
+		// Can't describe the computation on the wire: evaluate locally.
+		s.mu.Lock()
+		s.stats.Fallbacks++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+
+	ctx := context.Background()
+	if opts != nil && opts.Ctx != nil {
+		ctx = opts.Ctx
+	}
+	results := s.co.Client.Scatter(ctx, req)
+
+	var failed []string
+	for _, res := range results {
+		if res.Err != nil {
+			failed = append(failed, res.Addr)
+		}
+	}
+	if len(failed) > 0 {
+		if !s.co.AllowPartial || len(failed) == len(results) {
+			for _, res := range results {
+				if res.Err != nil {
+					return nil, true, res.Err
+				}
+			}
+		}
+	}
+
+	parts := make([][]core.GroupState, 0, len(results))
+	for _, res := range results {
+		if res.Err != nil {
+			continue // degraded: the dead shard's partition is absent
+		}
+		parts = append(parts, res.Resp.Groups)
+	}
+	paramCols := make([]string, len(params))
+	for i, p := range params {
+		paramCols[i] = "$" + string(p)
+	}
+	rel, merged, err := core.MergeGroupStates(filter, name, paramCols, parts)
+	if err != nil {
+		return nil, true, err
+	}
+
+	// The coordinator holds the merged group map and answer live at once;
+	// apply the same budget/row-cap checkpoints as the local group-by.
+	if opts != nil {
+		opts.Gate.NoteLive(merged + rel.Len())
+		if err := opts.Gate.CheckOutput(rel.Len()); err != nil {
+			return nil, true, err
+		}
+		if err := opts.Gate.Check(); err != nil {
+			return nil, true, err
+		}
+	}
+
+	if opts != nil && opts.Trace != nil {
+		col := opts.Trace.Collector()
+		groupsIn := 0
+		for _, res := range results {
+			if res.Err != nil {
+				col.Record(obs.Event{Op: obs.OpShard, Desc: res.Addr + " FAILED", Wall: res.Wall})
+				continue
+			}
+			col.Record(obs.Event{Op: obs.OpShard, Desc: res.Addr, RowsOut: len(res.Resp.Groups), Wall: res.Wall})
+			groupsIn += len(res.Resp.Groups)
+			if rep := res.Resp.Report; rep != nil {
+				col.ObserveStorage(rep.SegmentsOpened, rep.IndexBlocksRead, rep.DeltaRows, rep.StorageBytesRead)
+			}
+		}
+		col.Record(obs.Event{
+			Op:      obs.OpGroup,
+			Desc:    fmt.Sprintf("%s [%s] (merged %d shards)", name, filter, len(parts)),
+			RowsIn:  groupsIn,
+			RowsOut: rel.Len(),
+			Groups:  merged,
+			Workers: len(parts),
+		})
+	}
+
+	s.mu.Lock()
+	s.stats.Scattered++
+	s.stats.MergedGroups += merged
+	if len(failed) > 0 {
+		s.stats.Partial = true
+		for _, f := range failed {
+			if !containsStr(s.stats.Failed, f) {
+				s.stats.Failed = append(s.stats.Failed, f)
+			}
+		}
+	}
+	s.mu.Unlock()
+	return rel, true, nil
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, s := range xs {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// buildRequest serializes one FILTER computation for the wire, shipping
+// every referenced relation the workers do not hold (views, earlier step
+// results) as literal rows.
+func (co *Coordinator) buildRequest(db *storage.Database, params []datalog.Param, query datalog.Union,
+	filter core.Filter, name string) (*PartialRequest, error) {
+
+	req := &PartialRequest{
+		Query:   query.String(),
+		Filter:  filter.String(),
+		Name:    name,
+		Version: db.Version(),
+	}
+	req.Params = make([]string, len(params))
+	for i, p := range params {
+		req.Params[i] = string(p)
+	}
+
+	shipped := make(map[string]bool)
+	var aux []string
+	for _, r := range query {
+		for _, pred := range r.Predicates() {
+			if co.base[pred] || shipped[pred] {
+				continue
+			}
+			shipped[pred] = true
+			aux = append(aux, pred)
+		}
+	}
+	sort.Strings(aux)
+	for _, pred := range aux {
+		rel, err := db.Relation(pred)
+		if err != nil {
+			return nil, err
+		}
+		a := AuxRel{Name: pred, Columns: rel.Columns()}
+		for _, t := range rel.Tuples() {
+			row := make([]string, len(t))
+			for j, v := range t {
+				row[j] = v.Literal()
+			}
+			a.Rows = append(a.Rows, row)
+		}
+		req.Aux = append(req.Aux, a)
+	}
+	return req, nil
+}
+
+// legal decides whether sharding the query on m partitions the extended
+// answer exactly — the condition for the scattered merge to reproduce the
+// single-node answer bit for bit:
+//
+//  1. Every rule has at least one positive atom of the sharded relation
+//     (a rule without one would be recomputed whole on every shard,
+//     duplicating its tuples in the merge).
+//  2. No rule negates the sharded relation (a restricted worker would see
+//     a smaller complement and admit tuples the full data rejects).
+//  3. Within each rule, all positive atoms of the sharded relation bind
+//     the same term at the shard column, so one joined tuple carries one
+//     shard-key value and lives on exactly one shard.
+//  4. That term reaches the extended output — it is one of the
+//     computation's parameters or a head argument — so distinct extended
+//     tuples from different shards stay distinct after projection. (A
+//     constant term is sound without this: only the owning shard can
+//     produce matches at all.)
+//
+// Additionally the filter must resolve to the same head position against
+// this query's head as the coordinator resolved it, so both sides
+// aggregate the same column.
+func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filter) bool {
+	if len(query) == 0 {
+		return false
+	}
+	refilter, err := core.NewFilter(filter.Spec(), query[0].Head)
+	if err != nil || refilter.HeadPos() != filter.HeadPos() {
+		return false
+	}
+	paramSet := make(map[datalog.Param]bool, len(params))
+	for _, p := range params {
+		paramSet[p] = true
+	}
+	for _, r := range query {
+		for _, a := range r.NegatedAtoms() {
+			if a.Pred == m.Rel {
+				return false // rule 2
+			}
+		}
+		var sharded []*datalog.Atom
+		for _, a := range r.PositiveAtoms() {
+			if a.Pred == m.Rel {
+				sharded = append(sharded, a)
+			}
+		}
+		if len(sharded) == 0 {
+			return false // rule 1
+		}
+		if m.Col >= len(sharded[0].Args) {
+			return false
+		}
+		t := sharded[0].Args[m.Col]
+		for _, a := range sharded[1:] {
+			if m.Col >= len(a.Args) || a.Args[m.Col] != t {
+				return false // rule 3
+			}
+		}
+		switch term := t.(type) {
+		case datalog.Const:
+			// Sound without reaching the output (rule 4's parenthetical).
+		case datalog.Param:
+			if !paramSet[term] {
+				return false // rule 4
+			}
+		case datalog.Var:
+			inHead := false
+			for _, h := range r.Head.Args {
+				if h == t {
+					inHead = true
+					break
+				}
+			}
+			if !inHead {
+				return false // rule 4
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

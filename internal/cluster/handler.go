@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"queryflocks/internal/core"
+	"queryflocks/internal/datalog"
+	"queryflocks/internal/eval"
+	"queryflocks/internal/obs"
+	"queryflocks/internal/storage"
+)
+
+// maxPartialBody bounds a /partial request body (the program plus shipped
+// auxiliary relations).
+const maxPartialBody = 64 << 20
+
+// PartialRequest is one scattered FILTER computation, described exactly as
+// core.EvalPartialGroups receives it: the parametrized query (one rule per
+// line), the parameter list (names without the $ sigil, in column order),
+// the filter condition, and the relations the worker does not hold locally
+// — materialized views and earlier FILTER-step results — shipped inline as
+// literal rows. Version pins the coordinator's data version; a worker at a
+// different version refuses with 409 rather than silently answering over
+// other data.
+type PartialRequest struct {
+	Query   string   `json:"query"`
+	Params  []string `json:"params"`
+	Filter  string   `json:"filter"`
+	Name    string   `json:"name"`
+	Version uint64   `json:"version"`
+	Aux     []AuxRel `json:"aux,omitempty"`
+}
+
+// AuxRel is one shipped auxiliary relation; rows carry storage literals
+// (see storage.Value's Literal/ParseValue round-trip).
+type AuxRel struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// PartialResponse carries a shard's partial group states, sorted by
+// parameter literals (deterministic across runs), plus the shard's own
+// instrumented run report for the coordinator to merge.
+type PartialResponse struct {
+	Groups  []core.GroupState `json:"groups"`
+	Version uint64            `json:"version"`
+	Report  *obs.RunReport    `json:"report,omitempty"`
+}
+
+// partialError is the structured error body of a failed /partial call.
+type partialError struct {
+	Error string `json:"error"`
+}
+
+// PartialHandler serves POST /partial on a worker: evaluate one FILTER
+// computation's partial group states over the worker's (restricted)
+// database snapshot. The handler is read-only — retries are always safe.
+func PartialHandler(snapshot func() *storage.Database, workers int, timeout time.Duration) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writePartialError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req PartialRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPartialBody))
+		if err := dec.Decode(&req); err != nil {
+			writePartialError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		db := snapshot()
+		if req.Version != db.Version() {
+			writePartialError(w, http.StatusConflict,
+				fmt.Sprintf("version mismatch: coordinator at v%d, shard at v%d", req.Version, db.Version()))
+			return
+		}
+		query, err := datalog.ParseUnion(req.Query)
+		if err != nil {
+			writePartialError(w, http.StatusBadRequest, fmt.Sprintf("bad query: %v", err))
+			return
+		}
+		if err := query.Validate(); err != nil {
+			writePartialError(w, http.StatusBadRequest, fmt.Sprintf("bad query: %v", err))
+			return
+		}
+		spec, err := datalog.ParseFilter(req.Filter)
+		if err != nil {
+			writePartialError(w, http.StatusBadRequest, fmt.Sprintf("bad filter: %v", err))
+			return
+		}
+		filter, err := core.NewFilter(spec, query[0].Head)
+		if err != nil {
+			writePartialError(w, http.StatusBadRequest, fmt.Sprintf("bad filter: %v", err))
+			return
+		}
+		params := make([]datalog.Param, len(req.Params))
+		for i, p := range req.Params {
+			params[i] = datalog.Param(p)
+		}
+		if len(req.Aux) > 0 {
+			db = db.Clone()
+			for _, aux := range req.Aux {
+				rel := storage.NewRelation(aux.Name, aux.Columns...)
+				for _, row := range aux.Rows {
+					if len(row) != len(aux.Columns) {
+						writePartialError(w, http.StatusBadRequest,
+							fmt.Sprintf("aux relation %s: row arity %d != %d columns", aux.Name, len(row), len(aux.Columns)))
+						return
+					}
+					t := make(storage.Tuple, len(row))
+					for j, lit := range row {
+						t[j] = storage.ParseValue(lit)
+					}
+					rel.Insert(t)
+				}
+				db.Add(rel)
+			}
+		}
+
+		tr := &eval.Trace{}
+		opts := &core.EvalOptions{
+			Workers: workers,
+			Trace:   tr,
+			Ctx:     r.Context(),
+			Limits:  eval.Limits{Wall: timeout},
+		}
+		states, err := core.EvalPartialGroups(db, params, query, filter, opts)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, eval.ErrCanceled) {
+				status = http.StatusGatewayTimeout
+			}
+			writePartialError(w, status, err.Error())
+			return
+		}
+		resp := PartialResponse{Groups: states, Version: db.Version(), Report: tr.Report("partial", workers, len(states))}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// The status line is gone; nothing more to do.
+			_ = err
+		}
+	}
+}
+
+func writePartialError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(partialError{Error: msg})
+}

@@ -55,7 +55,23 @@ type EvalOptions struct {
 	// derive it with MemoContext. An empty salt with a non-nil Memo would
 	// let results leak across data versions, so flockd always sets both.
 	MemoSalt string
+	// FilterEval, when non-nil, may take over an entire FILTER computation
+	// (§4.1) before the local evaluator runs — the cluster coordinator
+	// mounts it to scatter the computation across worker shards and merge
+	// the serialized partial group states. Returning handled=false falls
+	// back to the local path; a handled computation must return the same
+	// relation the local path would (the cluster oracle tests pin this).
+	// The hook sees every FILTER computation of the direct strategy and of
+	// executed §4.2 plans; the dynamic strategy never consults it.
+	FilterEval FilterEvalFn
 }
+
+// FilterEvalFn is EvalOptions.FilterEval's signature: one FILTER
+// computation, described exactly as the local evaluator receives it —
+// the database (views and earlier step relations included), the
+// parameter list, the parametrized query, and the resolved filter.
+type FilterEvalFn func(db *storage.Database, params []datalog.Param, query datalog.Union,
+	filter Filter, name string, opts *EvalOptions) (*storage.Relation, bool, error)
 
 func (o *EvalOptions) evalOpts() *eval.Options {
 	if o == nil {
@@ -136,6 +152,11 @@ func evalFiltered(db *storage.Database, params []datalog.Param, query datalog.Un
 
 	if filter.PassesEmpty() {
 		return nil, fmt.Errorf("core: filter %s accepts the empty result; the flock's answer would be infinite", filter)
+	}
+	if opts != nil && opts.FilterEval != nil {
+		if rel, handled, err := opts.FilterEval(db, params, query, filter, name, opts); handled || err != nil {
+			return rel, err
+		}
 	}
 	if opts != nil && opts.Memo != nil {
 		return evalFilteredMemo(db, params, query, filter, name, opts)
@@ -218,6 +239,33 @@ func GroupAndFilterWorkers(ext *storage.Relation, nParams int, filter Filter, na
 // parameter groups observed and the worker count actually used, which the
 // observability layer records per operator.
 func groupAndFilter(ext *storage.Relation, nParams int, filter Filter, name string, workers int) (*storage.Relation, int, int) {
+	out := storage.NewRelation(name, ext.Columns()[:nParams]...)
+	groups, used := aggregateGroups(ext, nParams, filter, workers)
+	for _, g := range groups {
+		if g.done || g.acc.Passes() {
+			out.Insert(g.params)
+		}
+	}
+	return out, len(groups), used
+}
+
+// filterGroup is one parameter group's in-flight aggregation state: the
+// group's parameter tuple, its accumulator, and whether the monotone
+// short-circuit already fired (after which the accumulator is ignored —
+// more tuples cannot un-pass a monotone condition).
+type filterGroup struct {
+	params storage.Tuple
+	acc    GroupAcc
+	done   bool
+}
+
+// aggregateGroups builds the group map of an extended-answer relation:
+// one filterGroup per distinct parameter prefix, fed the group's head
+// tuples. With workers > 1 the tuples are range-partitioned, each worker
+// aggregates a private map, and the partials fold together in worker
+// order via mergeFilterGroup — the same merge the cluster coordinator
+// applies to per-shard partial states.
+func aggregateGroups(ext *storage.Relation, nParams int, filter Filter, workers int) (map[string]*filterGroup, int) {
 	paramPos := make([]int, nParams)
 	for i := range paramPos {
 		paramPos[i] = i
@@ -226,25 +274,19 @@ func groupAndFilter(ext *storage.Relation, nParams int, filter Filter, name stri
 	for i := range headPos {
 		headPos[i] = nParams + i
 	}
-	out := storage.NewRelation(name, ext.Columns()[:nParams]...)
 	tuples := ext.Tuples()
 
-	type group struct {
-		params storage.Tuple
-		acc    GroupAcc
-		done   bool
-	}
 	// aggregate builds the group map for one range of extended tuples,
 	// reusing one key buffer so only new groups allocate a key string.
-	aggregate := func(lo, hi int) map[string]*group {
-		groups := make(map[string]*group)
+	aggregate := func(lo, hi int) map[string]*filterGroup {
+		groups := make(map[string]*filterGroup)
 		var buf []byte
 		for i := lo; i < hi; i++ {
 			t := tuples[i]
 			buf = t.AppendKeyOn(buf[:0], paramPos)
 			g, ok := groups[string(buf)]
 			if !ok {
-				g = &group{params: t.Project(paramPos), acc: filter.NewGroup()}
+				g = &filterGroup{params: t.Project(paramPos), acc: filter.NewGroup()}
 				groups[string(buf)] = g
 			}
 			if g.done {
@@ -263,42 +305,40 @@ func groupAndFilter(ext *storage.Relation, nParams int, filter Filter, name stri
 		w = 1
 	}
 	if w <= 1 {
-		groups := aggregate(0, len(tuples))
-		for _, g := range groups {
-			if g.done || g.acc.Passes() {
-				out.Insert(g.params)
-			}
-		}
-		return out, len(groups), 1
+		return aggregate(0, len(tuples)), 1
 	}
 
-	parts := make([]map[string]*group, par.Chunks(len(tuples), w))
+	parts := make([]map[string]*filterGroup, par.Chunks(len(tuples), w))
 	par.Run(len(tuples), w, func(wi, lo, hi int) { parts[wi] = aggregate(lo, hi) })
 	merged := parts[0]
 	for _, part := range parts[1:] {
 		for k, g := range part {
-			m, ok := merged[k]
-			if !ok {
-				merged[k] = g
-				continue
-			}
-			if m.done {
-				continue
-			}
-			if g.done {
-				m.done = true
-				continue
-			}
-			m.acc.Merge(g.acc)
-			if m.acc.Done() {
-				m.done = true
-			}
+			mergeFilterGroup(merged, k, g)
 		}
 	}
-	for _, g := range merged {
-		if g.done || g.acc.Passes() {
-			out.Insert(g.params)
-		}
+	return merged, w
+}
+
+// mergeFilterGroup folds one group's partial state into the merged map
+// under its key. The partial aggregates combine exactly when the two
+// sides saw disjoint head tuples (GroupAcc.Merge's precondition); a
+// group passes once either side short-circuited Done — monotone
+// conditions cannot un-pass — or the combined aggregate passes.
+func mergeFilterGroup(dst map[string]*filterGroup, k string, g *filterGroup) {
+	m, ok := dst[k]
+	if !ok {
+		dst[k] = g
+		return
 	}
-	return out, len(merged), w
+	if m.done {
+		return
+	}
+	if g.done {
+		m.done = true
+		return
+	}
+	m.acc.Merge(g.acc)
+	if m.acc.Done() {
+		m.done = true
+	}
 }

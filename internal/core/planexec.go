@@ -119,6 +119,19 @@ func executeStep(scratch *storage.Database, p *Plan, step FilterStep, opts *Eval
 		return rel, nil
 	}
 	if opts.execMode().Streaming() {
+		// The streaming branch compiles directly, bypassing evalFiltered —
+		// consult the cluster hook here so a coordinator sees every FILTER
+		// step of an executed plan exactly once.
+		if opts != nil && opts.FilterEval != nil {
+			rel, handled, err := opts.FilterEval(scratch, step.Params, step.Query, p.Flock.Filter, step.Name, opts)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				scratch.Add(rel)
+				return rel, nil
+			}
+		}
 		register := func(rel *storage.Relation) error {
 			scratch.Add(rel)
 			return nil

@@ -30,6 +30,7 @@ func Suite() []Experiment {
 		{"E10", "§4.4 statistics accuracy", E10},
 		{"E11", "parallel worker-sweep scaling", E11},
 		{"E12", "storage engines: memory vs disk-streamed segments", E12},
+		{"E13", "sharded flockd cluster: scatter/gather shard-sweep", E13},
 	}
 }
 

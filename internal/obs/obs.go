@@ -57,6 +57,10 @@ const (
 	OpView Op = "view"
 	// OpNote is an untyped annotation (the legacy Trace.Add surface).
 	OpNote Op = "note"
+	// OpShard is one worker shard's contribution to a scattered FILTER
+	// computation: RowsOut is the number of partial group states the shard
+	// returned, Wall the shard's round-trip time.
+	OpShard Op = "shard"
 )
 
 // Event is one recorded operator application. Desc carries only the
@@ -143,6 +147,8 @@ func (e Event) Label() string {
 		return fmt.Sprintf("decide %s: %s", e.Desc, verdict)
 	case OpView:
 		return "view " + e.Desc
+	case OpShard:
+		return "shard " + e.Desc
 	default:
 		return e.Desc
 	}
@@ -382,8 +388,37 @@ type RunReport struct {
 	// Caches is the serving layer's cache counter block, attached by
 	// flockd to every evaluated response; nil for non-served runs.
 	Caches *CacheStats `json:"caches,omitempty"`
+	// Cluster is the coordinator's scatter/gather block, attached when the
+	// request was served by a sharded flockd cluster; nil otherwise.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 	// Steps is the per-operator event list, in execution order.
 	Steps []Event `json:"steps"`
+}
+
+// ClusterStats describes how a sharded flockd cluster served one request:
+// the topology, how many FILTER computations were scattered to the worker
+// shards versus evaluated coordinator-locally (computations the shard map
+// cannot legally partition fall back), and the degraded-answer flag when a
+// shard failed and the client opted into partial results.
+type ClusterStats struct {
+	// Shards is the number of worker shards in the map.
+	Shards int `json:"shards"`
+	// ShardRel and ShardCol name the range-partitioned relation and the
+	// column its contiguous value ranges split on.
+	ShardRel string `json:"shard_rel"`
+	ShardCol int    `json:"shard_col"`
+	// Scattered counts FILTER computations pushed to the shards; Fallbacks
+	// counts those evaluated locally because partitioning them would
+	// change answers (the legality rules in internal/cluster).
+	Scattered int `json:"scattered"`
+	Fallbacks int `json:"fallbacks"`
+	// MergedGroups is the total number of distinct parameter groups merged
+	// across all scattered computations.
+	MergedGroups int `json:"merged_groups,omitempty"`
+	// Partial reports a degraded answer: at least one shard failed and the
+	// request allowed serving without it. Failed names the dead shards.
+	Partial bool     `json:"partial,omitempty"`
+	Failed  []string `json:"failed_shards,omitempty"`
 }
 
 // CacheStats is the serving layer's cache counter block: the LRU plan

@@ -297,7 +297,30 @@ func (d *Dir) AppendDelta(rel string, rows []Tuple, version uint64) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// A freshly created delta file is only durable once its directory
+	// entry is: fsync(file) persists the bytes, but a crash before the
+	// directory itself reaches disk loses the *name*, and with it the
+	// whole acknowledged batch. Existing files skip this — their entry
+	// already survived an earlier sync.
+	if fi.Size() == 0 {
+		return fsyncDir(d.path)
+	}
+	return nil
+}
+
+// fsyncDir syncs a directory so a newly created entry in it survives a
+// crash. It is a seam (package variable) so the durability tests can
+// observe the call without pulling the power for real.
+var fsyncDir = func(path string) error {
+	dir, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // readDelta loads every batch of a delta file; a missing file is an empty

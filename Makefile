@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race cover bench bench-pipeline fuzz lint experiments examples clean
+.PHONY: all build vet staticcheck test test-short race cover bench bench-pipeline fuzz lint lint-go experiments examples clean
 
-all: build vet staticcheck test race
+all: build vet staticcheck lint-go test race
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ fuzz:
 # internal/analysis/testdata).
 lint:
 	$(GO) run ./cmd/flockvet examples/flocks/*.flock
+
+# Engine-invariant analysis of the Go tree itself (determinism, limits
+# gating, fsync-before-publish, Value equality discipline). Any DLxxx
+# error fails the build; suppress only with a written reason via
+# `//lint:ignore DLxxx reason`.
+lint-go:
+	$(GO) run ./cmd/flockalint ./...
 
 # Regenerate the EXPERIMENTS.md reference tables (several minutes).
 experiments:

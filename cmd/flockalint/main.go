@@ -1,0 +1,96 @@
+// Command flockalint statically checks the engine's own Go source
+// against its determinism and safety invariants (catalogued in
+// docs/DESIGN.md, "Engine invariants"): ordered output never built by
+// random map iteration (DL001), streaming pull loops that consult the
+// resource gate (DL002), fan-in merged by worker index rather than
+// arrival order (DL003), fsync before any durable publish (DL004),
+// storage.Value equality routed through Equal/AppendKey (DL005), and no
+// wall clock or randomness as data in deterministic packages (DL006).
+//
+// Usage:
+//
+//	flockalint [-json] [PACKAGES ...]
+//
+// Packages are directories or "dir/..." trees; the default is "./...".
+// Findings are suppressed per line with `//lint:ignore DLxxx reason`;
+// unused suppressions are themselves reported (DL000).
+//
+// Exit status: 0 when no findings survive suppression, 1 when at least
+// one did, 2 on usage, parse, or type-checking problems.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"queryflocks/internal/golint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flockalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := golint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "flockalint:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "flockalint: no packages matched")
+		return 2
+	}
+
+	loader := golint.NewLoader()
+	cfg := golint.DefaultConfig()
+	var all []golint.Finding
+	broken := false
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "flockalint:", err)
+			broken = true
+			continue
+		}
+		for _, terr := range pkg.TypeErrs {
+			fmt.Fprintf(stderr, "flockalint: %s: %v\n", pkg.Path, terr)
+			broken = true
+		}
+		all = append(all, golint.Analyze(pkg, cfg)...)
+	}
+	golint.Sort(all)
+
+	if *jsonOut {
+		if all == nil {
+			all = []golint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "flockalint:", err)
+			return 2
+		}
+	} else if len(all) > 0 {
+		fmt.Fprint(stdout, golint.Render(all))
+	}
+	switch {
+	case broken:
+		return 2
+	case len(all) > 0:
+		return 1
+	}
+	return 0
+}

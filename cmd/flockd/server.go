@@ -361,7 +361,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if lintOnly {
 		// Lint-only traffic never competes for admission slots.
-		writeJSON(w, http.StatusOK, lintResult(analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})))
+		writeJSON(w, http.StatusOK, lintResult(analysis.AnalyzeFlockSource(fs, s.analysisOptions(db, strategy))))
 		return
 	}
 	if !validStrategy(strategy) {
@@ -386,7 +386,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// against this request's snapshot) before any evaluation work.
 		// Error-severity findings reject the program with the structured
 		// diagnostics; warnings ride along in the success payload.
-		diags := analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})
+		diags := analysis.AnalyzeFlockSource(fs, s.analysisOptions(db, strategy))
 		if analysis.HasErrors(diags) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{
 				Error:       "flock rejected by static analysis; see diagnostics",
@@ -426,6 +426,33 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.plans.Put(key, ent)
 	}
 	s.respondEval(w, r.Context(), db, ent, strategy, timeout, useCache, "")
+}
+
+// analysisOptions builds the analyzer options for one request: the
+// schema snapshot plus, in coordinator mode, the QF024 shardability hook
+// — a closure over the shard map and the requested strategy, so the
+// analysis package never imports the cluster machinery. Pass strategy ""
+// when none is known yet (prepare/restore paths): the hook then checks
+// only the shard map's legality rules.
+func (s *server) analysisOptions(db *storage.Database, strategy string) analysis.Options {
+	opts := analysis.Options{DB: db}
+	co := s.cfg.Cluster
+	if co == nil {
+		return opts
+	}
+	opts.Shardable = func(fs *datalog.FlockSource) (bool, string) {
+		if strategy != "" && !memoStrategy(strategy) {
+			return false, fmt.Sprintf("the %q strategy never scatters (it stays coordinator-local by design)", strategy)
+		}
+		flock, err := core.NewWithViews(fs.Views, fs.Query, fs.Filter)
+		if err != nil {
+			// Construction failures get their own error elsewhere; the
+			// shardability pass has nothing to add.
+			return true, ""
+		}
+		return cluster.Shardable(co.Map, flock.Params, flock.Query, flock.Filter)
+	}
+	return opts
 }
 
 // lintResult folds analyzer diagnostics into the ?lint=1 payload.
@@ -470,7 +497,7 @@ func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: perr.Error(), Diagnostics: []analysis.Diagnostic{d}})
 		return
 	}
-	diags := analysis.AnalyzeFlockSource(fs, analysis.Options{DB: db})
+	diags := analysis.AnalyzeFlockSource(fs, s.analysisOptions(db, ""))
 	if analysis.HasErrors(diags) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error:       "flock rejected by static analysis; see diagnostics",
@@ -531,10 +558,16 @@ func (s *server) persistPrepared(handle, src string) error {
 	}
 	path := filepath.Join(s.cfg.Dir.Path(), preparedFile)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+	// Sync the temp file before the rename: an unsynced rename can
+	// atomically publish a hollow file, losing both snapshots. The
+	// directory sync after the rename makes the swap itself durable.
+	if err := storage.WriteFileSync(tmp, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return storage.SyncDir(s.cfg.Dir.Path())
 }
 
 // loadPrepared restores persisted prepared flocks from the data
@@ -583,7 +616,7 @@ func (s *server) validatePrepared(db *storage.Database, src string) (*preparedFl
 	if perr != nil {
 		return nil, perr
 	}
-	diags := analysis.AnalyzeFlockSource(fsrc, analysis.Options{DB: db})
+	diags := analysis.AnalyzeFlockSource(fsrc, s.analysisOptions(db, ""))
 	if analysis.HasErrors(diags) {
 		return nil, fmt.Errorf("rejected by static analysis")
 	}

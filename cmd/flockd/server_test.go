@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"queryflocks/internal/cluster"
 	"queryflocks/internal/storage"
 	"queryflocks/internal/workload"
 )
@@ -504,4 +505,76 @@ func (w *syncWriter) String() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.b.String()
+}
+
+// TestQueryLintShardability pins the QF024 wiring: a coordinator-mode
+// server's lint pass warns when a flock (or the requested strategy)
+// forces a coordinator-local fallback, stays quiet for shardable
+// programs, and never fires on a single-node server.
+func TestQueryLintShardability(t *testing.T) {
+	db := basketsDB(t)
+	m, err := cluster.BuildMap(db, "baskets", 0, 2)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	// No scatter happens under ?lint=1, so the coordinator needs no
+	// client or workers — only the shard map the hook closes over.
+	co := cluster.New(m, nil, []string{"baskets"})
+	ts := httptest.NewServer(newServer(db, serverConfig{Cluster: co}).handler())
+	defer ts.Close()
+
+	lint := func(t *testing.T, query, body string) lintResponse {
+		t.Helper()
+		status, payload := postQuery(t, ts, query, body)
+		if status != http.StatusOK {
+			t.Fatalf("want 200, got %d: %s", status, payload)
+		}
+		var lr lintResponse
+		if err := json.Unmarshal(payload, &lr); err != nil {
+			t.Fatal(err)
+		}
+		return lr
+	}
+	qf024 := func(lr lintResponse) string {
+		for _, d := range lr.Diagnostics {
+			if d.Code == "QF024" {
+				return d.Message
+			}
+		}
+		return ""
+	}
+
+	// Shardable flock, scattering strategy: no warning.
+	if lr := lint(t, "?lint=1", pairCountFlock); qf024(lr) != "" || lr.Warnings != 0 {
+		t.Errorf("shardable flock should lint clean in cluster mode: %+v", lr.Diagnostics)
+	}
+
+	// A strategy that never scatters warns regardless of the flock.
+	for _, strat := range []string{"naive", "dynamic"} {
+		lr := lint(t, "?lint=1&strategy="+strat, pairCountFlock)
+		msg := qf024(lr)
+		if msg == "" || !strings.Contains(msg, strat) {
+			t.Errorf("strategy %s: want QF024 naming the strategy, got %+v", strat, lr.Diagnostics)
+		}
+	}
+
+	// Atoms binding different terms at the shard column (rule 3): the
+	// coordinator would fall back, and lint says why.
+	rule3 := `
+QUERY:
+answer(B,C) :- baskets(B,$1) AND baskets(C,$2)
+FILTER:
+COUNT(answer.B) >= 5
+`
+	if msg := qf024(lint(t, "?lint=1", rule3)); !strings.Contains(msg, "different terms at the shard column") {
+		t.Errorf("rule-3 violation should surface QF024 with its reason, got %q", msg)
+	}
+
+	// The same programs on a single-node server: no QF024, ever.
+	single := httptest.NewServer(newServer(db, serverConfig{}).handler())
+	defer single.Close()
+	ts, single = single, ts // reuse lint() against the single-node server
+	if msg := qf024(lint(t, "?lint=1&strategy=naive", rule3)); msg != "" {
+		t.Errorf("single-node lint must not report QF024: %q", msg)
+	}
 }

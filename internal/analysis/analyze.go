@@ -25,6 +25,14 @@ type Options struct {
 	// ContainmentBudget overrides DefaultContainmentBudget (0 = default,
 	// negative = unlimited).
 	ContainmentBudget int
+	// Shardable, when non-nil, enables the cluster-shardability pass
+	// (QF024): it reports whether the serving cluster can scatter the
+	// flock's FILTER computation, with a one-line reason when it cannot
+	// (a coordinator-local fallback). Coordinators inject it, closing
+	// over their shard map and the request's strategy; single-node runs
+	// leave it nil. The hook lives here as a closure so this package
+	// never imports the cluster machinery.
+	Shardable func(fs *datalog.FlockSource) (ok bool, reason string)
 }
 
 func (o Options) budget() int {
@@ -90,6 +98,22 @@ var passes = []func(*analyzer){
 	passSubsumedBranch,   // QF010: subsumed union branches (§3.4)
 	passSingletonVars,    // QF013: variables used only once
 	passSchema,           // QF016: relations exist with matching arity
+	passShardable,        // QF024: cluster-mode coordinator-local fallback
+}
+
+// passShardable surfaces a coordinator-local fallback at lint time: in
+// cluster mode, a flock (or a requested strategy) the shard map cannot
+// legally partition still answers correctly, but on the coordinator
+// alone — usually a surprise worth a warning. Single-node runs skip the
+// pass (no hook).
+func passShardable(a *analyzer) {
+	if a.opts.Shardable == nil {
+		return
+	}
+	if ok, reason := a.opts.Shardable(a.fs); !ok {
+		a.report("QF024", SevWarning, datalog.Pos{},
+			"not shardable: %s; the coordinator will evaluate this flock locally instead of scattering it", reason)
+	}
 }
 
 // syntaxDiagnostic converts a parse error into a QF001 diagnostic,

@@ -37,12 +37,16 @@ func FromBaskets(rel *storage.Relation) (*Dataset, error) {
 	if rel.Arity() != 2 {
 		return nil, fmt.Errorf("apriori: relation %s has arity %d, want 2 (BID, Item)", rel.Name(), rel.Arity())
 	}
+	// Keys are normalized so Equal values (Int(1) and Float(1)) land in
+	// one item ID / one basket, matching how joins group them.
+	//lint:ignore DL005 keys are Normalize()d at the insertion below
 	ids := make(map[storage.Value]int)
 	var dict []storage.Value
+	//lint:ignore DL005 keys are Normalize()d at the insertion below
 	byBasket := make(map[storage.Value][]int)
 	var order []storage.Value
 	for _, t := range rel.Tuples() {
-		bid, item := t[0], t[1]
+		bid, item := t[0].Normalize(), t[1].Normalize()
 		id, ok := ids[item]
 		if !ok {
 			id = len(dict)

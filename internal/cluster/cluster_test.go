@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -243,6 +244,78 @@ func TestIllegalShardingFallsBack(t *testing.T) {
 	st := sess.Stats()
 	if st.Scattered != 0 || st.Fallbacks == 0 {
 		t.Errorf("stats %+v, want 0 scattered and >0 fallbacks", st)
+	}
+}
+
+// TestShardableReasons pins the reason-returning form of the legality
+// decision: each of the four partition rules (plus the filter check)
+// must fail with a reason naming what blocked the scatter — the text the
+// QF024 lint warning surfaces to flock authors.
+func TestShardableReasons(t *testing.T) {
+	db := basketsDB(t)
+	sales := storage.NewRelation("sales", "B", "X")
+	sales.InsertValues(storage.Int(1), storage.Int(2))
+	db.Add(sales)
+
+	cases := []struct {
+		name   string
+		flock  string
+		rel    string
+		col    int
+		ok     bool
+		reason string // substring of the expected reason
+	}{
+		{
+			name:  "shardable",
+			flock: pairFlock,
+			rel:   "baskets", col: 0,
+			ok: true,
+		},
+		{
+			name:  "rule1-no-sharded-subgoal",
+			flock: pairFlock,
+			rel:   "sales", col: 0,
+			ok: false, reason: "no positive subgoal of the sharded relation sales",
+		},
+		{
+			name: "rule2-negated",
+			flock: "QUERY:\nanswer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 AND NOT sales(B,B)\n" +
+				"FILTER:\nCOUNT(answer.B) >= 5\n",
+			rel: "sales", col: 0,
+			ok: false, reason: "negates the sharded relation sales",
+		},
+		{
+			name:  "rule3-different-terms",
+			flock: pairFlock,
+			rel:   "baskets", col: 1,
+			ok: false, reason: "binds different terms at the shard column",
+		},
+		{
+			name: "rule4-var-not-in-head",
+			flock: "QUERY:\nanswer(B) :- baskets(B,$1) AND sales(B,X)\n" +
+				"FILTER:\nCOUNT(answer.B) >= 5\n",
+			rel: "sales", col: 1,
+			ok: false, reason: "does not reach the head",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fl := core.MustParse(tc.flock)
+			m, err := BuildMap(db, tc.rel, tc.col, 2)
+			if err != nil {
+				t.Fatalf("BuildMap: %v", err)
+			}
+			ok, reason := Shardable(m, fl.Params, fl.Query, fl.Filter)
+			if ok != tc.ok {
+				t.Fatalf("Shardable = %v (%q), want %v", ok, reason, tc.ok)
+			}
+			if tc.ok && reason != "" {
+				t.Errorf("shardable computation carries reason %q, want none", reason)
+			}
+			if !tc.ok && !strings.Contains(reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", reason, tc.reason)
+			}
+		})
 	}
 }
 

@@ -257,12 +257,23 @@ func (co *Coordinator) buildRequest(db *storage.Database, params []datalog.Param
 // this query's head as the coordinator resolved it, so both sides
 // aggregate the same column.
 func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filter) bool {
+	ok, _ := Shardable(m, params, query, filter)
+	return ok
+}
+
+// Shardable is the reason-returning form of the shardability decision:
+// when the map cannot legally partition the computation it returns false
+// and a one-line explanation of which rule (1–4 above) failed. The
+// coordinator consults it per computation; the serving layer's QF024
+// lint pass surfaces the same reason at admission time so authors learn
+// about a coordinator-local fallback before paying for it.
+func Shardable(m *Map, params []datalog.Param, query datalog.Union, filter core.Filter) (bool, string) {
 	if len(query) == 0 {
-		return false
+		return false, "the query is empty"
 	}
 	refilter, err := core.NewFilter(filter.Spec(), query[0].Head)
 	if err != nil || refilter.HeadPos() != filter.HeadPos() {
-		return false
+		return false, "the filter does not resolve to the same head column on the workers as on the coordinator"
 	}
 	paramSet := make(map[datalog.Param]bool, len(params))
 	for _, p := range params {
@@ -271,7 +282,8 @@ func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filt
 	for _, r := range query {
 		for _, a := range r.NegatedAtoms() {
 			if a.Pred == m.Rel {
-				return false // rule 2
+				// rule 2
+				return false, fmt.Sprintf("rule %s negates the sharded relation %s, and a worker's smaller complement would admit tuples the full data rejects", r.Head, m.Rel)
 			}
 		}
 		var sharded []*datalog.Atom
@@ -281,15 +293,17 @@ func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filt
 			}
 		}
 		if len(sharded) == 0 {
-			return false // rule 1
+			// rule 1
+			return false, fmt.Sprintf("rule %s has no positive subgoal of the sharded relation %s, so every shard would recompute it whole and duplicate its tuples in the merge", r.Head, m.Rel)
 		}
 		if m.Col >= len(sharded[0].Args) {
-			return false
+			return false, fmt.Sprintf("shard column %d is out of range for %s/%d", m.Col, m.Rel, len(sharded[0].Args))
 		}
 		t := sharded[0].Args[m.Col]
 		for _, a := range sharded[1:] {
 			if m.Col >= len(a.Args) || a.Args[m.Col] != t {
-				return false // rule 3
+				// rule 3
+				return false, fmt.Sprintf("rule %s binds different terms at the shard column (%s column %d), so one joined tuple could live on two shards", r.Head, m.Rel, m.Col)
 			}
 		}
 		switch term := t.(type) {
@@ -297,7 +311,8 @@ func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filt
 			// Sound without reaching the output (rule 4's parenthetical).
 		case datalog.Param:
 			if !paramSet[term] {
-				return false // rule 4
+				// rule 4
+				return false, fmt.Sprintf("rule %s: the shard-column parameter %s is not one of the computation's parameters, so shard-distinct tuples could collide after projection", r.Head, term)
 			}
 		case datalog.Var:
 			inHead := false
@@ -308,11 +323,12 @@ func legal(m *Map, params []datalog.Param, query datalog.Union, filter core.Filt
 				}
 			}
 			if !inHead {
-				return false // rule 4
+				// rule 4
+				return false, fmt.Sprintf("rule %s: the shard-column variable %s does not reach the head, so shard-distinct tuples could collide after projection", r.Head, term)
 			}
 		default:
-			return false
+			return false, fmt.Sprintf("rule %s: unsupported term %v at the shard column", r.Head, t)
 		}
 	}
-	return true
+	return true, ""
 }

@@ -87,6 +87,7 @@ func BuildMap(db *storage.Database, rel string, col, shards int) (*Map, error) {
 	if col < 0 || col >= r.Arity() {
 		return nil, fmt.Errorf("cluster: shard column %d out of range for %s/%d", col, rel, r.Arity())
 	}
+	//lint:ignore DL005 keys are Normalize()d at the insertion below
 	seen := make(map[storage.Value]struct{})
 	for _, t := range r.Tuples() {
 		seen[t[col].Normalize()] = struct{}{}

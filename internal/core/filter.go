@@ -78,6 +78,7 @@ func (f Filter) NewGroup() GroupAcc {
 		if f.headPos < 0 {
 			return &countAcc{filter: f}
 		}
+		//lint:ignore DL005 countDistinctAcc.Add keys by Normalize()
 		return &countDistinctAcc{filter: f, seen: make(map[storage.Value]struct{})}
 	case datalog.AggSum:
 		return &sumAcc{filter: f}
@@ -133,7 +134,8 @@ func (a *countAcc) Merge(other GroupAcc) {
 // compare Equal and share a join key everywhere else in the engine).
 type countDistinctAcc struct {
 	filter Filter
-	seen   map[storage.Value]struct{}
+	//lint:ignore DL005 Add keys by Normalize(), so Equal values share a slot
+	seen map[storage.Value]struct{}
 }
 
 func (a *countDistinctAcc) Add(head storage.Tuple) {

@@ -135,9 +135,11 @@ func (f *Flock) testAssignment(db *storage.Database, s datalog.Substitution, opt
 // of candidate values: the union over rules of the values in the columns
 // where the parameter occurs positively.
 func paramCandidates(db *storage.Database, params []datalog.Param, query datalog.Union) ([][]storage.Value, error) {
+	//lint:ignore DL005 candidate keys are Normalize()d at the insertion below
 	sets := make([]map[storage.Value]struct{}, len(params))
 	index := make(map[datalog.Param]int, len(params))
 	for i, p := range params {
+		//lint:ignore DL005 candidate keys are Normalize()d at the insertion below
 		sets[i] = make(map[storage.Value]struct{})
 		index[p] = i
 	}
@@ -160,7 +162,10 @@ func paramCandidates(db *storage.Database, params []datalog.Param, query datalog
 			}
 			err = storage.ForEach(src.Scan(), func(tuple storage.Tuple) error {
 				for _, pp := range paramPos {
-					sets[pp[1]][tuple[pp[0]]] = struct{}{}
+					// Normalize so Equal candidates (Int(1), Float(1))
+					// collapse to one assignment instead of enumerating
+					// the same group twice.
+					sets[pp[1]][tuple[pp[0]].Normalize()] = struct{}{}
 				}
 				return nil
 			})

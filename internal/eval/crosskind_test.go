@@ -54,3 +54,54 @@ func TestCrossKindJoin(t *testing.T) {
 		t.Errorf("Int(3) and Float(3) should collapse under set semantics, got %d rows", dup.Len())
 	}
 }
+
+// TestCrossKindRepeatedVariable is the regression for the repeated-variable
+// (dup-check) path: r(X,X,B) must bind X to a single equality class, and the
+// engine's equality classes are Compare's — Int(1) and Float(1) join
+// together (their AppendKey encodings coincide), so a repeated variable must
+// accept them too. The dup checks used Go's kind-sensitive ==, which made
+// r(X,X,B) reject a row that the equivalent self-join r(X,Y,B) AND X = Y
+// accepts. Every executor shares the fix, keeping the differential oracles
+// bit-identical.
+func TestCrossKindRepeatedVariable(t *testing.T) {
+	db := storage.NewDatabase()
+	r := storage.NewRelation("r", "A", "B", "C")
+	r.InsertValues(storage.Int(1), storage.Float(1), storage.Str("cross"))
+	r.InsertValues(storage.Int(2), storage.Int(2), storage.Str("same"))
+	r.InsertValues(storage.Int(3), storage.Int(4), storage.Str("diff"))
+	s := storage.NewRelation("s", "C")
+	s.InsertValues(storage.Str("cross"))
+	s.InsertValues(storage.Str("same"))
+	s.InsertValues(storage.Str("diff"))
+	db.Add(r)
+	db.Add(s)
+
+	rules := map[string]string{
+		// Scan shape: the dup check runs inside the base-relation scan.
+		"scan": `answer(C) :- r(X,X,C)`,
+		// Join shape: the dup check runs on the indexed (build) side of a
+		// hash join while probing from s.
+		"join": `answer(C) :- s(C) AND r(X,X,C)`,
+	}
+	for shape, text := range rules {
+		rule, err := datalog.ParseRule(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []ExecMode{ExecStream, ExecStreamRows, ExecMaterialize} {
+			got, err := EvalRule(db, rule, nil, &Options{Exec: mode})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", shape, mode, err)
+			}
+			for _, want := range []string{"cross", "same"} {
+				if !got.Contains(storage.Tuple{storage.Str(want)}) {
+					t.Errorf("%s/%v: r(X,X,C) dropped %q; repeated variables must use Equal, not ==:\n%v",
+						shape, mode, want, got.Tuples())
+				}
+			}
+			if got.Contains(storage.Tuple{storage.Str("diff")}) {
+				t.Errorf("%s/%v: r(X,X,C) admitted a row whose columns differ", shape, mode)
+			}
+		}
+	}
+}

@@ -600,7 +600,7 @@ func joinAtom(db *storage.Database, cur *storage.Relation, atom *datalog.Atom, n
 		match:
 			for _, bt := range matches {
 				for _, d := range dupCheck {
-					if bt[d[0]] != bt[d[1]] {
+					if !bt[d[0]].Equal(bt[d[1]]) {
 						continue match
 					}
 				}

@@ -1,0 +1,243 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyze runs every rule over one loaded package, applies the package's
+// suppressions, and returns the surviving findings sorted.
+func Analyze(p *Package, cfg Config) []Finding {
+	a := &analyzer{pkg: p, cfg: cfg}
+	for _, rule := range rules {
+		rule(a)
+	}
+	fs := applySuppressions(p, a.findings)
+	Sort(fs)
+	return fs
+}
+
+// rules is the registry, run in order. Each rule is independent.
+var rules = []func(*analyzer){
+	ruleMapOrder,   // DL001: ordered-output map iteration
+	ruleGate,       // DL002: streaming pull loops consult the Limits gate
+	ruleMergeOrder, // DL003: fan-in merges in arrival order
+	ruleFsync,      // DL004: fsync before durable publish
+	ruleValueEq,    // DL005: raw Value equality outside internal/storage
+	ruleClock,      // DL006: wall clock / rand as data in deterministic code
+}
+
+// analyzer accumulates findings across the rules of one package.
+type analyzer struct {
+	pkg      *Package
+	cfg      Config
+	findings []Finding
+
+	// funcBodies maps same-package function/method objects to their
+	// declarations, lazily built for the call-closure helper.
+	funcBodies map[types.Object]*ast.FuncDecl
+}
+
+func (a *analyzer) report(code string, pos token.Pos, format string, args ...any) {
+	position := a.pkg.Fset.Position(pos)
+	a.findings = append(a.findings, Finding{
+		Code:     code,
+		Severity: SevError,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the type of an expression, or nil when type-checking
+// did not resolve it.
+func (a *analyzer) typeOf(e ast.Expr) types.Type {
+	if tv, ok := a.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// objOf resolves an identifier to its object (use or def).
+func (a *analyzer) objOf(id *ast.Ident) types.Object {
+	if o := a.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return a.pkg.Info.Defs[id]
+}
+
+// pkgQualifier reports whether an expression is a reference to the named
+// imported package (e.g. isPkg(x, "time") for the time in time.Now).
+func (a *analyzer) isPkg(e ast.Expr, path string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := a.objOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// calleeName returns the bare name a call invokes: the selector name for
+// method/package calls, the identifier for direct calls, "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// funcDecls lazily indexes the package's function and method
+// declarations by their types.Object, for closure walks.
+func (a *analyzer) funcDecls() map[types.Object]*ast.FuncDecl {
+	if a.funcBodies != nil {
+		return a.funcBodies
+	}
+	a.funcBodies = make(map[types.Object]*ast.FuncDecl)
+	for _, f := range a.pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := a.pkg.Info.Defs[fd.Name]; obj != nil {
+					a.funcBodies[obj] = fd
+				}
+			}
+		}
+	}
+	return a.funcBodies
+}
+
+// resolveCallee maps a call to the same-package FuncDecl it invokes, or
+// nil for interface, imported, or unresolved callees.
+func (a *analyzer) resolveCallee(call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = a.objOf(fun)
+	case *ast.SelectorExpr:
+		if sel, ok := a.pkg.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = a.objOf(fun.Sel)
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	return a.funcDecls()[obj]
+}
+
+// callClosure collects the bare names of every call reachable from n,
+// following same-package callees transitively (interface calls contribute
+// their method name but are not followed — the per-batch contract is the
+// callee's own to honor).
+func (a *analyzer) callClosure(n ast.Node, names map[string]bool, seen map[*ast.FuncDecl]bool) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		call, ok := child.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := calleeName(call); name != "" {
+			names[name] = true
+		}
+		if fd := a.resolveCallee(call); fd != nil && fd.Body != nil && !seen[fd] {
+			seen[fd] = true
+			a.callClosure(fd.Body, names, seen)
+		}
+		return true
+	})
+}
+
+// containsLoop reports whether the node contains any for/range statement.
+func containsLoop(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// withParents walks the tree calling fn with each node's ancestor stack
+// (outermost first, not including n itself).
+func withParents(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		stack = append(stack, n)
+		if !descend {
+			// Inspect will still send the nil pop for this node.
+			return false
+		}
+		return true
+	})
+}
+
+// enclosingFuncs returns the package's top-level function declarations
+// with bodies.
+func (a *analyzer) enclosingFuncs() []*ast.FuncDecl {
+	var fds []*ast.FuncDecl
+	for _, f := range a.pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fds = append(fds, fd)
+			}
+		}
+	}
+	return fds
+}
+
+// declaredWithin reports whether an object's declaration lies inside the
+// given source span.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() != token.NoPos && lo <= obj.Pos() && obj.Pos() < hi
+}
+
+// exprString renders a short expression for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "(...)"
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expr"
+}
+
+// isNamed reports whether t (or the pointee of a pointer) is the named
+// type pkgSuffix.name, matching the package by import-path suffix.
+func isNamed(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}

@@ -1,0 +1,50 @@
+package golint
+
+import "strings"
+
+// Config scopes the rules to the packages whose conventions they encode.
+// Paths are matched as import-path suffixes on whole segments, so the
+// defaults survive a module rename and tests can point the same rules at
+// fixture packages.
+type Config struct {
+	// DeterministicPkgs are the packages whose outputs must be
+	// bit-identical run to run (answers, shard maps, canonical keys,
+	// reports diffed by golden tests). DL001 (ordered-output map
+	// iteration), DL003 (fan-in merge order), and DL006 (wall-clock /
+	// rand as data) fire here.
+	DeterministicPkgs []string
+	// StreamingPkgs hold the batch-at-a-time pull operators whose loops
+	// must consult the Limits gate (DL002).
+	StreamingPkgs []string
+	// DurablePkgs publish versioned on-disk state and must fsync before
+	// any publish (DL004).
+	DurablePkgs []string
+}
+
+// DefaultConfig scopes the rules to the engine packages named in the
+// invariants catalog (docs/DESIGN.md, "Engine invariants").
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{
+			"internal/core",
+			"internal/physical",
+			"internal/cluster",
+			"internal/storage",
+			"internal/serve",
+		},
+		StreamingPkgs: []string{"internal/physical"},
+		DurablePkgs:   []string{"internal/storage", "cmd/flockd"},
+	}
+}
+
+// matchPkg reports whether the import path ends with one of the patterns
+// on a whole-segment boundary ("internal/core" matches
+// "queryflocks/internal/core" but not "x/yinternal/core").
+func matchPkg(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+// Package golint implements flockalint: static analysis of the engine's
+// own Go source. Where flockvet (internal/analysis) checks flock programs
+// against the paper's compile-time theory — containment (§3.1), plan
+// legality (§4.2), filter monotonicity (§5) — flockalint checks the Go
+// code that *implements* those guarantees against the engine's operational
+// invariants: bit-identical answers at every worker and shard count,
+// budget gates that fire on every streaming path, fsync before any
+// durable publish, and AppendKey/Equal-normalized Value semantics outside
+// internal/storage.
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/types, go/importer)
+// and mirrors flockvet's diagnostics design: every finding carries a
+// stable DLxxx code, a severity, a source position, and a message, with
+// JSON output and the same exit-code contract in cmd/flockalint.
+// docs/DESIGN.md ("Engine invariants") catalogues the rules and the
+// historical bugs motivating them.
+//
+// Findings are suppressed line by line with
+//
+//	//lint:ignore DLxxx reason
+//
+// either at the end of the offending line or on its own line directly
+// above it. A suppression silences exactly one rule; suppressions that
+// match nothing are themselves reported (DL000), so stale exemptions
+// cannot linger after the code they excused is gone.
+package golint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a finding. Rule findings are errors — the invariants
+// they guard are correctness properties, so a clean run is required (see
+// the Makefile lint-go target and the CI step). Warnings are reserved for
+// meta findings such as unused suppressions; cmd/flockalint still exits
+// nonzero on them so they cannot accumulate.
+type Severity int
+
+// The severities, ordered so that higher is worse.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+// String returns "info", "warning", or "error".
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes "info"/"warning"/"error".
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("golint: unknown severity %q", str)
+	}
+	return nil
+}
+
+// Finding is one analyzer result: a stable DLxxx code, a severity, the
+// source position, and a human-readable message.
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+}
+
+// String renders "file:line:col: severity: message [DLxxx]".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", f.File, f.Line, f.Col, f.Severity, f.Message, f.Code)
+}
+
+// Sort orders findings by file, then position, then code — a stable
+// presentation order for reports and golden tests.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+// Render formats findings one per line.
+func Render(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HasErrors reports whether any finding is error-severity.
+func HasErrors(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package golint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit the rules run
+// over. Only non-test files are loaded — the invariants govern production
+// code, and test files routinely construct adversarial values on purpose.
+type Package struct {
+	// Path is the import path (module path + directory), the key the
+	// per-package rule scopes match on.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // sorted by file name for deterministic output
+	// Pkg and Info carry the go/types results. Info is always non-nil;
+	// when type-checking failed (TypeErrs non-empty) it holds whatever
+	// was resolved before the failure, and the rules degrade gracefully.
+	Pkg      *types.Package
+	Info     *types.Info
+	TypeErrs []error
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet and
+// a source importer across every Load call, so dependency packages are
+// type-checked once however many targets import them.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer (no
+// module dependencies; dependencies are type-checked from source).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses and type-checks the package in dir. Parse errors fail the
+// load; type errors are collected on the returned Package so syntactic
+// rules still run.
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := importPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := parser.ParseDir(l.fset, abs, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("golint: parsing %s: %w", dir, err)
+	}
+	apkg := pickPackage(pkgs)
+	if apkg == nil {
+		return nil, fmt.Errorf("golint: no buildable Go package in %s", dir)
+	}
+	names := make([]string, 0, len(apkg.Files))
+	for name := range apkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		files = append(files, apkg.Files[name])
+	}
+
+	p := &Package{
+		Path:  path,
+		Dir:   abs,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	p.Pkg, _ = conf.Check(path, l.fset, files, p.Info)
+	return p, nil
+}
+
+// pickPackage chooses the buildable package from a parsed directory:
+// the only one, or — when an external _test package shares the dir —
+// the one whose name does not end in "_test".
+func pickPackage(pkgs map[string]*ast.Package) *ast.Package {
+	var chosen *ast.Package
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if chosen == nil {
+			chosen = pkgs[name]
+		}
+	}
+	return chosen
+}
+
+// importPath derives a directory's import path from the enclosing
+// module's go.mod.
+func importPath(dir string) (string, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return module, nil
+	}
+	return module + "/" + filepath.ToSlash(rel), nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	for d := dir; ; {
+		raw, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(raw), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("golint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("golint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// ExpandPatterns resolves command-line package arguments to directories.
+// An argument ending in "/..." walks the tree rooted at its prefix;
+// anything else names one directory. Hidden directories, "_"-prefixed
+// directories, and "testdata" (fixture corpora, deliberately full of
+// violations) are skipped during walks.
+func ExpandPatterns(args []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "/...")
+		if root == "" || root == "."+string(filepath.Separator) {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(arg))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(filepath.Clean(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

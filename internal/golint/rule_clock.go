@@ -1,0 +1,157 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DL006 — wall clock and randomness as data. The deterministic packages
+// derive answers, shard maps, canonical keys, and sort keys from the
+// data alone; a clock reading or random draw that flows into any of
+// those makes two runs disagree. Two checks:
+//
+//   - importing math/rand (or math/rand/v2) is flagged outright — no
+//     engine decision may sample randomness;
+//   - time.Now is flagged unless its value is consumed only as a
+//     duration or deadline measurement: time.Since(t), t.Sub(u),
+//     t.After/Before/Equal(u), t.IsZero(). Timing operators for
+//     observability stay clean under this contract; storing the reading
+//     in a field, returning it, or formatting it is flagged (suppress
+//     with a reason when the stored reading is genuinely a resource
+//     deadline, never answer data — see physical.NewGate).
+func ruleClock(a *analyzer) {
+	if !matchPkg(a.cfg.DeterministicPkgs, a.pkg.Path) {
+		return
+	}
+	for _, f := range a.pkg.Files {
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				a.report("DL006", imp.Pos(),
+					"deterministic package imports %s: engine decisions may not sample randomness; derive choices from the data (hash the canonical key) instead",
+					strings.Trim(imp.Path.Value, `"`))
+			}
+		}
+	}
+	for _, fd := range a.enclosingFuncs() {
+		fd := fd
+		withParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !a.isTimeCall(call, "Now") {
+				return true
+			}
+			if !a.clockUseAllowed(fd, call, stack) {
+				a.report("DL006", call.Pos(),
+					"time.Now() escapes as data in a deterministic package: only duration/deadline measurement (Since, Sub, After, Before) is order-safe; anything else makes output depend on the wall clock")
+			}
+			return true
+		})
+	}
+}
+
+// isTimeCall reports whether call is time.<name>(...).
+func (a *analyzer) isTimeCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name && a.isPkg(sel.X, "time")
+}
+
+// measurementMethods are the time.Time methods that consume a clock
+// reading without letting it escape as data.
+var measurementMethods = map[string]bool{
+	"Sub": true, "After": true, "Before": true, "Equal": true, "IsZero": true, "Compare": true,
+}
+
+// clockUseAllowed decides whether a time.Now() call's result is consumed
+// only by duration/deadline measurement.
+func (a *analyzer) clockUseAllowed(fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// time.Now().M(...)
+		return measurementMethods[parent.Sel.Name]
+	case *ast.CallExpr:
+		// f(time.Now()): allowed for time.Since and measurement methods.
+		if a.isTimeCall(parent, "Since") {
+			return true
+		}
+		if sel, ok := parent.Fun.(*ast.SelectorExpr); ok && measurementMethods[sel.Sel.Name] {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		obj := a.assignTarget(parent, call)
+		if obj == nil {
+			return false // field store, index store, or unresolved
+		}
+		return a.varUsesAreMeasurements(fd, obj)
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if v == call && i < len(parent.Names) {
+				if obj := a.pkg.Info.Defs[parent.Names[i]]; obj != nil {
+					return a.varUsesAreMeasurements(fd, obj)
+				}
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		return true // bare call, result discarded
+	}
+	return false
+}
+
+// assignTarget resolves the identifier a call's result is assigned to
+// within an assignment, or nil when the target is not a plain local.
+func (a *analyzer) assignTarget(as *ast.AssignStmt, rhs ast.Expr) types.Object {
+	for i, r := range as.Rhs {
+		if r != rhs || i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok {
+			return a.objOf(id)
+		}
+	}
+	return nil
+}
+
+// varUsesAreMeasurements checks every use of obj in the function: each
+// must be a measurement (time.Since(v), v.Sub/After/Before/..., an
+// argument to such a method, a reassignment, or the declaration itself).
+func (a *analyzer) varUsesAreMeasurements(fd *ast.FuncDecl, obj types.Object) bool {
+	allowed := true
+	withParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if !allowed {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || a.objOf(id) != obj || len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			if measurementMethods[parent.Sel.Name] {
+				return true // v.Sub(...), v.After(...)
+			}
+		case *ast.CallExpr:
+			if a.isTimeCall(parent, "Since") {
+				return true // time.Since(v)
+			}
+			if sel, ok := parent.Fun.(*ast.SelectorExpr); ok && measurementMethods[sel.Sel.Name] {
+				return true // u.Sub(v)
+			}
+		case *ast.AssignStmt:
+			for _, l := range parent.Lhs {
+				if l == ast.Expr(id) {
+					return true // reassignment
+				}
+			}
+		case *ast.ValueSpec:
+			return true // declaration
+		}
+		allowed = false
+		return false
+	})
+	return allowed
+}

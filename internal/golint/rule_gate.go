@@ -1,0 +1,150 @@
+package golint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DL002 — budget-gate coverage. Every streaming operator's pull method
+// (`next`) in the physical package must observe the evaluation's Limits
+// gate once per batch: either by consulting the gate itself
+// (Gate.Check/CheckOutput) or by pulling from an upstream operator
+// (a call to a `next` method), whose own pull honors the contract. A
+// pull loop that does neither can emit unbounded work between
+// checkpoints, so cancellation, wall deadlines, and tuple budgets
+// silently stop firing on that path. Loop-free emitters (the unit
+// relation) are exempt: they do constant work per call.
+//
+// The rule follows same-package helper calls transitively, so a `next`
+// that drains its input inside a build/materialize helper still counts.
+func ruleGate(a *analyzer) {
+	if !matchPkg(a.cfg.StreamingPkgs, a.pkg.Path) {
+		return
+	}
+	for _, fd := range a.enclosingFuncs() {
+		if fd.Name.Name != "next" || fd.Recv == nil {
+			continue
+		}
+		if !containsLoop(fd.Body) {
+			continue
+		}
+		names := make(map[string]bool)
+		a.callClosure(fd.Body, names, map[*ast.FuncDecl]bool{})
+		if names["Check"] || names["CheckOutput"] || names["next"] {
+			continue
+		}
+		recv := "operator"
+		if len(fd.Recv.List) > 0 {
+			recv = exprString(fd.Recv.List[0].Type)
+		}
+		a.report("DL002", fd.Pos(),
+			"pull loop in (%s).next never consults the Limits gate: call ctx.Gate.Check() per batch or pull from an upstream operator, or budgets and cancellation cannot fire here", recv)
+	}
+}
+
+// DL004 — fsync before publish. The durable packages make new state
+// visible by renaming a file into place or by writing a catalog; both are
+// publishes: after them, readers (and post-crash recovery) may see the
+// new state. A publish whose data was never synced can survive while the
+// bytes it points to are lost — the PR 9 delta bug, where a crash after
+// the version bump could drop a freshly created delta file whose
+// directory entry was never fsynced.
+//
+// Two checks:
+//
+//   - os.Rename must be preceded, in the same function, by a call that
+//     syncs (Sync, fsyncDir, or a same-package helper whose body syncs).
+//   - os.WriteFile must not write catalog/version/prepared state at all:
+//     it cannot fsync, so the publish is never durable. Use a
+//     create-write-Sync-close helper instead.
+func ruleFsync(a *analyzer) {
+	if !matchPkg(a.cfg.DurablePkgs, a.pkg.Path) {
+		return
+	}
+	for _, fd := range a.enclosingFuncs() {
+		fd := fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !a.isPkg(sel.X, "os") {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Rename":
+				if !a.syncedBefore(fd, call) {
+					a.report("DL004", call.Pos(),
+						"os.Rename publishes a file that was never synced in this function: Sync the file (and the directory for fresh files) before the rename, or a crash can lose the published bytes")
+				}
+			case "WriteFile":
+				if len(call.Args) > 0 && mentionsDurableState(call.Args[0]) {
+					a.report("DL004", call.Pos(),
+						"os.WriteFile cannot fsync, so this catalog/version publish is not durable: write, Sync, and close the file explicitly")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// syncedBefore reports whether any call lexically before pos in the
+// function syncs: by name (Sync, *Sync, anything containing fsync) or by
+// being a same-package helper whose call closure contains such a call.
+func (a *analyzer) syncedBefore(fd *ast.FuncDecl, publish *ast.CallExpr) bool {
+	synced := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if synced {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= publish.Pos() || call == publish {
+			return true
+		}
+		if isSyncName(calleeName(call)) {
+			synced = true
+			return false
+		}
+		if callee := a.resolveCallee(call); callee != nil && callee.Body != nil {
+			names := make(map[string]bool)
+			a.callClosure(callee.Body, names, map[*ast.FuncDecl]bool{callee: true})
+			for name := range names {
+				if isSyncName(name) {
+					synced = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return synced
+}
+
+func isSyncName(name string) bool {
+	return name == "Sync" || strings.HasSuffix(name, "Sync") ||
+		strings.Contains(strings.ToLower(name), "fsync")
+}
+
+// mentionsDurableState reports whether a path expression references the
+// catalog, version, or prepared-state files by identifier or literal.
+func mentionsDurableState(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		var text string
+		switch v := n.(type) {
+		case *ast.Ident:
+			text = v.Name
+		case *ast.BasicLit:
+			text = v.Value
+		default:
+			return true
+		}
+		text = strings.ToLower(text)
+		if strings.Contains(text, "catalog") || strings.Contains(text, "version") || strings.Contains(text, "prepared") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

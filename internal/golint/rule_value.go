@@ -1,0 +1,55 @@
+package golint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DL005 — raw Value equality. storage.Value defines semantic equality
+// via Equal/Compare and serializes its equality class via AppendKey:
+// Int(1) and Float(1) are Equal, join, and dedupe together (the PR 2
+// normalization). Go's == on the struct compares the representation, not
+// the class, so outside internal/storage any ==/!=, switch, or map-key
+// use of a raw Value silently resurrects the cross-kind bug: two Equal
+// values that fail ==, or occupy two map slots. Route equality through
+// Value.Equal, key maps by string(Value.AppendKey(nil)), or normalize
+// keys with Value.Normalize first.
+func ruleValueEq(a *analyzer) {
+	if strings.HasSuffix(a.pkg.Path, "internal/storage") {
+		return // the type's own package implements the semantics
+	}
+	for _, f := range a.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				if a.isStorageValue(v.X) || a.isStorageValue(v.Y) {
+					a.report("DL005", v.OpPos,
+						"raw %s on storage.Value is kind-sensitive (Int(1) %s Float(1) even though they are Equal); use Value.Equal or compare AppendKey forms",
+						v.Op, v.Op)
+				}
+			case *ast.MapType:
+				if a.isStorageValue(v.Key) {
+					a.report("DL005", v.Key.Pos(),
+						"map keyed by raw storage.Value splits Equal values into separate slots (Int(1) vs Float(1)); key by string(Value.AppendKey(nil)) or insert Value.Normalize() keys")
+				}
+			case *ast.SwitchStmt:
+				if v.Tag != nil && a.isStorageValue(v.Tag) {
+					a.report("DL005", v.Tag.Pos(),
+						"switch on raw storage.Value compares with ==, which is kind-sensitive; compare with Value.Equal instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isStorageValue reports whether the expression's type is the named type
+// storage.Value.
+func (a *analyzer) isStorageValue(e ast.Expr) bool {
+	t := a.typeOf(e)
+	return t != nil && isNamed(t, "internal/storage", "Value")
+}

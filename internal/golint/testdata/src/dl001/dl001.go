@@ -1,0 +1,91 @@
+// Package dl001 is a flockalint fixture: ordered-output map iteration.
+package dl001
+
+import (
+	"sort"
+	"strings"
+)
+
+// Collect appends in map order without sorting: true positive.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // the append below is the finding
+		out = append(out, k) // want DL001
+	}
+	return out
+}
+
+// Render writes to an outer builder in map order: true positive.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		b.WriteString(k) // want DL001
+		_ = v
+	}
+	return b.String()
+}
+
+// CollectSorted sorts the gathered keys before they escape: must not fire.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectHelperSorted sorts through a same-package wrapper — the
+// collect-then-sort idiom behind one level of indirection: must not fire.
+func CollectHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// Sum is order-insensitive (commutative aggregate): must not fire.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map — order-insensitive: must not fire.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Scratch appends only to a loop-local slice: must not fire.
+func Scratch(m map[string][]int, want int) int {
+	hits := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		if len(local) == want {
+			hits++
+		}
+	}
+	return hits
+}
+
+// Slices ranges a slice, not a map: must not fire.
+func Slices(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

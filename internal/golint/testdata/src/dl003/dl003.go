@@ -1,0 +1,45 @@
+// Package dl003 is a flockalint fixture: goroutine fan-in must merge by
+// worker index, not channel-arrival order.
+package dl003
+
+import "sort"
+
+type result struct {
+	worker int
+	rows   []int
+}
+
+// GatherArrival appends results as they arrive — scheduling-dependent
+// order: true positive.
+func GatherArrival(ch chan result, n int) [][]int {
+	var merged [][]int
+	for r := range ch {
+		merged = append(merged, r.rows) // want DL003
+	}
+	return merged
+}
+
+// GatherIndexed places each result in its worker's slot: must not fire.
+func GatherIndexed(ch chan result, n int) [][]int {
+	merged := make([][]int, n)
+	seen := 0
+	for r := range ch {
+		merged[r.worker] = r.rows
+		seen++
+		if seen == n {
+			break
+		}
+	}
+	return merged
+}
+
+// GatherSorted collects in arrival order but sorts before the result
+// escapes: must not fire.
+func GatherSorted(ch chan result) []result {
+	var rs []result
+	for r := range ch {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].worker < rs[j].worker })
+	return rs
+}

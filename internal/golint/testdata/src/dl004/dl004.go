@@ -1,0 +1,77 @@
+// Package dl004 is a flockalint fixture: fsync before durable publish.
+package dl004
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const catalogFile = "CATALOG.json"
+
+// PublishUnsynced renames a file into place without ever syncing it:
+// true positive.
+func PublishUnsynced(dir string, raw []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json")) // want DL004
+}
+
+// PublishSynced syncs the temporary file before the rename: must not fire.
+func PublishSynced(dir string, raw []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json"))
+}
+
+// writeDurable is a helper whose body syncs.
+func writeDurable(path string, raw []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// PublishViaHelper syncs through a same-package helper: must not fire.
+func PublishViaHelper(dir string, raw []byte) error {
+	tmp := filepath.Join(dir, "state.tmp")
+	if err := writeDurable(tmp, raw); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "state.json"))
+}
+
+// WriteCatalog publishes the catalog with os.WriteFile, which cannot
+// fsync: true positive.
+func WriteCatalog(dir string, raw []byte) error {
+	return os.WriteFile(filepath.Join(dir, catalogFile), raw, 0o644) // want DL004
+}
+
+// WriteScratch writes a non-durable temp artifact: must not fire.
+func WriteScratch(dir string, raw []byte) error {
+	return os.WriteFile(filepath.Join(dir, "scratch.csv"), raw, 0o644)
+}

@@ -1,0 +1,59 @@
+// Package dl005 is a flockalint fixture: storage.Value equality must be
+// routed through Equal/AppendKey outside internal/storage.
+package dl005
+
+import (
+	"bytes"
+
+	"queryflocks/internal/storage"
+)
+
+// RawEq compares Values with ==: true positive.
+func RawEq(v, w storage.Value) bool {
+	return v == w // want DL005
+}
+
+// RawNeqTuple compares tuple elements with !=: true positive (the
+// repeated-variable bug class).
+func RawNeqTuple(t storage.Tuple, i, j int) bool {
+	return t[i] != t[j] // want DL005
+}
+
+// RawKey builds a map keyed by raw Values: true positive.
+func RawKey(vs []storage.Value) int {
+	seen := make(map[storage.Value]struct{}) // want DL005
+	for _, v := range vs {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// RawSwitch switches on a Value (== under the hood): true positive.
+func RawSwitch(v, w storage.Value) int {
+	switch v { // want DL005
+	case w:
+		return 1
+	}
+	return 0
+}
+
+// SemanticEq routes equality through Equal: must not fire.
+func SemanticEq(v, w storage.Value) bool {
+	return v.Equal(w)
+}
+
+// KeyedDistinct keys by the serialized equality class: must not fire.
+func KeyedDistinct(vs []storage.Value) int {
+	seen := make(map[string]struct{})
+	var buf []byte
+	for _, v := range vs {
+		buf = v.AppendKey(buf[:0])
+		seen[string(buf)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// KeyCompare compares serialized keys: must not fire.
+func KeyCompare(v, w storage.Value) bool {
+	return bytes.Equal(v.AppendKey(nil), w.AppendKey(nil))
+}

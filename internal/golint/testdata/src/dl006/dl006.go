@@ -1,0 +1,55 @@
+// Package dl006 is a flockalint fixture: no wall clock or randomness as
+// data in deterministic packages.
+package dl006
+
+import (
+	"math/rand" // want DL006
+	"time"
+)
+
+// Stamp stores a clock reading in returned data: true positive.
+func Stamp() time.Time {
+	return time.Now() // want DL006
+}
+
+type record struct{ at time.Time }
+
+// Tag stores the clock in a field: true positive.
+func Tag(r *record) {
+	r.at = time.Now() // want DL006
+}
+
+// Escapes measures a duration but also lets the reading escape: true
+// positive.
+func Escapes(out chan<- time.Time) time.Duration {
+	start := time.Now() // want DL006
+	out <- start
+	return time.Since(start)
+}
+
+// Draw samples randomness (the import is the finding; the call needs no
+// second report).
+func Draw() int { return rand.Int() }
+
+// Measure times an operation the obs way: must not fire.
+func Measure(work func()) time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Deadline checks wall expiry with After: must not fire.
+func Deadline(d time.Time) bool {
+	return time.Now().After(d)
+}
+
+// Accumulate re-reads and folds durations: must not fire.
+func Accumulate(work func(), n int) time.Duration {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		work()
+		total += time.Since(start)
+	}
+	return total
+}

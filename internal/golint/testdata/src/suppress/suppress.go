@@ -1,0 +1,45 @@
+// Package suppress is a flockalint fixture for the //lint:ignore
+// mechanism. The expectations live in suppress_test.go (exact code+line
+// assertions), not in want markers, because the suppression comments
+// themselves occupy the marker position.
+package suppress
+
+import "queryflocks/internal/storage"
+
+// EOLSuppressed carries an end-of-line suppression: silenced.
+func EOLSuppressed(v, w storage.Value) bool {
+	return v == w //lint:ignore DL005 fixture: raw identity is the point of this helper
+}
+
+// AboveSuppressed carries the suppression on the line above: silenced.
+func AboveSuppressed(v, w storage.Value) bool {
+	//lint:ignore DL005 fixture: raw identity is the point of this helper
+	return v != w
+}
+
+// WrongCode suppresses a different rule, so the DL005 finding survives
+// and the suppression is reported unused.
+func WrongCode(v, w storage.Value) bool {
+	//lint:ignore DL001 fixture: wrong code on purpose
+	return v == w
+}
+
+// OneLineOnly suppresses its own line; the violation two lines down is
+// out of range and survives.
+func OneLineOnly(v, w storage.Value) bool {
+	//lint:ignore DL005 fixture: covers only the next line
+	_ = 0
+	return v == w
+}
+
+// Unused suppresses a line with no finding at all.
+func Unused(v, w storage.Value) bool {
+	//lint:ignore DL005 fixture: nothing to silence here
+	return v.Equal(w)
+}
+
+// Malformed lacks a reason.
+func Malformed(v, w storage.Value) bool {
+	//lint:ignore DL005
+	return v == w
+}

@@ -260,11 +260,12 @@ scan:
 				continue scan
 			}
 		}
-		// Dup checks are kind-sensitive (Go ==) in the row path; compare
-		// the original tuple, not the semantic IDs.
+		// Repeated variables bind one equality class, so dup checks use
+		// Equal on the original tuple, matching the joins' AppendKey
+		// semantics (Int(1) and Float(1) are the same value).
 		bt := o.tuples[i]
 		for _, d := range o.n.dup {
-			if bt[d[0]] != bt[d[1]] {
+			if !bt[d[0]].Equal(bt[d[1]]) {
 				continue scan
 			}
 		}
@@ -412,7 +413,7 @@ func (o *colJoinOp) probe(batch colBatch, lo, hi int, cks []colCheck) colBatch {
 		for _, r := range matches {
 			bt := o.tuples[r]
 			for _, d := range n.dup {
-				if bt[d[0]] != bt[d[1]] {
+				if !bt[d[0]].Equal(bt[d[1]]) {
 					continue match
 				}
 			}

@@ -86,15 +86,19 @@ func TestColumnarMissingConstant(t *testing.T) {
 	}
 }
 
-// TestColumnarKindSensitiveDup pins the deliberate asymmetry: repeated-
-// variable checks compare with Go == (kind-sensitive), so a tuple
-// pairing Int(1) with Float(1) must NOT satisfy e(X,X) in either path,
-// even though the two values share a dictionary ID.
-func TestColumnarKindSensitiveDup(t *testing.T) {
+// TestColumnarCrossKindDup pins repeated-variable semantics: dup checks
+// use Equal, the same equality class AppendKey gives the joins, so a
+// tuple pairing Int(1) with Float(1) satisfies e(X,X) in both paths
+// (the two values share a dictionary ID and a join key). This replaced
+// an earlier deliberate kind-sensitive == — which made e(X,X) disagree
+// with the equivalent self-join — see TestCrossKindRepeatedVariable in
+// internal/eval.
+func TestColumnarCrossKindDup(t *testing.T) {
 	db := storage.NewDatabase()
 	e := storage.NewRelation("e", "a", "b")
 	e.InsertValues(storage.Int(1), storage.Float(1))
 	e.InsertValues(storage.Int(2), storage.Int(2))
+	e.InsertValues(storage.Int(3), storage.Int(4))
 	db.Add(e)
 	r := mustRule(t, "answer(X) :- e(X,X)")
 	row := compileRunMode(t, db, r, []int{0}, 1, false)
@@ -102,8 +106,8 @@ func TestColumnarKindSensitiveDup(t *testing.T) {
 	if col.Dump() != row.Dump() {
 		t.Fatalf("columnar dup check differs\ncolumnar:\n%s\nrows:\n%s", col.Dump(), row.Dump())
 	}
-	if row.Len() != 1 {
-		t.Fatalf("want exactly the Int(2) row, got:\n%s", row.Dump())
+	if row.Len() != 2 {
+		t.Fatalf("want the Int(1)/Float(1) and Int(2) rows, got:\n%s", row.Dump())
 	}
 }
 

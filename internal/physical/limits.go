@@ -81,6 +81,10 @@ func NewGate(ctx context.Context, l Limits) *Gate {
 	}
 	g := &Gate{state: &gateState{ctx: ctx}, limits: l}
 	if l.Wall > 0 {
+		// The stored deadline bounds resource use, never answer data:
+		// hitting it aborts with ErrCanceled, and unhit limits never
+		// change answers (the package contract).
+		//lint:ignore DL006 wall-clock deadline gates resources, not answers
 		g.state.deadline = time.Now().Add(l.Wall)
 	}
 	return g

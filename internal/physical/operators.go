@@ -163,7 +163,7 @@ func (o *scanOp) accept(bt storage.Tuple) bool {
 		}
 	}
 	for _, d := range o.n.dup {
-		if bt[d[0]] != bt[d[1]] {
+		if !bt[d[0]].Equal(bt[d[1]]) {
 			return false
 		}
 	}
@@ -288,7 +288,7 @@ func (o *joinOp) probe(batch []storage.Tuple, lo, hi int, cks []func(ct, bt stor
 	match:
 		for _, bt := range matches {
 			for _, d := range n.dup {
-				if bt[d[0]] != bt[d[1]] {
+				if !bt[d[0]].Equal(bt[d[1]]) {
 					continue match
 				}
 			}

@@ -100,8 +100,13 @@ func (e *Estimator) SampledSurvivorFraction(sub datalog.Union, params []datalog.
 // variable keep only tuples whose head-entity value falls in the sample.
 func (e *Estimator) sampleByHeadEntities(sub datalog.Union, o SampleOptions) (*storage.Database, error) {
 	rng := rand.New(rand.NewSource(o.Seed))
+	//lint:ignore DL005 decide Normalize()s the memo key before every access
 	keep := make(map[storage.Value]bool)
 	decide := func(v storage.Value) bool {
+		// Normalize the memo key: Int(1) and Float(1) are one head
+		// entity, and sampling them independently would bias the
+		// estimate by keeping half of an entity's tuples.
+		v = v.Normalize()
 		if kept, seen := keep[v]; seen {
 			return kept
 		}

@@ -114,7 +114,12 @@ func CreateDir(dir string, db *Database) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, catalogFile), append(raw, '\n'), 0o644)
+	// The catalog is the publish point of the whole ingest: it, the
+	// segments and dictionary it references (synced by their writers),
+	// and all the fresh directory entries must be durable before
+	// CreateDir acknowledges. WriteFileSync fsyncs the file and then the
+	// directory, which persists every entry created above.
+	return WriteFileSync(filepath.Join(dir, catalogFile), append(raw, '\n'), 0o644)
 }
 
 // bucketize compresses a group-size multiset into sorted (size, count)
@@ -323,6 +328,34 @@ var fsyncDir = func(path string) error {
 	return dir.Sync()
 }
 
+// SyncDir fsyncs a directory so a freshly created or renamed entry in it
+// survives a crash. Sidecar writers outside this package (the serving
+// layer's prepared-flock snapshot) use it after an atomic rename.
+func SyncDir(path string) error { return fsyncDir(path) }
+
+// WriteFileSync is os.WriteFile with durability: the bytes are fsynced
+// before close and the parent directory after, so neither the content
+// nor the entry can be lost to a crash once the call returns. Publish
+// points (the ingest catalog, serving-layer sidecars) go through this.
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
 // readDelta loads every batch of a delta file; a missing file is an empty
 // delta. Returns the rows in append order and the highest batch version.
 func readDelta(path string, arity int) ([]Tuple, uint64, error) {
@@ -405,6 +438,10 @@ func writeDict(path string, d *Dict) error {
 		}
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

@@ -4,6 +4,39 @@ import (
 	"testing"
 )
 
+// TestCreateDirSyncsCatalogPublish is the regression test for the
+// ingest-durability bug: CreateDir wrote segments, dictionary, and
+// catalog without a single fsync, so a crash after it returned could
+// lose the whole acknowledged ingest — or worse, leave a catalog whose
+// bytes reached disk referencing segments whose bytes did not. The
+// catalog publish must sync the file and then the directory, which also
+// persists the segment and dictionary entries created before it.
+func TestCreateDirSyncsCatalogPublish(t *testing.T) {
+	db := NewDatabase()
+	rel := NewRelation("r", "A", "B")
+	rel.Insert(Tuple{Int(1), Int(2)})
+	db.Add(rel)
+	dir := t.TempDir()
+
+	calls := 0
+	orig := fsyncDir
+	fsyncDir = func(path string) error {
+		if path != dir {
+			t.Errorf("fsyncDir(%q), want the data directory %q", path, dir)
+		}
+		calls++
+		return orig(path)
+	}
+	defer func() { fsyncDir = orig }()
+
+	if err := CreateDir(dir, db); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("CreateDir returned without syncing the data directory: a crash would lose the acknowledged ingest")
+	}
+}
+
 // TestAppendDeltaSyncsDirectoryEntry is the regression test for the
 // mutate-durability bug: AppendDelta fsynced the delta file's bytes but
 // never the directory, so a crash after the acknowledgement could lose a

@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -226,10 +227,12 @@ func (s keySet) ContainsKey(key []byte) bool {
 // named column.
 func (d *DiskRelation) DistinctCount(col string) int { return len(d.GroupSizes(col)) }
 
-// GroupSizes returns the exact group-size multiset of the named column.
-// With an empty delta it is served from the persisted catalog histogram;
-// otherwise it is recomputed with one streaming scan and cached. Exactness
-// is a contract: the planner's decisions must be engine-independent.
+// GroupSizes returns the exact group-size multiset of the named column,
+// sorted ascending. With an empty delta it is served from the persisted
+// catalog histogram (stored sorted); otherwise it is recomputed with one
+// streaming scan and cached. Exactness and order are a contract: the
+// planner's decisions must be engine-independent, and a map-ordered
+// multiset would leak nondeterminism into anything that indexes it.
 func (d *DiskRelation) GroupSizes(col string) []int {
 	p := d.ColumnIndex(col)
 	if p < 0 {
@@ -260,6 +263,7 @@ func (d *DiskRelation) GroupSizes(col string) []int {
 	for _, n := range counts {
 		sizes = append(sizes, n)
 	}
+	sort.Ints(sizes)
 	d.groups[col] = sizes
 	return sizes
 }

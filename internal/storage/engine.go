@@ -195,8 +195,9 @@ func (r *Relation) HashIndex(cols []int, workers int) *Index {
 // Keys returns the relation itself: ContainsKey is already the prober.
 func (r *Relation) Keys() KeyProber { return r }
 
-// GroupSizes returns the group sizes of the named column, in unspecified
-// order (callers treat the result as a multiset).
+// GroupSizes returns the group sizes of the named column, sorted
+// ascending (callers treat the result as a multiset; the order is
+// canonical so both engines present the same slice).
 func (r *Relation) GroupSizes(col string) []int {
 	p := r.ColumnIndex(col)
 	if p < 0 {

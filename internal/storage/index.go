@@ -1,6 +1,10 @@
 package storage
 
-import "queryflocks/internal/par"
+import (
+	"sort"
+
+	"queryflocks/internal/par"
+)
 
 // Index is a hash index mapping the key of a column-subset projection to
 // the tuples holding that projection. Indexes are built lazily by
@@ -160,8 +164,9 @@ func (ix *Index) GroupCount() int {
 	return n
 }
 
-// GroupSizes returns the size of each key group, in unspecified order.
-// The planner uses this to build group-size histograms for support-
+// GroupSizes returns the size of each key group, sorted ascending so the
+// multiset has one canonical form regardless of shard/map layout. The
+// planner uses this to build group-size histograms for support-
 // selectivity estimation.
 func (ix *Index) GroupSizes() []int {
 	out := make([]int, 0, ix.GroupCount())
@@ -170,5 +175,6 @@ func (ix *Index) GroupSizes() []int {
 			out = append(out, len(ts))
 		}
 	}
+	sort.Ints(out)
 	return out
 }

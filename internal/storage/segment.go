@@ -126,7 +126,12 @@ func writeSegment(path, name string, cols []string, tuples []Tuple) (err error) 
 	if err := put([]byte(segTail)); err != nil {
 		return err
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The catalog that is written after the segments references them by
+	// name; a segment must be on disk before that publish happens.
+	return f.Sync()
 }
 
 // segmentReader serves one open segment file. The sparse index stays in

@@ -66,9 +66,13 @@ func AttachWeights(db *storage.Database, maxWeight int, seed int64) error {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	imp := storage.NewRelation("importance", "BID", "W")
+	//lint:ignore DL005 keys are Normalize()d at the insertion below
 	seen := make(map[storage.Value]struct{})
 	for _, t := range baskets.Tuples() {
-		bid := t[0]
+		// Normalize the dedup key: Int(1) and Float(1) are the same
+		// basket, and giving them two independent weights would double-
+		// count it in every weighted aggregate (joins collapse them).
+		bid := t[0].Normalize()
 		if _, dup := seen[bid]; dup {
 			continue
 		}
